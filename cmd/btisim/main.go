@@ -1,0 +1,61 @@
+// Command btisim runs a standalone BTI stress/recovery trace on the
+// calibrated CET-map model and prints the threshold-shift time series.
+//
+// Usage:
+//
+//	btisim -stress 24h -svolt 1.4 -stemp 110 \
+//	       -recover 6h -rvolt -0.3 -rtemp 110 -sample 30m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"deepheal/internal/bti"
+	"deepheal/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "btisim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("btisim", flag.ContinueOnError)
+	stressDur := fs.Duration("stress", 24*time.Hour, "stress phase duration")
+	stressV := fs.Float64("svolt", bti.StressAccel.GateVoltage, "stress gate voltage (V)")
+	stressT := fs.Float64("stemp", bti.StressAccel.Temp.C(), "stress temperature (°C)")
+	recoverDur := fs.Duration("recover", 6*time.Hour, "recovery phase duration")
+	recoverV := fs.Float64("rvolt", bti.RecoverDeep.GateVoltage, "recovery gate voltage (V, negative = active)")
+	recoverT := fs.Float64("rtemp", bti.RecoverDeep.Temp.C(), "recovery temperature (°C)")
+	sample := fs.Duration("sample", 30*time.Minute, "trace sampling interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	dev, err := bti.NewDevice(bti.DefaultParams())
+	if err != nil {
+		return err
+	}
+	stress := bti.Condition{GateVoltage: *stressV, Temp: units.Celsius(*stressT)}
+	recover := bti.Condition{GateVoltage: *recoverV, Temp: units.Celsius(*recoverT)}
+
+	fmt.Printf("# stress %v at %v, recovery %v at %v\n", *stressDur, stress, *recoverDur, recover)
+	fmt.Println("phase\tt_hours\tshift_mV\tpermanent_mV")
+	emit := func(phase string, t, shift float64) {
+		fmt.Printf("%s\t%.2f\t%.3f\t%.3f\n", phase, units.SecondsToHours(t), shift*1000, dev.PermanentV()*1000)
+	}
+	dev.ApplyObserved(stress, stressDur.Seconds(), sample.Seconds(), func(t, s float64) { emit("stress", t, s) })
+	peak := dev.ShiftV()
+	dev.ApplyObserved(recover, recoverDur.Seconds(), sample.Seconds(), func(t, s float64) {
+		emit("recover", stressDur.Seconds()+t, s)
+	})
+	if peak > 0 {
+		fmt.Printf("# recovered %.1f%% of the stress-induced shift\n", (peak-dev.ShiftV())/peak*100)
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunDefaultsShortened(t *testing.T) {
+	if err := run([]string{"-stress", "2h", "-recover", "1h", "-sample", "30m"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-stress", "bogus"}); err == nil {
+		t.Error("bad duration accepted")
+	}
+}

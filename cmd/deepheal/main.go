@@ -1,0 +1,104 @@
+// Command deepheal regenerates the paper's tables and figures from the
+// calibrated simulators.
+//
+// Usage:
+//
+//	deepheal list              # show available experiment ids
+//	deepheal all               # run every experiment
+//	deepheal table1 fig5 ...   # run specific experiments
+//
+// Each experiment prints its paper-style table or series followed by a
+// summary comparing the simulated result against the paper's anchors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"deepheal/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "deepheal:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("deepheal", flag.ContinueOnError)
+	quiet := fs.Bool("q", false, "print only experiment summaries, not full series")
+	outDir := fs.String("o", "", "also write <id>.txt (and <id>_<series>.tsv where available) into this directory")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: deepheal [-q] [-o dir] list | all | <experiment>...\n\nexperiments:\n")
+		for _, id := range experiments.IDs() {
+			fmt.Fprintf(fs.Output(), "  %s\n", id)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return fmt.Errorf("no experiment selected")
+	}
+
+	var ids []string
+	switch fs.Arg(0) {
+	case "list":
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	case "all":
+		ids = experiments.IDs()
+	default:
+		ids = fs.Args()
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Printf("=== %s — %s (%.1fs)\n\n", res.ID(), res.Title(), time.Since(start).Seconds())
+		if !*quiet {
+			fmt.Println(res.Format())
+		}
+		if *outDir != "" {
+			if err := writeOutputs(*outDir, res); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+		}
+	}
+	return nil
+}
+
+// writeOutputs saves the formatted result and any machine-readable series.
+func writeOutputs(dir string, res experiments.Result) error {
+	txt := fmt.Sprintf("%s — %s\n\n%s", res.ID(), res.Title(), res.Format())
+	if err := os.WriteFile(filepath.Join(dir, res.ID()+".txt"), []byte(txt), 0o644); err != nil {
+		return err
+	}
+	exp, ok := res.(experiments.TSVExporter)
+	if !ok {
+		return nil
+	}
+	for name, content := range exp.TSV() {
+		path := filepath.Join(dir, fmt.Sprintf("%s_%s.tsv", res.ID(), name))
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing selection accepted")
+	}
+}
+
+func TestRunQuietSingle(t *testing.T) {
+	if err := run([]string{"-q", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithOutputDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-q", "-o", dir, "table1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table1.txt")); err != nil {
+		t.Errorf("missing table1.txt: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table1_recovery.tsv")); err != nil {
+		t.Errorf("missing table1_recovery.tsv: %v", err)
+	}
+}

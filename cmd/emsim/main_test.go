@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunShortTrace(t *testing.T) {
+	if err := run([]string{"-stress", "4h", "-recover", "1h", "-sample", "1h"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPassiveRecovery(t *testing.T) {
+	if err := run([]string{"-stress", "2h", "-recover", "1h", "-rj", "0", "-sample", "1h"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-j", "notanumber"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package deepheal_test
+
+import (
+	"fmt"
+
+	"deepheal"
+)
+
+// ExampleBTIDevice reproduces the paper's Table I protocol: the four
+// recovery conditions applied to the same 24-hour accelerated stress.
+func ExampleBTIDevice() {
+	dev := deepheal.MustNewBTIDevice(deepheal.DefaultBTIParams())
+	dev.Apply(deepheal.StressAccel, deepheal.Hours(24))
+
+	for _, c := range []struct {
+		name string
+		cond deepheal.BTICondition
+	}{
+		{"passive", deepheal.RecoverPassive},
+		{"active", deepheal.RecoverActive},
+		{"accelerated", deepheal.RecoverAccelerated},
+		{"deep", deepheal.RecoverDeep},
+	} {
+		frac := dev.RecoveryFraction(c.cond, deepheal.Hours(6))
+		fmt.Printf("%s: %.1f%%\n", c.name, frac*100)
+	}
+	// Output:
+	// passive: 1.0%
+	// active: 14.4%
+	// accelerated: 29.2%
+	// deep: 72.7%
+}
+
+// ExampleWire shows the Blech immortality check and the accelerated
+// time-to-failure of the paper's copper test wire.
+func ExampleWire() {
+	params := deepheal.DefaultEMParams()
+	fmt.Printf("Blech limit: %.1f MA/cm²\n", params.ImmortalityCurrentDensity().MAcm2())
+	fmt.Printf("3 MA/cm² immortal: %v\n", params.Immortal(deepheal.MAPerCm2(3)))
+
+	w := deepheal.MustNewWire(params)
+	ttf, err := w.TimeToFailure(deepheal.MAPerCm2(7.96), deepheal.Celsius(230), deepheal.Hours(48))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("TTF at paper stress: %.0f min\n", ttf/60)
+	// Output:
+	// Blech limit: 6.4 MA/cm²
+	// 3 MA/cm² immortal: true
+	// TTF at paper stress: 1056 min
+}
+
+// ExampleRunExperiment regenerates a paper artefact through the experiment
+// registry.
+func ExampleRunExperiment() {
+	res, err := deepheal.RunExperiment("table1")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.ID())
+	// Output:
+	// table1
+}

@@ -1,0 +1,83 @@
+// Many-core dark-silicon scenario (the paper's §IV-B, Fig. 12): a 16-core
+// die runs a mixed workload over an accelerated-equivalent lifetime while a
+// scheduling policy decides when cores take BTI deep-recovery intervals
+// (their work migrating to neighbours, whose heat accelerates the healing)
+// and when the assist circuitry reverses the power-grid current.
+//
+// The example prints the Fig. 12(b)-style outcome: the worst-case design
+// margin versus the margin a deep-healing system actually needs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deepheal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := deepheal.DefaultSystemConfig()
+	// A mixed workload: sustained services, staggered periodic tasks and
+	// duty-cycled blocks — enough spare capacity for rotation.
+	n := cfg.NumCores()
+	cfg.Workloads = make([]deepheal.WorkloadProfile, n)
+	for i := range cfg.Workloads {
+		switch i % 3 {
+		case 0:
+			cfg.Workloads[i] = deepheal.ConstantWorkload(0.8)
+		case 1:
+			cfg.Workloads[i] = deepheal.PeriodicWorkload(5, 3, 0.9)
+		default:
+			cfg.Workloads[i] = deepheal.IoTWorkload(8, 3, 0.9)
+		}
+	}
+
+	policies := []deepheal.Policy{
+		&deepheal.NoRecoveryPolicy{},
+		&deepheal.PassiveRecoveryPolicy{},
+		deepheal.DefaultDeepHealing(),
+	}
+	reports := make([]*deepheal.SystemReport, 0, len(policies))
+	for _, pol := range policies {
+		sim, err := deepheal.NewSimulator(cfg, pol)
+		if err != nil {
+			return err
+		}
+		rep, err := sim.Run()
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+		fail := "none"
+		if rep.EMFailedStep >= 0 {
+			fail = fmt.Sprintf("step %d", rep.EMFailedStep)
+		}
+		fmt.Printf("%-13s guardband %5.1f%%  final ΔVth %5.1f mV  EM failure: %-9s availability %.3f  recovery overhead %.1f%%\n",
+			rep.Policy, rep.GuardbandFrac*100, rep.FinalShiftV*1000, fail,
+			rep.Availability, rep.RecoveryOverhead*100)
+	}
+
+	worst := deepheal.Margin{FreshDelay: 1, WornDelay: 1 + reports[0].GuardbandFrac}
+	deep := deepheal.Margin{FreshDelay: 1, WornDelay: 1 + reports[2].GuardbandFrac}
+	fmt.Printf("\nwearout guardband reduction from deep healing: %.1fx\n",
+		deepheal.MarginReduction(worst, deep))
+
+	// Active recovery as a design knob: let the library pick the
+	// scheduling parameters for this workload (shorter horizon for speed).
+	tuneCfg := cfg
+	tuneCfg.Steps = 600
+	tuned, err := deepheal.TuneDeepHealing(tuneCfg, deepheal.TuneOptions{MinAvailability: 0.99})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("auto-tuned schedule: %d-step intervals × %d concurrent → guardband %.1f%% at availability %.3f (%d candidates)\n",
+		tuned.Policy.RecoverySteps, tuned.Policy.MaxConcurrent,
+		tuned.Report.GuardbandFrac*100, tuned.Report.Availability, tuned.Evaluated)
+	return nil
+}

@@ -1,0 +1,75 @@
+// PDN guard scenario (the paper's §IV-A): protect a power-delivery rail
+// against electromigration with the assist circuitry. The example first
+// shows the circuit itself — the three operating modes, the current
+// reversal and the rail swap — and then uses the wire-level EM model to
+// quantify what the periodic EM Active Recovery intervals buy: voids that
+// would nucleate and break the rail never form.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deepheal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. The assist circuitry (Fig. 8) under its three modes.
+	a, err := deepheal.NewAssist(deepheal.DefaultAssistConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Println("assist circuitry operating points:")
+	for _, m := range []deepheal.AssistMode{
+		deepheal.ModeNormal, deepheal.ModeEMRecovery, deepheal.ModeBTIRecovery,
+	} {
+		if err := a.SetMode(m); err != nil {
+			return err
+		}
+		op, err := a.Operating()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-22s load = %+0.3f V, VDD-grid current = %+7.1f µA\n",
+			m, op.LoadVoltage(), op.GridCurrent*1e6)
+	}
+
+	// 2. What the EM Active Recovery mode buys at the wire level: schedule
+	// reverse intervals before voids nucleate (Fig. 7's "economic" timing).
+	j := deepheal.MAPerCm2(7.96)
+	temp := deepheal.Celsius(230)
+
+	unprotected, err := deepheal.NewWire(deepheal.DefaultEMParams())
+	if err != nil {
+		return err
+	}
+	ttf, err := unprotected.TimeToFailure(j, temp, deepheal.Hours(48))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nunprotected rail: void nucleates and the metal breaks after %.0f min\n", ttf/60)
+
+	protected, err := deepheal.NewWire(deepheal.DefaultEMParams())
+	if err != nil {
+		return err
+	}
+	const horizon = 96 // hours
+	for protected.Time() < deepheal.Hours(horizon) && !protected.Broken() {
+		protected.Run(j, temp, deepheal.Minutes(120), 0) // normal operation
+		protected.Run(-j, temp, deepheal.Minutes(40), 0) // EM Active Recovery
+	}
+	if protected.Broken() {
+		fmt.Printf("protected rail: failed at %.0f min\n", protected.Time()/60)
+		return nil
+	}
+	fmt.Printf("protected rail (120 min normal / 40 min reversed): alive after %d h, peak stress %.2f of critical, no void ever nucleated\n",
+		horizon, protected.MaxStress())
+	fmt.Println("the load never notices: the assist circuitry keeps its supply polarity unchanged in EM recovery mode")
+	return nil
+}

@@ -1,0 +1,59 @@
+// Quickstart: age a transistor population with the paper's accelerated
+// stress, then compare the four Table I recovery conditions — passive,
+// active (reverse bias), accelerated (high temperature) and deep healing
+// (both) — plus the balanced stress/recovery schedule that keeps the
+// permanent component at zero.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deepheal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dev, err := deepheal.NewBTIDevice(deepheal.DefaultBTIParams())
+	if err != nil {
+		return err
+	}
+
+	// 24 hours of accelerated stress (high voltage, 110 °C).
+	dev.Apply(deepheal.StressAccel, deepheal.Hours(24))
+	fmt.Printf("after 24 h stress: ΔVth = %.1f mV (%.1f mV permanent)\n\n",
+		dev.ShiftV()*1000, dev.PermanentV()*1000)
+
+	// How much does each recovery condition heal in 6 hours?
+	conditions := []struct {
+		name string
+		cond deepheal.BTICondition
+	}{
+		{"passive      (20 °C,  0 V)", deepheal.RecoverPassive},
+		{"active       (20 °C, -0.3 V)", deepheal.RecoverActive},
+		{"accelerated  (110 °C,  0 V)", deepheal.RecoverAccelerated},
+		{"deep healing (110 °C, -0.3 V)", deepheal.RecoverDeep},
+	}
+	for _, c := range conditions {
+		frac := dev.RecoveryFraction(c.cond, deepheal.Hours(6))
+		fmt.Printf("6 h %s recovers %5.1f%%\n", c.name, frac*100)
+	}
+
+	// The paper's key scheduling result: balanced 1 h stress : 1 h deep
+	// recovery keeps even the permanent component at practically zero.
+	fresh, err := deepheal.NewBTIDevice(deepheal.DefaultBTIParams())
+	if err != nil {
+		return err
+	}
+	residuals := fresh.RunDutyCycles(deepheal.StressAccel, deepheal.RecoverDeep,
+		deepheal.Hours(1), deepheal.Hours(1), 10)
+	last := residuals[len(residuals)-1]
+	fmt.Printf("\n10 cycles of 1 h stress : 1 h deep recovery → residual %.2f mV (locked %.2f mV) — practically fresh\n",
+		last.ResidualV*1000, last.LockedV*1000)
+	return nil
+}

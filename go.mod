@@ -1,0 +1,3 @@
+module deepheal
+
+go 1.22

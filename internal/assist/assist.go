@@ -1,0 +1,317 @@
+// Package assist models the paper's assist circuitry (Fig. 8): a
+// power-gating-style network of four headers (P1–P4) and four footers
+// (N1–N4) around the local VDD/VSS grids that supports three operating
+// modes:
+//
+//   - Normal: the load is powered conventionally; current flows through the
+//     VDD grid from end A to end B and through the VSS grid from B to A.
+//   - EM Active Recovery: the grids swap roles — supply enters the VSS grid
+//     and returns through the VDD grid — so the current through both grids
+//     reverses at the same magnitude while the load keeps operating.
+//   - BTI Active Recovery: the idle load's VDD and VSS nodes are swapped
+//     through pass devices, putting a negative V_SG across its transistors;
+//     the pass-device droop/increase (≈0.2–0.3 V) matches the paper's
+//     Fig. 9(b).
+//
+// The netlist is simulated with the internal MNA engine the way the authors
+// used SPICE on 28 nm FD-SOI.
+package assist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"deepheal/internal/circuit"
+)
+
+// Mode is one of the three operating modes of the assist circuitry.
+type Mode int
+
+// Operating modes (Fig. 8b).
+const (
+	ModeNormal Mode = iota + 1
+	ModeEMRecovery
+	ModeBTIRecovery
+)
+
+// String names the mode the way the paper does.
+func (m Mode) String() string {
+	switch m {
+	case ModeNormal:
+		return "Normal"
+	case ModeEMRecovery:
+		return "EM Active Recovery"
+	case ModeBTIRecovery:
+		return "BTI Active Recovery"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config sizes the assist circuitry and its load.
+type Config struct {
+	VDD float64 // supply voltage (V)
+
+	// Load: NumLoads parallel ring-oscillator blocks. Each draws
+	// LoadOhm·NumLoads⁻¹-equivalent active current, leaks through
+	// LeakOhm/NumLoads when idle and contributes LoadCapF of node
+	// capacitance per block.
+	NumLoads int
+	LoadOhm  float64 // active-load equivalent resistance of ONE block
+	LeakOhm  float64 // idle leakage resistance of ONE block
+	LoadCapF float64 // node capacitance of ONE block
+
+	RailCapF  float64 // fixed local-rail capacitance at the grid taps
+	VRailCapF float64 // fixed virtual-rail (load VDD/VSS metal + decap) capacitance
+	GridOhm   float64 // resistance of each of the VDD/VSS local grids
+
+	Supply circuit.MOSParams // P1/P2 headers and N1/N2 footers
+	Pass   circuit.MOSParams // P3/P4 and N3/N4 load pass devices
+
+	// Alpha-power delay model for the load (Fig. 10's "Load Delay").
+	DelayAlpha float64
+	DelayVth   float64
+}
+
+// DefaultConfig returns the 28 nm FD-SOI-flavoured sizing used for the
+// paper reproduction: 1 V supply, one ring-oscillator load block.
+func DefaultConfig() Config {
+	return Config{
+		VDD:       1.0,
+		NumLoads:  1,
+		LoadOhm:   2900,
+		LeakOhm:   40e3,
+		LoadCapF:  0.05e-12,
+		RailCapF:  5e-12,
+		VRailCapF: 2e-12,
+		GridOhm:   25,
+		Supply:    circuit.MOSParams{K: 0.030, Vth: 0.25},
+		Pass:      circuit.MOSParams{K: 0.020, Vth: 0.20},
+
+		DelayAlpha: 1.7,
+		DelayVth:   0.30,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.VDD <= 0:
+		return errors.New("assist: VDD must be positive")
+	case c.NumLoads < 1:
+		return fmt.Errorf("assist: need at least one load, got %d", c.NumLoads)
+	case c.LoadOhm <= 0 || c.LeakOhm <= 0 || c.LoadCapF <= 0 || c.RailCapF <= 0 || c.VRailCapF <= 0 || c.GridOhm <= 0:
+		return errors.New("assist: passives must be positive")
+	case c.DelayAlpha <= 0 || c.DelayVth <= 0 || c.DelayVth >= c.VDD:
+		return errors.New("assist: delay model parameters invalid")
+	}
+	if err := c.Supply.Validate(); err != nil {
+		return err
+	}
+	return c.Pass.Validate()
+}
+
+// Assist is one instantiated assist-circuitry block.
+type Assist struct {
+	cfg  Config
+	ckt  *circuit.Circuit
+	mode Mode
+}
+
+// Netlist node names.
+const (
+	nVDD     = "vdd"
+	nGvA     = "gv_a" // VDD grid, supply end
+	nGvB     = "gv_b" // VDD grid, load end
+	nGsA     = "gs_a" // VSS grid, supply end
+	nGsB     = "gs_b" // VSS grid, load end
+	nLoadVDD = "load_vdd"
+	nLoadVSS = "load_vss"
+)
+
+// device lists the eight header/footer devices in Fig. 8 order.
+var devices = []string{"P1", "P2", "P3", "P4", "N1", "N2", "N3", "N4"}
+
+// onTable is the Fig. 8(b) truth table: which devices conduct per mode.
+// Normal powers the load through P1→VDD-grid→P3 and returns via N3→VSS-grid
+// →N1. EM recovery swaps the supply side (P2/N2) and crosses the pass
+// devices (P4/N4), reversing both grid currents at unchanged load polarity.
+// BTI recovery swaps the supply side but keeps the straight pass devices
+// (P3/N3), so the idle load's rails swap: its VSS pin is pulled toward VDD
+// through N3 (minus an NMOS threshold — the paper's ≈0.82 V) and its VDD
+// pin toward ground through P3 (plus a PMOS threshold — the ≈0.22 V).
+var onTable = map[Mode]map[string]bool{
+	ModeNormal:      {"P1": true, "P3": true, "N1": true, "N3": true},
+	ModeEMRecovery:  {"P2": true, "P4": true, "N2": true, "N4": true},
+	ModeBTIRecovery: {"P2": true, "P3": true, "N2": true, "N3": true},
+}
+
+// TruthTable returns a copy of the Fig. 8(b) mode/device table.
+func TruthTable() map[Mode]map[string]bool {
+	out := make(map[Mode]map[string]bool, len(onTable))
+	for m, row := range onTable {
+		cp := make(map[string]bool, len(devices))
+		for _, d := range devices {
+			cp[d] = row[d]
+		}
+		out[m] = cp
+	}
+	return out
+}
+
+// New builds the assist circuitry netlist in Normal mode.
+func New(cfg Config) (*Assist, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ckt := circuit.New()
+	b := &builder{ckt: ckt}
+
+	b.add(ckt.AddVSource("VDD", nVDD, circuit.Ground, cfg.VDD))
+
+	// Local grids.
+	b.add(ckt.AddResistor("Rgv", nGvA, nGvB, cfg.GridOhm))
+	b.add(ckt.AddResistor("Rgs", nGsA, nGsB, cfg.GridOhm))
+
+	// Control gates, one source per device.
+	for _, d := range devices {
+		b.add(ckt.AddVSource("ctl_"+d, gateNode(d), circuit.Ground, cfg.VDD))
+	}
+
+	// Headers/footers (Fig. 8a): P1 vdd→GvA, P2 vdd→GsA, N1 GsA→gnd,
+	// N2 GvA→gnd; pass devices P3 GvB→load_vdd, P4 GsB→load_vdd,
+	// N3 load_vss→GsB, N4 load_vss→GvB.
+	b.add(ckt.AddPMOS("P1", nGvA, gateNode("P1"), nVDD, cfg.Supply))
+	b.add(ckt.AddPMOS("P2", nGsA, gateNode("P2"), nVDD, cfg.Supply))
+	b.add(ckt.AddNMOS("N1", nGsA, gateNode("N1"), circuit.Ground, cfg.Supply))
+	b.add(ckt.AddNMOS("N2", nGvA, gateNode("N2"), circuit.Ground, cfg.Supply))
+	b.add(ckt.AddPMOS("P3", nLoadVDD, gateNode("P3"), nGvB, cfg.Pass))
+	b.add(ckt.AddPMOS("P4", nLoadVDD, gateNode("P4"), nGsB, cfg.Pass))
+	b.add(ckt.AddNMOS("N3", nGsB, gateNode("N3"), nLoadVSS, cfg.Pass))
+	b.add(ckt.AddNMOS("N4", nGvB, gateNode("N4"), nLoadVSS, cfg.Pass))
+
+	// Load: leakage always present; the active path is switched off when
+	// the load idles (BTI recovery mode).
+	n := float64(cfg.NumLoads)
+	b.add(ckt.AddResistor("Rleak", nLoadVDD, nLoadVSS, cfg.LeakOhm/n))
+	b.add(ckt.AddSwitch("loadActive", nLoadVDD, "load_mid", 1, 1e12))
+	b.add(ckt.AddResistor("Ractive", "load_mid", nLoadVSS, cfg.LoadOhm/n))
+
+	// Node capacitances.
+	b.add(ckt.AddCapacitor("Cload_vdd", nLoadVDD, circuit.Ground, cfg.VRailCapF+n*cfg.LoadCapF))
+	b.add(ckt.AddCapacitor("Cload_vss", nLoadVSS, circuit.Ground, cfg.VRailCapF+n*cfg.LoadCapF))
+	b.add(ckt.AddCapacitor("Crail_v", nGvB, circuit.Ground, cfg.RailCapF))
+	b.add(ckt.AddCapacitor("Crail_s", nGsB, circuit.Ground, cfg.RailCapF))
+
+	if b.err != nil {
+		return nil, b.err
+	}
+	a := &Assist{cfg: cfg, ckt: ckt}
+	if err := a.SetMode(ModeNormal); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+type builder struct {
+	ckt *circuit.Circuit
+	err error
+}
+
+func (b *builder) add(err error) {
+	if b.err == nil && err != nil {
+		b.err = err
+	}
+}
+
+func gateNode(device string) string { return "gate_" + device }
+
+// Config returns the instance's configuration.
+func (a *Assist) Config() Config { return a.cfg }
+
+// Mode returns the currently selected operating mode.
+func (a *Assist) Mode() Mode { return a.mode }
+
+// SetMode drives the eight control gates per the Fig. 8(b) truth table and
+// enables/disables the active load path (the load idles in BTI recovery).
+func (a *Assist) SetMode(m Mode) error {
+	row, ok := onTable[m]
+	if !ok {
+		return fmt.Errorf("assist: unknown mode %v", m)
+	}
+	for _, d := range devices {
+		on := row[d]
+		var gate float64
+		switch {
+		case d[0] == 'P' && on:
+			gate = 0
+		case d[0] == 'P':
+			gate = a.cfg.VDD
+		case on: // NMOS on
+			gate = a.cfg.VDD
+		default: // NMOS off
+			gate = 0
+		}
+		if err := a.ckt.SetVSource("ctl_"+d, gate); err != nil {
+			return err
+		}
+	}
+	if err := a.ckt.SetSwitch("loadActive", m != ModeBTIRecovery); err != nil {
+		return err
+	}
+	a.mode = m
+	return nil
+}
+
+// OperatingPoint summarises a DC solution of the assist circuitry.
+type OperatingPoint struct {
+	Mode        Mode
+	LoadVDD     float64 // voltage at the load's VDD pin
+	LoadVSS     float64 // voltage at the load's VSS pin
+	GridCurrent float64 // current through the VDD grid, A→B positive (amps)
+	LoadCurrent float64 // current through the load (amps)
+}
+
+// LoadVoltage returns the effective supply the load sees (may be negative in
+// BTI recovery mode, which is the point).
+func (o OperatingPoint) LoadVoltage() float64 { return o.LoadVDD - o.LoadVSS }
+
+// Operating computes the DC operating point in the current mode.
+func (a *Assist) Operating() (OperatingPoint, error) {
+	sol, err := a.ckt.DC()
+	if err != nil {
+		return OperatingPoint{}, fmt.Errorf("assist: %v mode: %w", a.mode, err)
+	}
+	return a.point(sol), nil
+}
+
+func (a *Assist) point(sol *circuit.Solution) OperatingPoint {
+	n := float64(a.cfg.NumLoads)
+	lv, ls := sol.Voltage(nLoadVDD), sol.Voltage(nLoadVSS)
+	loadI := (lv - ls) / (a.cfg.LeakOhm / n)
+	if a.mode != ModeBTIRecovery {
+		loadI += (sol.Voltage("load_mid") - ls) / (a.cfg.LoadOhm / n)
+	}
+	return OperatingPoint{
+		Mode:        a.mode,
+		LoadVDD:     lv,
+		LoadVSS:     ls,
+		GridCurrent: (sol.Voltage(nGvA) - sol.Voltage(nGvB)) / a.cfg.GridOhm,
+		LoadCurrent: loadI,
+	}
+}
+
+// NormalizedLoadDelay converts the load's supply voltage into an
+// alpha-power-law gate delay, normalised so the ideal (droop-free) supply
+// gives 1.0. Fig. 10's "Load Delay" metric.
+func (a *Assist) NormalizedLoadDelay(op OperatingPoint) (float64, error) {
+	v := op.LoadVoltage()
+	if v <= a.cfg.DelayVth {
+		return 0, fmt.Errorf("assist: load voltage %.3f below delay threshold — circuit not operational", v)
+	}
+	delay := func(v float64) float64 {
+		return v / math.Pow(v-a.cfg.DelayVth, a.cfg.DelayAlpha)
+	}
+	return delay(v) / delay(a.cfg.VDD), nil
+}

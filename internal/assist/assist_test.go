@@ -1,0 +1,236 @@
+package assist
+
+import (
+	"math"
+	"testing"
+)
+
+func newAssist(t *testing.T) *Assist {
+	t.Helper()
+	a, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func operating(t *testing.T, a *Assist, m Mode) OperatingPoint {
+	t.Helper()
+	if err := a.SetMode(m); err != nil {
+		t.Fatal(err)
+	}
+	op, err := a.Operating()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+func TestNormalModePowersLoad(t *testing.T) {
+	a := newAssist(t)
+	op := operating(t, a, ModeNormal)
+	if op.LoadVoltage() < 0.85 {
+		t.Errorf("normal-mode load voltage = %.3f, want ≈0.9", op.LoadVoltage())
+	}
+	if op.GridCurrent <= 0 {
+		t.Errorf("normal-mode VDD grid current = %g, want positive (A→B)", op.GridCurrent)
+	}
+}
+
+func TestEMRecoveryReversesGridCurrent(t *testing.T) {
+	// Fig. 9(a): the grid current reverses with the same absolute value,
+	// and the load keeps working.
+	a := newAssist(t)
+	normal := operating(t, a, ModeNormal)
+	em := operating(t, a, ModeEMRecovery)
+	if em.GridCurrent >= 0 {
+		t.Fatalf("EM-mode grid current = %g, want negative (B→A)", em.GridCurrent)
+	}
+	if math.Abs(math.Abs(em.GridCurrent)-normal.GridCurrent) > 1e-3*normal.GridCurrent {
+		t.Errorf("current magnitude changed: normal %g vs EM %g", normal.GridCurrent, em.GridCurrent)
+	}
+	if math.Abs(em.LoadVoltage()-normal.LoadVoltage()) > 1e-3 {
+		t.Errorf("load supply changed between modes: %.4f vs %.4f", normal.LoadVoltage(), em.LoadVoltage())
+	}
+}
+
+func TestBTIRecoverySwapsRails(t *testing.T) {
+	// Fig. 9(b): the idle load's VDD and VSS swap, with the pass-device
+	// droop/increase of ≈0.2-0.3 V the paper reports (0.223 V / 0.816 V).
+	a := newAssist(t)
+	op := operating(t, a, ModeBTIRecovery)
+	if op.LoadVoltage() >= 0 {
+		t.Fatalf("BTI-mode load voltage = %.3f, want negative (rails swapped)", op.LoadVoltage())
+	}
+	if op.LoadVSS < 0.7 || op.LoadVSS > 0.9 {
+		t.Errorf("load VSS = %.3f, want ≈0.82 (paper)", op.LoadVSS)
+	}
+	if op.LoadVDD < 0.1 || op.LoadVDD > 0.3 {
+		t.Errorf("load VDD = %.3f, want ≈0.22 (paper)", op.LoadVDD)
+	}
+	droop := a.Config().VDD - op.LoadVSS
+	if droop < 0.1 || droop > 0.35 {
+		t.Errorf("droop = %.3f V, paper reports 0.2-0.3 V", droop)
+	}
+	// The swapped rail voltage must still exceed the -0.3 V the paper's
+	// recovery experiments used, with margin.
+	if op.LoadVoltage() > -0.3 {
+		t.Errorf("recovery bias %.3f V weaker than the -0.3 V experimental condition", op.LoadVoltage())
+	}
+}
+
+func TestTruthTableConsistency(t *testing.T) {
+	tt := TruthTable()
+	if len(tt) != 3 {
+		t.Fatalf("modes = %d, want 3", len(tt))
+	}
+	for m, row := range tt {
+		on := 0
+		for _, d := range devices {
+			if row[d] {
+				on++
+			}
+		}
+		if on != 4 {
+			t.Errorf("%v: %d devices on, want 4", m, on)
+		}
+	}
+	// Mutating the copy must not affect the real table.
+	tt[ModeNormal]["P1"] = false
+	if !onTable[ModeNormal]["P1"] {
+		t.Error("TruthTable returned aliased state")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeEMRecovery.String() != "EM Active Recovery" {
+		t.Errorf("String = %q", ModeEMRecovery)
+	}
+	if Mode(99).String() != "Mode(99)" {
+		t.Errorf("unknown mode String = %q", Mode(99))
+	}
+}
+
+func TestSetModeUnknown(t *testing.T) {
+	a := newAssist(t)
+	if err := a.SetMode(Mode(42)); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestSwitchTransientReachesBTILevels(t *testing.T) {
+	a := newAssist(t)
+	trace, err := a.SwitchTransient(ModeNormal, ModeBTIRecovery, 20e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) < 100 {
+		t.Fatalf("trace too short: %d", len(trace))
+	}
+	first, last := trace[0], trace[len(trace)-1]
+	if first.LoadVDD < first.LoadVSS {
+		t.Error("trace must start in normal polarity")
+	}
+	if last.LoadVDD > last.LoadVSS {
+		t.Errorf("rails did not swap: vdd=%.3f vss=%.3f", last.LoadVDD, last.LoadVSS)
+	}
+}
+
+func TestSwitchingTimeMeasurable(t *testing.T) {
+	a := newAssist(t)
+	tsw, err := a.SwitchingTime(ModeNormal, ModeBTIRecovery, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tsw <= 0 || tsw > 100e-9 {
+		t.Errorf("switching time = %g s, want nanoseconds", tsw)
+	}
+	if _, err := a.SwitchingTime(ModeNormal, ModeBTIRecovery, 0); err == nil {
+		t.Error("invalid settle fraction accepted")
+	}
+}
+
+func TestLoadSizeSweepShape(t *testing.T) {
+	// Fig. 10: delay grows roughly linearly with load size (to ≈1.8x at 5);
+	// switching time falls, at a slower rate.
+	pts, err := LoadSizeSweep(DefaultConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].NormalizedDelay <= pts[i-1].NormalizedDelay {
+			t.Errorf("delay not increasing at %d loads", pts[i].NumLoads)
+		}
+		if pts[i].NormalizedTSw > pts[i-1].NormalizedTSw+1e-9 {
+			t.Errorf("switching time increasing at %d loads", pts[i].NumLoads)
+		}
+	}
+	final := pts[4]
+	if final.NormalizedDelay < 1.5 || final.NormalizedDelay > 2.2 {
+		t.Errorf("delay at 5 loads = %.2fx, paper shows ≈1.8x", final.NormalizedDelay)
+	}
+	if final.NormalizedTSw < 0.5 || final.NormalizedTSw >= 1 {
+		t.Errorf("switching time at 5 loads = %.2fx, want a modest decrease", final.NormalizedTSw)
+	}
+	// "with a slower rate": the delay change dominates the switching change.
+	if (final.NormalizedDelay - 1) < (1 - final.NormalizedTSw) {
+		t.Error("switching time fell faster than delay rose")
+	}
+}
+
+func TestLoadSizeSweepErrors(t *testing.T) {
+	if _, err := LoadSizeSweep(DefaultConfig(), 0); err == nil {
+		t.Error("maxLoads 0 accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.VDD = 0 },
+		func(c *Config) { c.NumLoads = 0 },
+		func(c *Config) { c.LoadOhm = 0 },
+		func(c *Config) { c.LeakOhm = -1 },
+		func(c *Config) { c.LoadCapF = 0 },
+		func(c *Config) { c.RailCapF = 0 },
+		func(c *Config) { c.VRailCapF = 0 },
+		func(c *Config) { c.GridOhm = 0 },
+		func(c *Config) { c.DelayVth = 2 },
+		func(c *Config) { c.Supply.K = 0 },
+		func(c *Config) { c.Pass.Vth = 0 },
+	}
+	for i, mut := range mutations {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("mutation %d: New accepted invalid config", i)
+		}
+	}
+}
+
+func TestNormalizedLoadDelayErrors(t *testing.T) {
+	a := newAssist(t)
+	op := operating(t, a, ModeBTIRecovery)
+	if _, err := a.NormalizedLoadDelay(op); err == nil {
+		t.Error("delay must be rejected for a non-operational supply")
+	}
+}
+
+func TestNormalizedLoadDelayIdentity(t *testing.T) {
+	a := newAssist(t)
+	d, err := a.NormalizedLoadDelay(OperatingPoint{LoadVDD: a.Config().VDD, LoadVSS: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1) > 1e-12 {
+		t.Errorf("droop-free delay = %g, want exactly 1", d)
+	}
+}

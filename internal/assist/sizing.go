@@ -1,0 +1,125 @@
+package assist
+
+import (
+	"errors"
+	"fmt"
+
+	"deepheal/internal/mathx"
+)
+
+// UpsizeResult is the outcome of sizing the header/footer devices for one
+// load count.
+type UpsizeResult struct {
+	NumLoads int
+	// WidthMultiple is the factor by which every header/footer/pass device
+	// was widened relative to the base configuration.
+	WidthMultiple float64
+	// AreaMultiple is the resulting assist-circuitry area (device width ×
+	// count, normalised to the base sizing).
+	AreaMultiple float64
+	// DelayNorm is the achieved load delay (normalised to a droop-free
+	// supply).
+	DelayNorm float64
+}
+
+// scaled returns cfg with every assist device widened by m (K scales with
+// device width).
+func scaled(cfg Config, m float64) Config {
+	out := cfg
+	out.Supply.K *= m
+	out.Pass.K *= m
+	return out
+}
+
+// delayAt computes the normalised load delay for the given sizing.
+func delayAt(cfg Config, m float64) (float64, error) {
+	a, err := New(scaled(cfg, m))
+	if err != nil {
+		return 0, err
+	}
+	op, err := a.Operating()
+	if err != nil {
+		return 0, err
+	}
+	return a.NormalizedLoadDelay(op)
+}
+
+// UpsizeFor finds the smallest device widening that keeps the load delay at
+// or below maxDelayNorm for the given load count — the compensation the
+// paper says Fig. 10 forces: "the header/footer transistors need to be
+// upsized, which will result in more area".
+func UpsizeFor(base Config, numLoads int, maxDelayNorm float64) (UpsizeResult, error) {
+	if numLoads < 1 {
+		return UpsizeResult{}, fmt.Errorf("assist: numLoads %d must be >= 1", numLoads)
+	}
+	if maxDelayNorm <= 1 {
+		return UpsizeResult{}, errors.New("assist: delay target must exceed 1 (a droop-free supply)")
+	}
+	cfg := base
+	cfg.NumLoads = numLoads
+
+	at := func(m float64) (float64, error) { return delayAt(cfg, m) }
+	d1, err := at(1)
+	if err != nil {
+		return UpsizeResult{}, err
+	}
+	if d1 <= maxDelayNorm {
+		return UpsizeResult{NumLoads: numLoads, WidthMultiple: 1, AreaMultiple: 1, DelayNorm: d1}, nil
+	}
+	// Bracket: [lo, hi] with the target missed at lo and met at hi.
+	lo, hi := 1.0, 2.0
+	dHi := d1
+	for ; hi <= 256; lo, hi = hi, hi*2 {
+		dHi, err = at(hi)
+		if err != nil {
+			return UpsizeResult{}, err
+		}
+		if dHi <= maxDelayNorm {
+			break
+		}
+	}
+	if dHi > maxDelayNorm {
+		return UpsizeResult{}, fmt.Errorf("assist: delay target %.3f unreachable for %d loads", maxDelayNorm, numLoads)
+	}
+	m, err := mathx.Bisect(func(m float64) float64 {
+		d, derr := at(m)
+		if derr != nil {
+			// Treat solver failures as "too slow" so bisection walks away.
+			return 1
+		}
+		return d - maxDelayNorm
+	}, lo, hi, 1e-3)
+	if err != nil {
+		return UpsizeResult{}, fmt.Errorf("assist: sizing for %d loads: %w", numLoads, err)
+	}
+	// Land on the safe side of the tolerance.
+	d, err := at(m)
+	if err != nil {
+		return UpsizeResult{}, err
+	}
+	for d > maxDelayNorm {
+		m *= 1.01
+		if d, err = at(m); err != nil {
+			return UpsizeResult{}, err
+		}
+	}
+	return UpsizeResult{NumLoads: numLoads, WidthMultiple: m, AreaMultiple: m, DelayNorm: d}, nil
+}
+
+// UpsizeSweep sizes the assist circuitry for 1..maxLoads at the given delay
+// budget, exposing the area cost of hiding the Fig. 10 droop — each load
+// count gets its own optimal design point.
+func UpsizeSweep(base Config, maxLoads int, maxDelayNorm float64) ([]UpsizeResult, error) {
+	if maxLoads < 1 {
+		return nil, fmt.Errorf("assist: maxLoads %d must be >= 1", maxLoads)
+	}
+	out := make([]UpsizeResult, 0, maxLoads)
+	for n := 1; n <= maxLoads; n++ {
+		r, err := UpsizeFor(base, n, maxDelayNorm)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package assist
+
+import "testing"
+
+func TestUpsizeForMeetsTarget(t *testing.T) {
+	const target = 1.15
+	for n := 1; n <= 5; n++ {
+		r, err := UpsizeFor(DefaultConfig(), n, target)
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if r.DelayNorm > target+1e-6 {
+			t.Errorf("N=%d: achieved delay %.4f above target", n, r.DelayNorm)
+		}
+		if r.WidthMultiple < 1 {
+			t.Errorf("N=%d: width %.2f below base", n, r.WidthMultiple)
+		}
+	}
+}
+
+func TestUpsizeSweepSuperlinearArea(t *testing.T) {
+	rows, err := UpsizeSweep(DefaultConfig(), 5, 1.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].AreaMultiple <= rows[i-1].AreaMultiple {
+			t.Errorf("area not increasing at %d loads", rows[i].NumLoads)
+		}
+	}
+	// Superlinear: the per-load area cost grows with the cluster size.
+	first, last := rows[0], rows[len(rows)-1]
+	perLoadFirst := first.AreaMultiple / float64(first.NumLoads)
+	perLoadLast := last.AreaMultiple / float64(last.NumLoads)
+	if perLoadLast < 2*perLoadFirst {
+		t.Errorf("area growth not superlinear: %.2f/load at 1 vs %.2f/load at 5",
+			perLoadFirst, perLoadLast)
+	}
+}
+
+func TestUpsizeAlreadyMet(t *testing.T) {
+	// A very loose budget needs no upsizing at all.
+	r, err := UpsizeFor(DefaultConfig(), 1, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WidthMultiple != 1 || r.AreaMultiple != 1 {
+		t.Errorf("loose budget should keep base sizing, got %.2fx", r.WidthMultiple)
+	}
+}
+
+func TestUpsizeErrors(t *testing.T) {
+	if _, err := UpsizeFor(DefaultConfig(), 0, 1.2); err == nil {
+		t.Error("zero loads accepted")
+	}
+	if _, err := UpsizeFor(DefaultConfig(), 1, 1.0); err == nil {
+		t.Error("impossible target accepted")
+	}
+	// A target below the grid-resistance floor is unreachable no matter
+	// how wide the devices get.
+	if _, err := UpsizeFor(DefaultConfig(), 5, 1.001); err == nil {
+		t.Error("unreachable target accepted")
+	}
+	if _, err := UpsizeSweep(DefaultConfig(), 0, 1.2); err == nil {
+		t.Error("zero sweep accepted")
+	}
+}

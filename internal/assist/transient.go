@@ -1,0 +1,133 @@
+package assist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// TransPoint is one sample of a mode-switch transient.
+type TransPoint struct {
+	TimeS       float64
+	LoadVDD     float64
+	LoadVSS     float64
+	GridCurrent float64 // VDD grid current, A→B positive
+}
+
+// transient integration parameters: the circuit's time constants are in the
+// nanosecond range (pF × kΩ).
+const (
+	transStep    = 5e-11 // 50 ps
+	transMaxTime = 1e-6
+)
+
+// SwitchTransient settles the circuit in from-mode, switches to to-mode at
+// t = 0 and records the transient for dur seconds.
+func (a *Assist) SwitchTransient(from, to Mode, dur float64) ([]TransPoint, error) {
+	if dur <= 0 {
+		return nil, errors.New("assist: transient duration must be positive")
+	}
+	if err := a.SetMode(from); err != nil {
+		return nil, err
+	}
+	tr, err := a.ckt.NewTransient()
+	if err != nil {
+		return nil, fmt.Errorf("assist: settle %v: %w", from, err)
+	}
+	if err := a.SetMode(to); err != nil {
+		return nil, err
+	}
+	var out []TransPoint
+	for t := 0.0; t < dur; t += transStep {
+		sol, err := tr.Step(transStep)
+		if err != nil {
+			return nil, fmt.Errorf("assist: transient at %g s: %w", t, err)
+		}
+		op := a.point(sol)
+		out = append(out, TransPoint{
+			TimeS:       tr.Time(),
+			LoadVDD:     op.LoadVDD,
+			LoadVSS:     op.LoadVSS,
+			GridCurrent: op.GridCurrent,
+		})
+	}
+	return out, nil
+}
+
+// SwitchingTime measures how long the load rails take to settle within
+// settleFrac of their final values after a from→to mode switch.
+func (a *Assist) SwitchingTime(from, to Mode, settleFrac float64) (float64, error) {
+	if settleFrac <= 0 || settleFrac >= 1 {
+		return 0, fmt.Errorf("assist: settle fraction %g outside (0,1)", settleFrac)
+	}
+	trace, err := a.SwitchTransient(from, to, transMaxTime)
+	if err != nil {
+		return 0, err
+	}
+	final := trace[len(trace)-1]
+	swing := math.Max(a.cfg.VDD*0.05, math.Max(
+		math.Abs(final.LoadVDD-trace[0].LoadVDD),
+		math.Abs(final.LoadVSS-trace[0].LoadVSS)))
+	tol := settleFrac * swing
+	// Find the last sample outside the tolerance band.
+	settled := 0.0
+	for _, pt := range trace {
+		if math.Abs(pt.LoadVDD-final.LoadVDD) > tol || math.Abs(pt.LoadVSS-final.LoadVSS) > tol {
+			settled = pt.TimeS
+		}
+	}
+	return settled, nil
+}
+
+// SizingPoint is one row of the Fig. 10 load-size sweep.
+type SizingPoint struct {
+	NumLoads        int
+	LoadVDD         float64
+	LoadVSS         float64
+	NormalizedDelay float64 // load delay, normalised to NumLoads = 1
+	NormalizedTSw   float64 // Normal→BTI switching time, normalised to NumLoads = 1
+	SwitchingTimeS  float64
+}
+
+// LoadSizeSweep reproduces Fig. 10: it sweeps the number of load blocks
+// behind one fixed-size assist circuitry and reports how the load delay and
+// the mode-switching time scale.
+func LoadSizeSweep(base Config, maxLoads int) ([]SizingPoint, error) {
+	if maxLoads < 1 {
+		return nil, fmt.Errorf("assist: maxLoads %d must be >= 1", maxLoads)
+	}
+	out := make([]SizingPoint, 0, maxLoads)
+	var delay1, tsw1 float64
+	for n := 1; n <= maxLoads; n++ {
+		cfg := base
+		cfg.NumLoads = n
+		a, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		op, err := a.Operating()
+		if err != nil {
+			return nil, err
+		}
+		rawDelay, err := a.NormalizedLoadDelay(op)
+		if err != nil {
+			return nil, fmt.Errorf("assist: %d loads: %w", n, err)
+		}
+		tsw, err := a.SwitchingTime(ModeNormal, ModeBTIRecovery, 0.10)
+		if err != nil {
+			return nil, err
+		}
+		if n == 1 {
+			delay1, tsw1 = rawDelay, tsw
+		}
+		out = append(out, SizingPoint{
+			NumLoads:        n,
+			LoadVDD:         op.LoadVDD,
+			LoadVSS:         op.LoadVSS,
+			NormalizedDelay: rawDelay / delay1,
+			NormalizedTSw:   tsw / tsw1,
+			SwitchingTimeS:  tsw,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,37 @@
+package bti
+
+import (
+	"testing"
+
+	"deepheal/internal/units"
+)
+
+// BenchmarkEvolveHour measures one hour of CET-map evolution at the default
+// grid resolution.
+func BenchmarkEvolveHour(b *testing.B) {
+	d := MustNewDevice(DefaultParams())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Apply(StressAccel, units.Hours(1))
+	}
+}
+
+// BenchmarkEvolveHourCoarse measures the system-simulation grid.
+func BenchmarkEvolveHourCoarse(b *testing.B) {
+	d := MustNewDevice(DefaultParams().Coarse())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Apply(StressAccel, units.Hours(1))
+	}
+}
+
+// BenchmarkRecoveryFraction measures the Table I probe (clone + 6 h deep
+// recovery).
+func BenchmarkRecoveryFraction(b *testing.B) {
+	d := MustNewDevice(DefaultParams())
+	d.Apply(StressAccel, units.Hours(24))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.RecoveryFraction(RecoverDeep, units.Hours(6))
+	}
+}

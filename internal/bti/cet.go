@@ -1,0 +1,106 @@
+package bti
+
+import (
+	"math"
+)
+
+// cetGrid is the immutable geometry and weighting of a capture–emission-time
+// map. Devices built from the same Params share one grid; only the occupancy
+// vector is per-device state.
+type cetGrid struct {
+	nc, ne int
+	// tauC[i] and tauE[j] are the cell-centre capture/emission times
+	// (seconds at the respective reference conditions).
+	tauC []float64
+	tauE []float64
+	// weight[i*ne+j] is the threshold-voltage contribution (volts) of cell
+	// (i, j) at full occupancy. Weights sum to MaxShiftV.
+	weight []float64
+}
+
+// newCETGrid discretises the bivariate-lognormal trap density onto a
+// log-spaced grid spanning ±3.2σ on both axes.
+func newCETGrid(p Params) *cetGrid {
+	const span = 3.2
+	g := &cetGrid{
+		nc:     p.GridCapture,
+		ne:     p.GridEmission,
+		tauC:   make([]float64, p.GridCapture),
+		tauE:   make([]float64, p.GridEmission),
+		weight: make([]float64, p.GridCapture*p.GridEmission),
+	}
+	lnC := gridAxis(p.MuCapture, p.SigmaCapture, span, p.GridCapture)
+	lnE := gridAxis(p.MuEmission, p.SigmaEmission, span, p.GridEmission)
+	for i, v := range lnC {
+		g.tauC[i] = math.Exp(v)
+	}
+	for j, v := range lnE {
+		g.tauE[j] = math.Exp(v)
+	}
+	// Bivariate normal density in (ln tau_c, ln tau_e) with correlation.
+	rho := p.Correlation
+	norm := 0.0
+	for i, lc := range lnC {
+		zc := (lc - p.MuCapture) / p.SigmaCapture
+		for j, le := range lnE {
+			ze := (le - p.MuEmission) / p.SigmaEmission
+			q := (zc*zc - 2*rho*zc*ze + ze*ze) / (2 * (1 - rho*rho))
+			w := math.Exp(-q)
+			g.weight[i*g.ne+j] = w
+			norm += w
+		}
+	}
+	scale := p.MaxShiftV / norm
+	for k := range g.weight {
+		g.weight[k] *= scale
+	}
+	return g
+}
+
+func gridAxis(mu, sigma, span float64, n int) []float64 {
+	out := make([]float64, n)
+	step := 2 * span * sigma / float64(n-1)
+	for i := range out {
+		out[i] = mu - span*sigma + float64(i)*step
+	}
+	return out
+}
+
+// evolve advances the occupancy vector occ (len nc*ne, values in [0,1]) by
+// dt seconds under condition acceleration factors: captureAF multiplies
+// capture rates (0 when not stressing) and emitAF multiplies emission rates.
+func (g *cetGrid) evolve(occ []float64, captureAF, emitAF, dt float64) {
+	for i := 0; i < g.nc; i++ {
+		var rc float64
+		if captureAF > 0 {
+			rc = captureAF / g.tauC[i]
+		}
+		row := occ[i*g.ne : (i+1)*g.ne]
+		for j := range row {
+			re := emitAF / g.tauE[j]
+			rate := rc + re
+			if rate <= 0 {
+				continue
+			}
+			pInf := rc / rate
+			row[j] = pInf + (row[j]-pInf)*math.Exp(-rate*dt)
+		}
+	}
+}
+
+// shift returns the threshold-voltage contribution of the occupancy vector.
+func (g *cetGrid) shift(occ []float64) float64 {
+	var s float64
+	for k, w := range g.weight {
+		s += w * occ[k]
+	}
+	return s
+}
+
+// meanOccupancy returns the weight-averaged occupancy in [0, 1].
+func (g *cetGrid) meanOccupancy(occ []float64, maxShift float64) float64 {
+	if maxShift <= 0 {
+		return 0
+	}
+	return g.shift(occ) / maxShift
+}

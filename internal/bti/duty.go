@@ -1,0 +1,32 @@
+package bti
+
+import "fmt"
+
+// ApplyDuty evolves the device for dur seconds at an activity duty cycle:
+// within every quantum, the device stresses under stress for duty·quantum
+// seconds and rests under rest for the remainder. This models the
+// signal-probability view of prior work ([14],[15] in the paper): reducing
+// the stress probability stretches the passive recovery time.
+func (d *Device) ApplyDuty(stress, rest Condition, dur, duty, quantum float64) error {
+	if duty < 0 || duty > 1 {
+		return fmt.Errorf("bti: duty %g outside [0,1]", duty)
+	}
+	if quantum <= 0 || dur < 0 {
+		return fmt.Errorf("bti: need positive quantum and non-negative duration")
+	}
+	elapsed := 0.0
+	for elapsed < dur {
+		q := quantum
+		if elapsed+q > dur {
+			q = dur - elapsed
+		}
+		if on := q * duty; on > 0 {
+			d.Apply(stress, on)
+		}
+		if off := q * (1 - duty); off > 0 {
+			d.Apply(rest, off)
+		}
+		elapsed += q
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package bti
+
+import (
+	"fmt"
+
+	"deepheal/internal/units"
+)
+
+// Phase is one constant-condition segment of a device's life.
+type Phase struct {
+	Cond     Condition
+	Duration float64 // seconds
+}
+
+// Schedule is an ordered sequence of phases.
+type Schedule []Phase
+
+// TotalDuration returns the summed duration of all phases in seconds.
+func (s Schedule) TotalDuration() float64 {
+	var t float64
+	for _, ph := range s {
+		t += ph.Duration
+	}
+	return t
+}
+
+// Validate checks that every phase has a positive duration and a physical
+// temperature.
+func (s Schedule) Validate() error {
+	for i, ph := range s {
+		if ph.Duration <= 0 {
+			return fmt.Errorf("bti: phase %d has non-positive duration %g", i, ph.Duration)
+		}
+		if !ph.Cond.Temp.Valid() {
+			return fmt.Errorf("bti: phase %d has invalid temperature %v", i, ph.Cond.Temp)
+		}
+	}
+	return nil
+}
+
+// ApplySchedule runs every phase of the schedule on the device.
+func (d *Device) ApplySchedule(s Schedule) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	for _, ph := range s {
+		d.Apply(ph.Cond, ph.Duration)
+	}
+	return nil
+}
+
+// DutyCycle builds a repeating stress/recovery schedule: cycles repetitions
+// of stressDur seconds under stress followed by recoverDur seconds under
+// recover. This is the Fig. 4 experiment pattern.
+func DutyCycle(stress, recover Condition, stressDur, recoverDur float64, cycles int) Schedule {
+	s := make(Schedule, 0, 2*cycles)
+	for i := 0; i < cycles; i++ {
+		s = append(s,
+			Phase{Cond: stress, Duration: stressDur},
+			Phase{Cond: recover, Duration: recoverDur},
+		)
+	}
+	return s
+}
+
+// CycleResidual holds the state measured at the end of one stress/recovery
+// cycle (i.e. right after the scheduled recovery), the quantity Fig. 4 plots.
+type CycleResidual struct {
+	Cycle      int
+	EndHours   float64 // cumulative schedule time at the measurement
+	ResidualV  float64 // total shift remaining after the recovery phase
+	PermanentV float64 // precursor + locked part of the residual
+	LockedV    float64 // locked-only part
+}
+
+// RunDutyCycles executes a cyclic stress/recovery pattern and reports the
+// residual wearout after each cycle's recovery phase.
+func (d *Device) RunDutyCycles(stress, recover Condition, stressDur, recoverDur float64, cycles int) []CycleResidual {
+	out := make([]CycleResidual, 0, cycles)
+	elapsed := 0.0
+	for i := 1; i <= cycles; i++ {
+		d.Apply(stress, stressDur)
+		d.Apply(recover, recoverDur)
+		elapsed += stressDur + recoverDur
+		out = append(out, CycleResidual{
+			Cycle:      i,
+			EndHours:   units.SecondsToHours(elapsed),
+			ResidualV:  d.ShiftV(),
+			PermanentV: d.PermanentV(),
+			LockedV:    d.LockedV(),
+		})
+	}
+	return out
+}

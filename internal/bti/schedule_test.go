@@ -1,0 +1,112 @@
+package bti
+
+import (
+	"testing"
+
+	"deepheal/internal/units"
+)
+
+func TestDutyCycleBuilder(t *testing.T) {
+	s := DutyCycle(StressAccel, RecoverDeep, units.Hours(1), units.Hours(1), 3)
+	if len(s) != 6 {
+		t.Fatalf("len = %d, want 6", len(s))
+	}
+	if s.TotalDuration() != units.Hours(6) {
+		t.Errorf("total = %g", s.TotalDuration())
+	}
+	for i, ph := range s {
+		wantStress := i%2 == 0
+		if ph.Cond.Stressing() != wantStress {
+			t.Errorf("phase %d stressing = %v", i, ph.Cond.Stressing())
+		}
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	bad := Schedule{{Cond: StressAccel, Duration: -1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for negative duration")
+	}
+	bad2 := Schedule{{Cond: Condition{GateVoltage: 1, Temp: units.Kelvin(-5)}, Duration: 10}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("expected error for invalid temperature")
+	}
+	d := MustNewDevice(DefaultParams())
+	if err := d.ApplySchedule(bad); err == nil {
+		t.Error("ApplySchedule must reject invalid schedules")
+	}
+}
+
+func TestApplyScheduleEquivalentToManualPhases(t *testing.T) {
+	s := Schedule{
+		{Cond: StressAccel, Duration: units.Hours(2)},
+		{Cond: RecoverDeep, Duration: units.Hours(1)},
+	}
+	a := MustNewDevice(DefaultParams())
+	if err := a.ApplySchedule(s); err != nil {
+		t.Fatal(err)
+	}
+	b := MustNewDevice(DefaultParams())
+	b.Apply(StressAccel, units.Hours(2))
+	b.Apply(RecoverDeep, units.Hours(1))
+	if a.ShiftV() != b.ShiftV() {
+		t.Errorf("schedule %.8f vs manual %.8f", a.ShiftV(), b.ShiftV())
+	}
+}
+
+func TestBalancedDutyEliminatesPermanent(t *testing.T) {
+	// The paper's Fig. 4: under a 1h:1h stress/deep-recovery schedule the
+	// permanent component stays practically zero, while skewed schedules
+	// accumulate it cycle over cycle.
+	const cycles = 8
+	run := func(stressH, recH float64) []CycleResidual {
+		d := MustNewDevice(DefaultParams())
+		return d.RunDutyCycles(StressAccel, RecoverDeep, units.Hours(stressH), units.Hours(recH), cycles)
+	}
+	balanced := run(1, 1)
+	skew2 := run(2, 1)
+	skew4 := run(4, 1)
+
+	last := func(r []CycleResidual) float64 { return r[cycles-1].ResidualV }
+	if !(last(balanced) < last(skew2) && last(skew2) < last(skew4)) {
+		t.Errorf("residual ordering broken: 1:1=%.4g 2:1=%.4g 4:1=%.4g",
+			last(balanced), last(skew2), last(skew4))
+	}
+	// "Practically 0": the balanced residual is a small fraction of the
+	// single-cycle stress shift.
+	d := MustNewDevice(DefaultParams())
+	d.Apply(StressAccel, units.Hours(1))
+	oneHourShift := d.ShiftV()
+	if last(balanced) > 0.10*oneHourShift {
+		t.Errorf("balanced residual %.4g not practically zero vs 1h stress %.4g",
+			last(balanced), oneHourShift)
+	}
+	// Accumulation rate: 4:1 grows much faster than 1:1 across cycles.
+	growth := func(r []CycleResidual) float64 { return r[cycles-1].ResidualV - r[0].ResidualV }
+	if growth(skew4) < 4*growth(balanced) {
+		t.Errorf("4:1 growth %.4g not >> 1:1 growth %.4g", growth(skew4), growth(balanced))
+	}
+}
+
+func TestCycleResidualBookkeeping(t *testing.T) {
+	d := MustNewDevice(DefaultParams())
+	res := d.RunDutyCycles(StressAccel, RecoverDeep, units.Hours(1), units.Hours(1), 3)
+	if len(res) != 3 {
+		t.Fatalf("len = %d", len(res))
+	}
+	for i, r := range res {
+		if r.Cycle != i+1 {
+			t.Errorf("cycle number %d, want %d", r.Cycle, i+1)
+		}
+		wantEnd := float64(2 * (i + 1))
+		if r.EndHours != wantEnd {
+			t.Errorf("end hours %g, want %g", r.EndHours, wantEnd)
+		}
+		if r.PermanentV > r.ResidualV+1e-15 {
+			t.Errorf("permanent %g exceeds residual %g", r.PermanentV, r.ResidualV)
+		}
+		if r.LockedV > r.PermanentV+1e-15 {
+			t.Errorf("locked %g exceeds permanent %g", r.LockedV, r.PermanentV)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package bti
+
+import (
+	"math"
+	"testing"
+
+	"deepheal/internal/units"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	d := MustNewDevice(DefaultParams())
+	d.Apply(StressAccel, units.Hours(10))
+	d.Apply(RecoverDeep, units.Hours(2))
+
+	data, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreDevice(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ShiftV() != d.ShiftV() || r.PermanentV() != d.PermanentV() || r.Age() != d.Age() {
+		t.Fatal("restored state differs")
+	}
+	// Future evolution must be identical.
+	d.Apply(StressAccel, units.Hours(5))
+	r.Apply(StressAccel, units.Hours(5))
+	if math.Abs(d.ShiftV()-r.ShiftV()) > 1e-15 {
+		t.Errorf("evolution diverged after restore: %g vs %g", d.ShiftV(), r.ShiftV())
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := RestoreDevice([]byte("not a snapshot")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := RestoreDevice(nil); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+}
+
+func TestSnapshotFreshDevice(t *testing.T) {
+	d := MustNewDevice(DefaultParams())
+	data, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreDevice(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ShiftV() != 0 || r.Age() != 0 {
+		t.Error("fresh snapshot not fresh")
+	}
+}

@@ -1,0 +1,53 @@
+package circuit
+
+import "testing"
+
+// benchCircuit builds a nonlinear test network: an NMOS current sink under
+// a resistive ladder.
+func benchCircuit(b *testing.B) *Circuit {
+	b.Helper()
+	c := New()
+	if err := c.AddVSource("VDD", "n0", Ground, 1); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := c.AddResistor("R"+string(rune('a'+i)), node(i), node(i+1), 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.AddNMOS("M1", node(8), "n0", Ground, MOSParams{K: 1e-3, Vth: 0.3}); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.AddCapacitor("C1", node(8), Ground, 1e-12); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func node(i int) string { return "n" + string(rune('0'+i)) }
+
+// BenchmarkNewtonDC measures a nonlinear DC operating-point solve.
+func BenchmarkNewtonDC(b *testing.B) {
+	c := benchCircuit(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.DC(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransientStep measures one backward-Euler transient step.
+func BenchmarkTransientStep(b *testing.B) {
+	c := benchCircuit(b)
+	tr, err := c.NewTransient()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Step(1e-10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package core implements the paper's contribution at system level: the
+// Deep Healing scheduler. A many-core die — per-core BTI state, a shared
+// power-delivery network with per-segment EM state, a thermal grid and
+// wearout sensors — runs a workload over an (accelerated-equivalent)
+// lifetime while a scheduling policy decides when to insert BTI active
+// recovery intervals (idle cores under negative bias, warmed by their
+// neighbours) and when to flip the assist circuitry into EM active recovery
+// (reverse grid current during operation). The simulator quantifies the
+// claim of the paper's Fig. 12: scheduled active recovery keeps the system
+// near-fresh, so the wearout guardband shrinks fundamentally.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"deepheal/internal/bti"
+	"deepheal/internal/em"
+	"deepheal/internal/pdn"
+	"deepheal/internal/sensor"
+	"deepheal/internal/thermal"
+	"deepheal/internal/units"
+	"deepheal/internal/workload"
+)
+
+// Config describes the simulated system. Times are in accelerated-equivalent
+// units: the wearout models are calibrated against the paper's accelerated
+// measurements, so one simulated hour corresponds to a much longer wall-clock
+// period at use conditions (see DESIGN.md).
+type Config struct {
+	// Rows×Cols cores, one per thermal tile and PDN node.
+	Rows, Cols int
+	// StepSeconds is the scheduling quantum; Steps the simulated horizon.
+	StepSeconds float64
+	Steps       int
+
+	// Electrical stress mapping.
+	ActiveGateV  float64 // nominal gate stress while a core computes (volts)
+	RecoveryV    float64 // negative bias during BTI active recovery
+	ActivePowerW float64 // per-core power at full utilisation
+	IdlePowerW   float64 // per-core power when idle but on
+	LoadCurrentA float64 // per-core draw through the monitored local rail at full utilisation
+
+	// Substrate models.
+	BTI     bti.Params
+	EM      em.ReducedParams
+	PDN     pdn.Config
+	Thermal thermal.Config
+	Sensor  sensor.ROConfig
+
+	// Delay model (alpha-power law) for the guardband accounting.
+	DelayVdd, DelayVth0, DelayAlpha float64
+
+	// SwitchOverheadFrac is the fraction of a step's compute capacity a
+	// core loses when it enters or leaves BTI recovery (state retention,
+	// migration, assist-circuitry mode switching — the paper's "small
+	// switching overhead").
+	SwitchOverheadFrac float64
+
+	// Workloads, one per core. Nil entries default to a moderate constant
+	// load.
+	Workloads []workload.Profile
+
+	Seed int64
+}
+
+// DefaultConfig returns a 4×4-core system over a 2000-step (hour) horizon
+// with the calibrated substrate models.
+func DefaultConfig() Config {
+	rows, cols := 4, 4
+	return Config{
+		Rows:        rows,
+		Cols:        cols,
+		StepSeconds: 3600,
+		Steps:       2000,
+
+		ActiveGateV:  1.0,
+		RecoveryV:    -0.3,
+		ActivePowerW: 4.0,
+		IdlePowerW:   0.2,
+		LoadCurrentA: 0.004,
+
+		BTI:     bti.DefaultParams().Coarse(),
+		EM:      SystemEMParams(),
+		PDN:     systemPDNConfig(rows, cols),
+		Thermal: thermal.DefaultConfig(),
+		Sensor:  sensor.DefaultROConfig(),
+
+		DelayVdd:   1.0,
+		DelayVth0:  0.30,
+		DelayAlpha: 1.5,
+
+		SwitchOverheadFrac: 0.02,
+
+		Seed: 1,
+	}
+}
+
+// SystemEMParams rescales the wire-calibrated reduced EM model to on-die
+// use conditions: the reference point moves to a busy local rail at a
+// typical hot-tile temperature, and the nucleation/growth timescales are
+// expressed in the system's accelerated-equivalent hours, sized so an
+// unprotected grid segment fails within the evaluated lifetime (which is
+// exactly the situation guardbands are budgeted for).
+func SystemEMParams() em.ReducedParams {
+	p := em.DefaultReducedParams()
+	p.TRef = units.Celsius(65)
+	p.JRef = units.MAPerCm2(3.2)
+	p.TNucRefS = 500 * 3600 // ≈500 steps to nucleate at JRef/TRef
+	p.EquilTauS = 1800 * 3600
+	p.GrowthRefMPerS = p.LvBreakM / (700 * 3600) // ≈700 steps growth to break
+	return p
+}
+
+func systemPDNConfig(rows, cols int) pdn.Config {
+	cfg := pdn.DefaultConfig()
+	cfg.Rows, cfg.Cols = rows, cols
+	cfg.SegOhm = 0.8
+	// Local-rail cross-section sized so a fully loaded centre segment runs
+	// close to the EM reference density.
+	cfg.WireWidthM = 0.5e-6
+	cfg.WireThickM = 0.25e-6
+	return cfg
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Rows < 1 || c.Cols < 1:
+		return fmt.Errorf("core: grid %dx%d invalid", c.Rows, c.Cols)
+	case c.StepSeconds <= 0 || c.Steps <= 0:
+		return errors.New("core: horizon must be positive")
+	case c.ActiveGateV <= 0:
+		return errors.New("core: active gate stress must be positive")
+	case c.RecoveryV >= 0:
+		return errors.New("core: recovery bias must be negative")
+	case c.ActivePowerW < 0 || c.IdlePowerW < 0 || c.LoadCurrentA <= 0:
+		return errors.New("core: power/current parameters invalid")
+	case c.DelayVdd <= 0 || c.DelayAlpha <= 0 || c.DelayVth0 <= 0 || c.DelayVth0 >= c.DelayVdd:
+		return errors.New("core: delay model invalid")
+	case c.SwitchOverheadFrac < 0 || c.SwitchOverheadFrac >= 1:
+		return errors.New("core: switch overhead must be in [0, 1)")
+	case c.PDN.Rows != c.Rows || c.PDN.Cols != c.Cols:
+		return errors.New("core: PDN grid must match the core grid")
+	case len(c.Workloads) != 0 && len(c.Workloads) != c.Rows*c.Cols:
+		return fmt.Errorf("core: %d workloads for %d cores", len(c.Workloads), c.Rows*c.Cols)
+	}
+	if err := c.BTI.Validate(); err != nil {
+		return err
+	}
+	if err := c.EM.Validate(); err != nil {
+		return err
+	}
+	if err := c.PDN.Validate(); err != nil {
+		return err
+	}
+	if err := c.Thermal.Validate(); err != nil {
+		return err
+	}
+	return c.Sensor.Validate()
+}
+
+// NumCores returns the core count.
+func (c Config) NumCores() int { return c.Rows * c.Cols }

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"deepheal/internal/workload"
+)
+
+// testConfig returns a shortened horizon for test speed.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Steps = 900
+	return cfg
+}
+
+func runPolicy(t *testing.T, cfg Config, p Policy) *Report {
+	t.Helper()
+	sim, err := NewSimulator(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Rows = 0 },
+		func(c *Config) { c.Steps = 0 },
+		func(c *Config) { c.ActiveGateV = 0 },
+		func(c *Config) { c.RecoveryV = 0.1 },
+		func(c *Config) { c.LoadCurrentA = 0 },
+		func(c *Config) { c.DelayVth0 = 2 },
+		func(c *Config) { c.PDN.Rows = 9 },
+		func(c *Config) { c.Workloads = make([]workload.Profile, 3) },
+		func(c *Config) { c.BTI.MaxShiftV = 0 },
+		func(c *Config) { c.EM.JRef = 0 },
+		func(c *Config) { c.Thermal.RVertical = 0 },
+		func(c *Config) { c.Sensor.FreshHz = 0 },
+	}
+	for i, mut := range mutations {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+		if _, err := NewSimulator(cfg, &NoRecovery{}); err == nil {
+			t.Errorf("mutation %d: NewSimulator accepted invalid config", i)
+		}
+	}
+	if _, err := NewSimulator(DefaultConfig(), nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+func TestSimulationDeterministic(t *testing.T) {
+	cfg := testConfig()
+	cfg.Steps = 150
+	a := runPolicy(t, cfg, DefaultDeepHealing())
+	b := runPolicy(t, cfg, DefaultDeepHealing())
+	if a.GuardbandFrac != b.GuardbandFrac || a.FinalShiftV != b.FinalShiftV || a.Availability != b.Availability {
+		t.Error("same-seed runs diverged")
+	}
+	for i := range a.Series {
+		if a.Series[i] != b.Series[i] {
+			t.Fatalf("series diverged at step %d", i)
+		}
+	}
+}
+
+func TestDeepHealingReducesGuardband(t *testing.T) {
+	// The Fig. 12(b) headline: scheduled active recovery keeps the system
+	// near fresh, so the margin shrinks substantially versus worst case.
+	cfg := testConfig()
+	worst := runPolicy(t, cfg, &NoRecovery{})
+	passive := runPolicy(t, cfg, &PassiveRecovery{})
+	deep := runPolicy(t, cfg, DefaultDeepHealing())
+
+	if !(deep.GuardbandFrac < passive.GuardbandFrac && passive.GuardbandFrac < worst.GuardbandFrac) {
+		t.Errorf("guardband ordering broken: worst=%.3f passive=%.3f deep=%.3f",
+			worst.GuardbandFrac, passive.GuardbandFrac, deep.GuardbandFrac)
+	}
+	if reduction := worst.GuardbandFrac / deep.GuardbandFrac; reduction < 1.8 {
+		t.Errorf("margin reduction only %.2fx, want ≈2x+", reduction)
+	}
+}
+
+func TestDeepHealingPreventsEMFailure(t *testing.T) {
+	cfg := testConfig()
+	worst := runPolicy(t, cfg, &NoRecovery{})
+	deep := runPolicy(t, cfg, DefaultDeepHealing())
+
+	if !worst.EMNucleated || worst.EMFailedStep < 0 {
+		t.Errorf("unprotected grid should nucleate and fail (nuc=%v fail=%d)",
+			worst.EMNucleated, worst.EMFailedStep)
+	}
+	if deep.EMNucleated || deep.EMFailedStep >= 0 {
+		t.Errorf("deep healing should prevent nucleation (nuc=%v fail=%d)",
+			deep.EMNucleated, deep.EMFailedStep)
+	}
+}
+
+func TestDeepHealingShiftStaysBounded(t *testing.T) {
+	cfg := testConfig()
+	deep := runPolicy(t, cfg, DefaultDeepHealing())
+	worst := runPolicy(t, cfg, &NoRecovery{})
+	if deep.FinalShiftV > 0.6*worst.FinalShiftV {
+		t.Errorf("deep healing final shift %.1f mV not well below baseline %.1f mV",
+			deep.FinalShiftV*1000, worst.FinalShiftV*1000)
+	}
+}
+
+func TestAvailabilityAccounting(t *testing.T) {
+	cfg := testConfig()
+	cfg.Steps = 200
+	for _, p := range []Policy{&NoRecovery{}, &PassiveRecovery{}, DefaultDeepHealing()} {
+		rep := runPolicy(t, cfg, p)
+		if rep.Availability < 0 || rep.Availability > 1+1e-9 {
+			t.Errorf("%s: availability %g out of range", rep.Policy, rep.Availability)
+		}
+		if rep.RecoveryOverhead < 0 || rep.RecoveryOverhead > 1 {
+			t.Errorf("%s: overhead %g out of range", rep.Policy, rep.RecoveryOverhead)
+		}
+		for _, st := range rep.Series {
+			if st.DeliveredFrac < 0 || st.DeliveredFrac > 1+1e-9 {
+				t.Fatalf("%s: delivered fraction %g out of range at step %d", rep.Policy, st.DeliveredFrac, st.Step)
+			}
+		}
+	}
+}
+
+func TestBaselinesPayNoOverhead(t *testing.T) {
+	cfg := testConfig()
+	cfg.Steps = 100
+	if rep := runPolicy(t, cfg, &NoRecovery{}); rep.RecoveryOverhead != 0 {
+		t.Error("no-recovery policy must have zero overhead")
+	}
+	if rep := runPolicy(t, cfg, &PassiveRecovery{}); rep.RecoveryOverhead != 0 {
+		t.Error("passive policy must have zero overhead")
+	}
+}
+
+func TestSpareCapacityPreservesAvailability(t *testing.T) {
+	// With moderate demand, migration should absorb recovery intervals.
+	cfg := testConfig()
+	cfg.Steps = 300
+	n := cfg.NumCores()
+	cfg.Workloads = make([]workload.Profile, n)
+	for i := range cfg.Workloads {
+		cfg.Workloads[i] = workload.Constant{Util: 0.5}
+	}
+	rep := runPolicy(t, cfg, DefaultDeepHealing())
+	if rep.Availability < 0.999 {
+		t.Errorf("availability %.4f despite ample spare capacity", rep.Availability)
+	}
+}
+
+func TestOverloadedSystemDropsWork(t *testing.T) {
+	cfg := testConfig()
+	cfg.Steps = 100
+	n := cfg.NumCores()
+	cfg.Workloads = make([]workload.Profile, n)
+	for i := range cfg.Workloads {
+		cfg.Workloads[i] = workload.Constant{Util: 1.0}
+	}
+	rep := runPolicy(t, cfg, DefaultDeepHealing())
+	if rep.Availability >= 1 {
+		t.Error("fully loaded system cannot migrate recovery work for free")
+	}
+}
+
+func TestThermalCoupling(t *testing.T) {
+	cfg := testConfig()
+	cfg.Steps = 50
+	rep := runPolicy(t, cfg, &NoRecovery{})
+	amb := cfg.Thermal.Ambient.C()
+	for _, st := range rep.Series {
+		if st.MaxTempC <= amb {
+			t.Fatalf("die never warmed above ambient at step %d", st.Step)
+		}
+		if st.MaxTempC > 150 {
+			t.Fatalf("implausible temperature %.0f °C", st.MaxTempC)
+		}
+	}
+}
+
+func TestSeriesMonotoneSteps(t *testing.T) {
+	cfg := testConfig()
+	cfg.Steps = 60
+	rep := runPolicy(t, cfg, DefaultDeepHealing())
+	if len(rep.Series) != 60 {
+		t.Fatalf("series length %d", len(rep.Series))
+	}
+	for i, st := range rep.Series {
+		if st.Step != i {
+			t.Fatalf("step %d recorded as %d", i, st.Step)
+		}
+		if st.WorstDelayNorm < 1 {
+			t.Fatalf("delay %g below fresh at step %d", st.WorstDelayNorm, i)
+		}
+	}
+}
+
+func TestDeepHealingRespectsMaxConcurrent(t *testing.T) {
+	p := DefaultDeepHealing()
+	n := 16
+	obs := Observation{
+		Step:         0,
+		SensedShiftV: make([]float64, n),
+		Demand:       make([]float64, n),
+	}
+	for i := range obs.SensedShiftV {
+		obs.SensedShiftV[i] = 0.03 // everyone above threshold
+	}
+	dec := p.Plan(obs)
+	recovering := 0
+	for _, m := range dec.Modes {
+		if m == ModeRecover {
+			recovering++
+		}
+	}
+	if recovering != p.MaxConcurrent {
+		t.Errorf("recovering = %d, want MaxConcurrent = %d", recovering, p.MaxConcurrent)
+	}
+}
+
+func TestDeepHealingEMReverseDuty(t *testing.T) {
+	p := DefaultDeepHealing()
+	n := 4
+	reverse := 0
+	for step := 0; step < p.EMPeriod*10; step++ {
+		obs := Observation{Step: step, SensedShiftV: make([]float64, n), Demand: make([]float64, n)}
+		if p.Plan(obs).EMReverse {
+			reverse++
+		}
+	}
+	want := p.EMReverseSteps * 10
+	if reverse != want {
+		t.Errorf("reverse steps = %d, want %d", reverse, want)
+	}
+}
+
+func TestDeepHealingBelowThresholdIdle(t *testing.T) {
+	p := DefaultDeepHealing()
+	obs := Observation{
+		SensedShiftV: make([]float64, 4), // all fresh
+		Demand:       []float64{0.5, 0.5, 0.5, 0.5},
+	}
+	dec := p.Plan(obs)
+	for i, m := range dec.Modes {
+		if m == ModeRecover {
+			t.Errorf("core %d recovering while fresh", i)
+		}
+	}
+}
+
+func TestPolicyModeCountMismatch(t *testing.T) {
+	cfg := testConfig()
+	cfg.Steps = 2
+	sim, err := NewSimulator(cfg, badPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err == nil {
+		t.Error("mode-count mismatch not rejected")
+	}
+}
+
+type badPolicy struct{}
+
+func (badPolicy) Name() string              { return "bad" }
+func (badPolicy) Plan(Observation) Decision { return Decision{Modes: []CoreMode{ModeRun}} }
+
+func TestCoreModeString(t *testing.T) {
+	if ModeRun.String() != "run" || ModeGated.String() != "gated" || ModeRecover.String() != "recover" {
+		t.Error("mode names wrong")
+	}
+	if CoreMode(0).String() != "CoreMode(0)" {
+		t.Error("unknown mode string wrong")
+	}
+}
+
+func TestGuardbandConsistentWithSeries(t *testing.T) {
+	cfg := testConfig()
+	cfg.Steps = 120
+	rep := runPolicy(t, cfg, &NoRecovery{})
+	worst := 0.0
+	for _, st := range rep.Series {
+		if m := st.WorstDelayNorm - 1; m > worst && !math.IsInf(m, 1) {
+			worst = m
+		}
+	}
+	if math.Abs(worst-rep.GuardbandFrac) > 1e-12 {
+		t.Errorf("guardband %.5f inconsistent with series max %.5f", rep.GuardbandFrac, worst)
+	}
+}
+
+func TestSwitchOverheadCostsCapacity(t *testing.T) {
+	// At full demand, a higher switch overhead must cost availability.
+	base := testConfig()
+	base.Steps = 120
+	n := base.NumCores()
+	base.Workloads = make([]workload.Profile, n)
+	for i := range base.Workloads {
+		base.Workloads[i] = workload.Constant{Util: 1.0}
+	}
+	noOvh := base
+	noOvh.SwitchOverheadFrac = 0
+	heavy := base
+	heavy.SwitchOverheadFrac = 0.2
+
+	free := runPolicy(t, noOvh, DefaultDeepHealing())
+	costly := runPolicy(t, heavy, DefaultDeepHealing())
+	if costly.Availability >= free.Availability {
+		t.Errorf("overhead did not cost capacity: %.4f vs %.4f",
+			costly.Availability, free.Availability)
+	}
+}
+
+func TestSwitchOverheadValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SwitchOverheadFrac = 1
+	if err := cfg.Validate(); err == nil {
+		t.Error("overhead = 1 accepted")
+	}
+	cfg.SwitchOverheadFrac = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative overhead accepted")
+	}
+}

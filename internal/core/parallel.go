@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RunPolicies runs one independent simulation per policy concurrently and
+// returns the reports in the same order. Each simulation owns its state
+// (devices, grids, RNG streams), so the runs are deterministic regardless
+// of interleaving. The first error wins; all goroutines are always joined
+// before returning.
+func RunPolicies(cfg Config, policies ...Policy) ([]*Report, error) {
+	if len(policies) == 0 {
+		return nil, fmt.Errorf("core: no policies given")
+	}
+	reports := make([]*Report, len(policies))
+	errs := make([]error, len(policies))
+	var wg sync.WaitGroup
+	for i, pol := range policies {
+		i, pol := i, pol
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sim, err := NewSimulator(cfg, pol)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: %s: %w", pol.Name(), err)
+				return
+			}
+			rep, err := sim.Run()
+			if err != nil {
+				errs[i] = fmt.Errorf("core: %s: %w", pol.Name(), err)
+				return
+			}
+			reports[i] = rep
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return reports, nil
+}

@@ -1,0 +1,43 @@
+package core
+
+import "testing"
+
+func TestRunPoliciesMatchesSerial(t *testing.T) {
+	cfg := testConfig()
+	cfg.Steps = 120
+	serialWorst := runPolicy(t, cfg, &NoRecovery{})
+	serialDeep := runPolicy(t, cfg, DefaultDeepHealing())
+
+	reports, err := RunPolicies(cfg, &NoRecovery{}, DefaultDeepHealing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if reports[0].GuardbandFrac != serialWorst.GuardbandFrac {
+		t.Errorf("parallel worst %.6f vs serial %.6f", reports[0].GuardbandFrac, serialWorst.GuardbandFrac)
+	}
+	if reports[1].GuardbandFrac != serialDeep.GuardbandFrac {
+		t.Errorf("parallel deep %.6f vs serial %.6f", reports[1].GuardbandFrac, serialDeep.GuardbandFrac)
+	}
+	if reports[0].Policy != "no-recovery" || reports[1].Policy != "deep-healing" {
+		t.Error("report order does not follow policy order")
+	}
+}
+
+func TestRunPoliciesErrors(t *testing.T) {
+	if _, err := RunPolicies(testConfig()); err == nil {
+		t.Error("empty policy list accepted")
+	}
+	bad := testConfig()
+	bad.Steps = 0
+	if _, err := RunPolicies(bad, &NoRecovery{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	cfg := testConfig()
+	cfg.Steps = 3
+	if _, err := RunPolicies(cfg, badPolicy{}, &NoRecovery{}); err == nil {
+		t.Error("failing policy error not surfaced")
+	}
+}

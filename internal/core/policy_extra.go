@@ -1,0 +1,129 @@
+package core
+
+// RoundRobinHealing is the sensor-free proactive baseline: cores take
+// fixed-rotation recovery intervals regardless of their actual wearout, and
+// EM reverse intervals run on the same fixed period as DeepHealing. It
+// isolates the value of the wearout sensors: DeepHealing spends the same
+// recovery budget where the sensors say it is needed.
+type RoundRobinHealing struct {
+	// GroupSize is how many cores recover simultaneously; the rotation
+	// visits every core once per NumCores/GroupSize steps.
+	GroupSize int
+	// EMPeriod and EMReverseSteps mirror DeepHealing's EM schedule.
+	EMPeriod, EMReverseSteps int
+}
+
+var _ Policy = (*RoundRobinHealing)(nil)
+
+// DefaultRoundRobin returns a rotation with the same 25 % recovery
+// occupancy as DefaultDeepHealing.
+func DefaultRoundRobin() *RoundRobinHealing {
+	return &RoundRobinHealing{GroupSize: 4, EMPeriod: 10, EMReverseSteps: 3}
+}
+
+// Name implements Policy.
+func (*RoundRobinHealing) Name() string { return "round-robin" }
+
+// Plan implements Policy.
+func (p *RoundRobinHealing) Plan(obs Observation) Decision {
+	n := len(obs.Demand)
+	modes := make([]CoreMode, n)
+	for i := range modes {
+		modes[i] = ModeGated
+	}
+	if p.GroupSize > 0 && n > 0 {
+		groups := (n + p.GroupSize - 1) / p.GroupSize
+		active := obs.Step % groups
+		for i := 0; i < p.GroupSize; i++ {
+			core := active*p.GroupSize + i
+			if core < n {
+				modes[core] = ModeRecover
+			}
+		}
+	}
+	reverse := p.EMPeriod > 0 && p.EMReverseSteps > 0 && obs.Step%p.EMPeriod < p.EMReverseSteps
+	return Decision{Modes: modes, EMReverse: reverse}
+}
+
+// HeatAwareHealing extends DeepHealing with the paper's Fig. 12(a) idea:
+// among the cores that need recovery, prefer those whose neighbours are
+// hottest, so the recycled heat accelerates the healing for free.
+type HeatAwareHealing struct {
+	DeepHealing
+}
+
+var _ Policy = (*HeatAwareHealing)(nil)
+
+// DefaultHeatAware returns a heat-aware scheduler with the DeepHealing
+// defaults.
+func DefaultHeatAware() *HeatAwareHealing {
+	return &HeatAwareHealing{DeepHealing: *DefaultDeepHealing()}
+}
+
+// Name implements Policy.
+func (*HeatAwareHealing) Name() string { return "heat-aware" }
+
+// Plan implements Policy.
+func (p *HeatAwareHealing) Plan(obs Observation) Decision {
+	n := len(obs.Demand)
+	if p.remaining == nil {
+		p.remaining = make([]int, n)
+	}
+	modes := make([]CoreMode, n)
+	recovering := 0
+	for i := range modes {
+		modes[i] = ModeGated
+		if p.remaining[i] > 0 {
+			p.remaining[i]--
+			modes[i] = ModeRecover
+			recovering++
+		}
+	}
+	// Candidates above threshold, scored by sensed wearout *and* the heat
+	// available from neighbours (normalised per 100 °C so a 25 °C-hotter
+	// neighbourhood is worth about 10 mV of extra urgency — recovery there
+	// is disproportionately faster thanks to the Arrhenius term).
+	for recovering < p.MaxConcurrent {
+		best, bestScore := -1, -1.0
+		for i := range modes {
+			if modes[i] == ModeRecover || obs.SensedShiftV[i] < p.ShiftThresholdV {
+				continue
+			}
+			score := obs.SensedShiftV[i] + 0.04*obs.neighbourHeat(i)/100
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		modes[best] = ModeRecover
+		p.remaining[best] = p.RecoverySteps - 1
+		recovering++
+	}
+	reverse := p.EMPeriod > 0 && p.EMReverseSteps > 0 && obs.Step%p.EMPeriod < p.EMReverseSteps
+	return Decision{Modes: modes, EMReverse: reverse}
+}
+
+// AdaptiveCompensation is the prior-work baseline of the paper's §I ([8]:
+// self-tuning knobs that track wearout without fixing it): it never
+// recovers, but a system built on it budgets a *dynamic* margin equal to
+// the current degradation instead of the end-of-life worst case. In the
+// Report this shows up as an unchanged GuardbandFrac (the hardware still
+// wears out) with full availability — the "system runs sluggish or burns
+// more power gradually" outcome the paper contrasts against.
+type AdaptiveCompensation struct{}
+
+var _ Policy = (*AdaptiveCompensation)(nil)
+
+// Name implements Policy.
+func (*AdaptiveCompensation) Name() string { return "adaptive-compensation" }
+
+// Plan implements Policy.
+func (*AdaptiveCompensation) Plan(obs Observation) Decision {
+	modes := make([]CoreMode, len(obs.Demand))
+	for i := range modes {
+		modes[i] = ModeGated
+	}
+	return Decision{Modes: modes}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+)
+
+func obsWithTemps(n, rows, cols int) Observation {
+	return Observation{
+		SensedShiftV: make([]float64, n),
+		Demand:       make([]float64, n),
+		TileTempC:    make([]float64, n),
+		Rows:         rows,
+		Cols:         cols,
+	}
+}
+
+func TestRoundRobinVisitsEveryCore(t *testing.T) {
+	p := DefaultRoundRobin()
+	n := 16
+	seen := make([]bool, n)
+	groups := n / p.GroupSize
+	for step := 0; step < groups; step++ {
+		obs := obsWithTemps(n, 4, 4)
+		obs.Step = step
+		dec := p.Plan(obs)
+		count := 0
+		for i, m := range dec.Modes {
+			if m == ModeRecover {
+				seen[i] = true
+				count++
+			}
+		}
+		if count != p.GroupSize {
+			t.Fatalf("step %d: %d recovering, want %d", step, count, p.GroupSize)
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Errorf("core %d never recovered in a full rotation", i)
+		}
+	}
+}
+
+func TestRoundRobinZeroGroupSize(t *testing.T) {
+	p := &RoundRobinHealing{}
+	dec := p.Plan(obsWithTemps(4, 2, 2))
+	for _, m := range dec.Modes {
+		if m != ModeGated {
+			t.Error("degenerate rotation must not recover anyone")
+		}
+	}
+}
+
+func TestHeatAwarePrefersHotNeighbourhood(t *testing.T) {
+	p := DefaultHeatAware()
+	p.MaxConcurrent = 1
+	n := 16
+	obs := obsWithTemps(n, 4, 4)
+	// Two equally aged cores above threshold; one sits next to a hot tile.
+	obs.SensedShiftV[0] = 0.02  // corner (0,0): cool neighbourhood
+	obs.SensedShiftV[10] = 0.02 // (2,2): hot neighbourhood
+	obs.TileTempC[6] = 95       // neighbour of core 10
+	obs.TileTempC[14] = 90      // neighbour of core 10
+	dec := p.Plan(obs)
+	if dec.Modes[10] != ModeRecover {
+		t.Errorf("heat-aware policy recovered core elsewhere; modes[10]=%v modes[0]=%v",
+			dec.Modes[10], dec.Modes[0])
+	}
+	if dec.Modes[0] == ModeRecover {
+		t.Error("cool core must wait its turn")
+	}
+}
+
+func TestHeatAwareStillRespectsThreshold(t *testing.T) {
+	p := DefaultHeatAware()
+	obs := obsWithTemps(16, 4, 4)
+	for i := range obs.TileTempC {
+		obs.TileTempC[i] = 120 // hot everywhere, but nobody is aged
+	}
+	dec := p.Plan(obs)
+	for i, m := range dec.Modes {
+		if m == ModeRecover {
+			t.Errorf("core %d recovering below threshold", i)
+		}
+	}
+}
+
+func TestAdaptiveCompensationNeverRecovers(t *testing.T) {
+	p := &AdaptiveCompensation{}
+	obs := obsWithTemps(8, 2, 4)
+	for i := range obs.SensedShiftV {
+		obs.SensedShiftV[i] = 0.05
+	}
+	dec := p.Plan(obs)
+	if dec.EMReverse {
+		t.Error("compensation baseline must not reverse the grid")
+	}
+	for _, m := range dec.Modes {
+		if m != ModeGated {
+			t.Error("compensation baseline must only gate")
+		}
+	}
+}
+
+func TestNeighbourHeatGeometry(t *testing.T) {
+	obs := obsWithTemps(4, 2, 2)
+	obs.TileTempC = []float64{10, 20, 30, 40}
+	// Core 0's neighbours are 1 (right) and 2 (below): mean 25.
+	if got := obs.neighbourHeat(0); got != 25 {
+		t.Errorf("neighbourHeat(0) = %g, want 25", got)
+	}
+	// Malformed layout falls back safely.
+	bad := Observation{TileTempC: []float64{1, 2}, Rows: 3, Cols: 3}
+	if got := bad.neighbourHeat(0); got != 0 {
+		t.Errorf("malformed layout heat = %g, want 0", got)
+	}
+}
+
+func TestExtraPoliciesRunEndToEnd(t *testing.T) {
+	cfg := testConfig()
+	cfg.Steps = 150
+	for _, pol := range []Policy{DefaultRoundRobin(), DefaultHeatAware(), &AdaptiveCompensation{}} {
+		rep := runPolicy(t, cfg, pol)
+		if len(rep.Series) != 150 {
+			t.Errorf("%s: series %d", rep.Policy, len(rep.Series))
+		}
+	}
+}
+
+func TestHealingPoliciesBeatBaselines(t *testing.T) {
+	cfg := testConfig()
+	base := runPolicy(t, cfg, &NoRecovery{})
+	for _, pol := range []Policy{DefaultRoundRobin(), DefaultHeatAware()} {
+		rep := runPolicy(t, cfg, pol)
+		if rep.GuardbandFrac >= base.GuardbandFrac {
+			t.Errorf("%s guardband %.3f not better than baseline %.3f",
+				rep.Policy, rep.GuardbandFrac, base.GuardbandFrac)
+		}
+	}
+}
+
+func TestDeepHealingReactiveEMDuty(t *testing.T) {
+	p := DefaultDeepHealing()
+	n := 4
+	countReverse := func(delta float64) int {
+		// Fresh policy per measurement so interval state can't leak.
+		q := DefaultDeepHealing()
+		q.ShiftThresholdV = 1 // disable BTI recovery for this test
+		count := 0
+		for step := 0; step < q.EMPeriod*10; step++ {
+			obs := Observation{
+				Step:             step,
+				SensedShiftV:     make([]float64, n),
+				Demand:           make([]float64, n),
+				SensedEMDeltaOhm: delta,
+			}
+			if q.Plan(obs).EMReverse {
+				count++
+			}
+		}
+		return count
+	}
+	quietDuty := countReverse(0)
+	alarmDuty := countReverse(p.EMDeltaThresholdOhm * 2)
+	if alarmDuty != 2*quietDuty {
+		t.Errorf("reactive duty %d, want double the quiet duty %d", alarmDuty, quietDuty)
+	}
+}

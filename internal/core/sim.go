@@ -1,0 +1,370 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"deepheal/internal/bti"
+	"deepheal/internal/em"
+	"deepheal/internal/lifetime"
+	"deepheal/internal/pdn"
+	"deepheal/internal/rngx"
+	"deepheal/internal/sensor"
+	"deepheal/internal/thermal"
+	"deepheal/internal/units"
+	"deepheal/internal/workload"
+)
+
+// Simulator runs one policy over the configured system.
+type Simulator struct {
+	cfg    Config
+	policy Policy
+
+	cores     []*bti.Device
+	sensors   []*sensor.ROSensor
+	profiles  []workload.Profile
+	grid      *thermal.Grid
+	power     *pdn.Grid
+	segments  []*em.Reduced
+	emSensor  *sensor.EMSensor
+	lastTemps []float64 // °C per tile at the end of the previous step
+}
+
+// NewSimulator builds a simulator for one policy run.
+func NewSimulator(cfg Config, policy Policy) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("core: nil policy")
+	}
+	n := cfg.NumCores()
+	rng := rngx.New(cfg.Seed)
+	s := &Simulator{cfg: cfg, policy: policy}
+
+	s.cores = make([]*bti.Device, n)
+	s.sensors = make([]*sensor.ROSensor, n)
+	s.profiles = make([]workload.Profile, n)
+	for i := 0; i < n; i++ {
+		dev, err := bti.NewDevice(cfg.BTI)
+		if err != nil {
+			return nil, err
+		}
+		s.cores[i] = dev
+		ro, err := sensor.NewRO(cfg.Sensor, rng.Split(int64(i)))
+		if err != nil {
+			return nil, err
+		}
+		s.sensors[i] = ro
+		if len(cfg.Workloads) == n && cfg.Workloads[i] != nil {
+			s.profiles[i] = cfg.Workloads[i]
+		} else {
+			s.profiles[i] = workload.Constant{Util: 0.7}
+		}
+	}
+
+	grid, err := thermal.NewGrid(cfg.Rows, cfg.Cols, cfg.Thermal)
+	if err != nil {
+		return nil, err
+	}
+	s.grid = grid
+	s.lastTemps = make([]float64, n)
+	for i := range s.lastTemps {
+		s.lastTemps[i] = cfg.Thermal.Ambient.C()
+	}
+
+	power, err := pdn.New(cfg.PDN)
+	if err != nil {
+		return nil, err
+	}
+	s.power = power
+	s.segments = make([]*em.Reduced, len(power.Edges()))
+	for k := range s.segments {
+		seg, err := em.NewReduced(cfg.EM)
+		if err != nil {
+			return nil, err
+		}
+		s.segments[k] = seg
+	}
+	emSensorCfg := sensor.EMConfig{RefOhm: cfg.PDN.SegOhm, NoiseSigmaFrac: 1e-3}
+	es, err := sensor.NewEM(emSensorCfg, rng.Split(int64(n)+1))
+	if err != nil {
+		return nil, err
+	}
+	s.emSensor = es
+	return s, nil
+}
+
+// StepStats is the system state recorded after each step.
+type StepStats struct {
+	Step           int
+	MaxShiftV      float64 // worst per-core BTI shift
+	MeanShiftV     float64
+	WorstDelayNorm float64 // worst normalised path delay (1 = fresh)
+	EMMaxProgress  float64 // worst |nucleation progress| across segments
+	EMDeltaOhm     float64 // worst segment resistance increase
+	MaxTempC       float64
+	Recovering     int     // cores in BTI recovery this step
+	EMReverse      bool    // assist circuitry in EM recovery this step
+	DeliveredFrac  float64 // delivered / demanded utilisation
+}
+
+// Report summarises one policy run.
+type Report struct {
+	Policy string
+	Series []StepStats
+
+	// GuardbandFrac is the delay margin a design running this policy must
+	// budget: the worst delay degradation seen over the lifetime.
+	GuardbandFrac float64
+	// FinalShiftV is the worst per-core shift at end of life.
+	FinalShiftV float64
+	// EMNucleated and EMFailedStep record grid EM events (-1 = none).
+	EMNucleated  bool
+	EMFailedStep int
+	// Availability is the mean delivered/demanded utilisation.
+	Availability float64
+	// RecoveryOverhead is the fraction of core-steps spent in recovery.
+	RecoveryOverhead float64
+}
+
+// Run executes the configured horizon and returns the report.
+func (s *Simulator) Run() (*Report, error) {
+	cfg := s.cfg
+	n := cfg.NumCores()
+	rep := &Report{
+		Policy:       s.policy.Name(),
+		Series:       make([]StepStats, 0, cfg.Steps),
+		EMFailedStep: -1,
+	}
+	demand := make([]float64, n)
+	effUtil := make([]float64, n)
+	powerMap := make([]float64, n)
+	load := make([]float64, n)
+	sensed := make([]float64, n)
+	var prevModes []CoreMode
+
+	var demandedSum, deliveredSum float64
+	recoverySteps := 0
+
+	for step := 0; step < cfg.Steps; step++ {
+		for i := 0; i < n; i++ {
+			demand[i] = s.profiles[i].At(step)
+			sensed[i] = s.sensors[i].Read(s.cores[i].ShiftV()).ShiftV
+		}
+		worstDelta := 0.0
+		for _, seg := range s.segments {
+			if d := seg.ResistanceDelta(); d > worstDelta && !math.IsInf(d, 1) {
+				worstDelta = d
+			}
+		}
+		emReading, err := s.emSensor.Read(cfg.PDN.SegOhm + worstDelta)
+		if err != nil {
+			return nil, err
+		}
+
+		obs := Observation{
+			Step:             step,
+			SensedShiftV:     append([]float64(nil), sensed...),
+			SensedEMDeltaOhm: emReading.DeltaOhm,
+			Demand:           append([]float64(nil), demand...),
+			TileTempC:        append([]float64(nil), s.lastTemps...),
+			Rows:             cfg.Rows,
+			Cols:             cfg.Cols,
+		}
+		dec := s.policy.Plan(obs)
+		if len(dec.Modes) != n {
+			return nil, fmt.Errorf("core: policy %q returned %d modes for %d cores", s.policy.Name(), len(dec.Modes), n)
+		}
+
+		delivered := s.migrate(dec.Modes, demand, effUtil)
+		// Mode-switch overhead: a core returning from recovery spends part
+		// of the step restoring state and reclaiming its migrated work.
+		if ovh := cfg.SwitchOverheadFrac; ovh > 0 && prevModes != nil {
+			for i := range dec.Modes {
+				if prevModes[i] == ModeRecover && dec.Modes[i] != ModeRecover {
+					if cap := 1 - ovh; effUtil[i] > cap {
+						delivered -= effUtil[i] - cap
+						effUtil[i] = cap
+					}
+				}
+			}
+		}
+		if prevModes == nil {
+			prevModes = make([]CoreMode, n)
+		}
+		copy(prevModes, dec.Modes)
+		demanded := 0.0
+		for _, d := range demand {
+			demanded += d
+		}
+		demandedSum += demanded
+		deliveredSum += delivered
+
+		// Power and temperature.
+		recovering := 0
+		for i := 0; i < n; i++ {
+			switch dec.Modes[i] {
+			case ModeRecover:
+				powerMap[i] = 0.05
+				recovering++
+			default:
+				powerMap[i] = cfg.IdlePowerW + effUtil[i]*cfg.ActivePowerW
+			}
+		}
+		recoverySteps += recovering
+		temps, err := s.grid.SteadyState(powerMap)
+		if err != nil {
+			return nil, err
+		}
+		for i, t := range temps {
+			s.lastTemps[i] = t.C()
+		}
+
+		// BTI evolution.
+		for i := 0; i < n; i++ {
+			temp := temps[i]
+			switch dec.Modes[i] {
+			case ModeRun:
+				s.cores[i].Apply(bti.Condition{GateVoltage: cfg.ActiveGateV, Temp: temp}, cfg.StepSeconds)
+			case ModeGated:
+				stress := effUtil[i] * cfg.StepSeconds
+				if stress > 0 {
+					s.cores[i].Apply(bti.Condition{GateVoltage: cfg.ActiveGateV, Temp: temp}, stress)
+				}
+				if rest := cfg.StepSeconds - stress; rest > 0 {
+					s.cores[i].Apply(bti.Condition{GateVoltage: 0, Temp: temp}, rest)
+				}
+			case ModeRecover:
+				s.cores[i].Apply(bti.Condition{GateVoltage: cfg.RecoveryV, Temp: temp}, cfg.StepSeconds)
+			default:
+				return nil, fmt.Errorf("core: policy %q returned invalid mode %v", s.policy.Name(), dec.Modes[i])
+			}
+		}
+
+		// PDN and EM evolution.
+		for i := 0; i < n; i++ {
+			load[i] = effUtil[i] * cfg.LoadCurrentA
+		}
+		sol, err := s.power.Solve(load)
+		if err != nil {
+			return nil, err
+		}
+		sign := 1.0
+		if dec.EMReverse {
+			sign = -1
+		}
+		for k, e := range s.power.Edges() {
+			j := s.power.CurrentDensity(sign * sol.EdgeI[k])
+			segTemp := temps[e.A]
+			if t := temps[e.B]; t > segTemp {
+				segTemp = t
+			}
+			s.segments[k].Step(j, segTemp, cfg.StepSeconds)
+		}
+
+		st := s.collect(step, dec, temps, recovering, demanded, delivered)
+		if st.WorstDelayNorm-1 > rep.GuardbandFrac {
+			rep.GuardbandFrac = st.WorstDelayNorm - 1
+		}
+		for _, seg := range s.segments {
+			if seg.Nucleated() {
+				rep.EMNucleated = true
+			}
+			if seg.Broken() && rep.EMFailedStep < 0 {
+				rep.EMFailedStep = step
+			}
+		}
+		rep.Series = append(rep.Series, st)
+	}
+
+	for _, dev := range s.cores {
+		if v := dev.ShiftV(); v > rep.FinalShiftV {
+			rep.FinalShiftV = v
+		}
+	}
+	if demandedSum > 0 {
+		rep.Availability = deliveredSum / demandedSum
+	} else {
+		rep.Availability = 1
+	}
+	rep.RecoveryOverhead = float64(recoverySteps) / float64(cfg.Steps*n)
+	return rep, nil
+}
+
+// migrate redistributes the demand of recovering cores onto available ones
+// (capacity 1.0 each) and returns the total delivered utilisation. effUtil
+// is filled with the per-core utilisation actually executed.
+func (s *Simulator) migrate(modes []CoreMode, demand []float64, effUtil []float64) float64 {
+	displaced := 0.0
+	spare := 0.0
+	for i := range demand {
+		if modes[i] == ModeRecover {
+			effUtil[i] = 0
+			displaced += demand[i]
+		} else {
+			effUtil[i] = demand[i]
+			spare += 1 - demand[i]
+		}
+	}
+	delivered := 0.0
+	for i := range demand {
+		if modes[i] != ModeRecover {
+			delivered += effUtil[i]
+		}
+	}
+	if displaced > 0 && spare > 0 {
+		moved := math.Min(displaced, spare)
+		// Spread proportionally to spare capacity.
+		for i := range demand {
+			if modes[i] == ModeRecover {
+				continue
+			}
+			share := (1 - demand[i]) / spare * moved
+			effUtil[i] += share
+		}
+		delivered += moved
+	}
+	return delivered
+}
+
+// collect assembles the per-step statistics.
+func (s *Simulator) collect(step int, dec Decision, temps []units.Temperature, recovering int, demanded, delivered float64) StepStats {
+	st := StepStats{Step: step, Recovering: recovering, EMReverse: dec.EMReverse}
+	var sum float64
+	for i, dev := range s.cores {
+		v := dev.ShiftV()
+		sum += v
+		if v > st.MaxShiftV {
+			st.MaxShiftV = v
+		}
+		_ = i
+	}
+	st.MeanShiftV = sum / float64(len(s.cores))
+	delay, err := lifetime.DelayFromShift(s.cfg.DelayVdd, s.cfg.DelayVth0, s.cfg.DelayAlpha, st.MaxShiftV)
+	if err != nil {
+		// The shift consumed the whole voltage headroom; report a dead core
+		// as a very large margin rather than failing the run.
+		delay = math.Inf(1)
+	}
+	st.WorstDelayNorm = delay
+	for _, seg := range s.segments {
+		if p := math.Abs(seg.Progress()); p > st.EMMaxProgress {
+			st.EMMaxProgress = p
+		}
+		if d := seg.ResistanceDelta(); d > st.EMDeltaOhm && !math.IsInf(d, 1) {
+			st.EMDeltaOhm = d
+		}
+	}
+	for _, t := range temps {
+		if c := t.C(); c > st.MaxTempC {
+			st.MaxTempC = c
+		}
+	}
+	if demanded > 0 {
+		st.DeliveredFrac = delivered / demanded
+	} else {
+		st.DeliveredFrac = 1
+	}
+	return st
+}

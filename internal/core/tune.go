@@ -1,0 +1,91 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// TuneResult is the outcome of a deep-healing auto-tuning search.
+type TuneResult struct {
+	// Policy is the best configuration found (ready to run).
+	Policy *DeepHealing
+	// Report is the evaluation of that configuration.
+	Report *Report
+	// Evaluated counts the candidate configurations tried.
+	Evaluated int
+}
+
+// TuneOptions bounds the search.
+type TuneOptions struct {
+	// MinAvailability rejects candidates that drop too much work.
+	MinAvailability float64
+	// RecoverySteps and MaxConcurrent are the candidate grids; empty
+	// slices use sensible defaults.
+	RecoverySteps []int
+	MaxConcurrent []int
+}
+
+// defaultTuneOptions fills unset fields.
+func (o TuneOptions) withDefaults() TuneOptions {
+	if o.MinAvailability == 0 {
+		o.MinAvailability = 0.99
+	}
+	if len(o.RecoverySteps) == 0 {
+		o.RecoverySteps = []int{1, 2, 4}
+	}
+	if len(o.MaxConcurrent) == 0 {
+		o.MaxConcurrent = []int{2, 4, 6}
+	}
+	return o
+}
+
+// Tune grid-searches the DeepHealing scheduling knobs over the given system
+// (recovery interval length × concurrency), evaluating every candidate
+// concurrently, and returns the configuration with the smallest wearout
+// guardband among those meeting the availability floor — active recovery as
+// a design knob, per the paper's conclusion.
+func Tune(cfg Config, opts TuneOptions) (*TuneResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+
+	base := DefaultDeepHealing()
+	var candidates []*DeepHealing
+	for _, rs := range opts.RecoverySteps {
+		for _, mc := range opts.MaxConcurrent {
+			if rs < 1 || mc < 1 {
+				return nil, fmt.Errorf("core: invalid tuning candidate %d/%d", rs, mc)
+			}
+			c := *base
+			c.RecoverySteps = rs
+			c.MaxConcurrent = mc
+			c.remaining = nil
+			candidates = append(candidates, &c)
+		}
+	}
+	policies := make([]Policy, len(candidates))
+	for i, c := range candidates {
+		policies[i] = c
+	}
+	reports, err := RunPolicies(cfg, policies...)
+	if err != nil {
+		return nil, err
+	}
+	res := &TuneResult{Evaluated: len(candidates)}
+	for i, rep := range reports {
+		if rep.Availability < opts.MinAvailability {
+			continue
+		}
+		if res.Report == nil || rep.GuardbandFrac < res.Report.GuardbandFrac {
+			fresh := *candidates[i]
+			fresh.remaining = nil
+			res.Policy = &fresh
+			res.Report = rep
+		}
+	}
+	if res.Report == nil {
+		return nil, errors.New("core: no tuning candidate met the availability floor")
+	}
+	return res, nil
+}

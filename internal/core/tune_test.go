@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"deepheal/internal/workload"
+)
+
+func tuneConfig() Config {
+	cfg := testConfig()
+	cfg.Steps = 250
+	n := cfg.NumCores()
+	cfg.Workloads = make([]workload.Profile, n)
+	for i := range cfg.Workloads {
+		cfg.Workloads[i] = workload.Constant{Util: 0.6}
+	}
+	return cfg
+}
+
+func TestTuneFindsValidCandidate(t *testing.T) {
+	cfg := tuneConfig()
+	res, err := Tune(cfg, TuneOptions{
+		RecoverySteps: []int{1, 2},
+		MaxConcurrent: []int{2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 4 {
+		t.Errorf("evaluated %d, want 4", res.Evaluated)
+	}
+	if res.Policy == nil || res.Report == nil {
+		t.Fatal("missing result")
+	}
+	if res.Report.Availability < 0.99 {
+		t.Errorf("winner violates availability floor: %.4f", res.Report.Availability)
+	}
+	// The winner must beat the no-recovery baseline.
+	base := runPolicy(t, cfg, &NoRecovery{})
+	if res.Report.GuardbandFrac >= base.GuardbandFrac {
+		t.Errorf("tuned guardband %.3f not better than baseline %.3f",
+			res.Report.GuardbandFrac, base.GuardbandFrac)
+	}
+	// And running the returned policy fresh must reproduce its report.
+	rerun := runPolicy(t, cfg, res.Policy)
+	if rerun.GuardbandFrac != res.Report.GuardbandFrac {
+		t.Errorf("returned policy does not reproduce: %.5f vs %.5f",
+			rerun.GuardbandFrac, res.Report.GuardbandFrac)
+	}
+}
+
+func TestTuneAvailabilityFloor(t *testing.T) {
+	cfg := tuneConfig()
+	cfg.Steps = 100
+	n := cfg.NumCores()
+	for i := range cfg.Workloads {
+		cfg.Workloads[i] = workload.Constant{Util: 1.0}
+	}
+	_ = n
+	// With a saturated system, an impossible floor must be reported.
+	if _, err := Tune(cfg, TuneOptions{MinAvailability: 0.9999, MaxConcurrent: []int{6}}); err == nil {
+		t.Error("impossible availability floor accepted")
+	}
+}
+
+func TestTuneErrors(t *testing.T) {
+	bad := tuneConfig()
+	bad.Steps = 0
+	if _, err := Tune(bad, TuneOptions{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := Tune(tuneConfig(), TuneOptions{RecoverySteps: []int{0}}); err == nil {
+		t.Error("invalid candidate accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package em
+
+// The Blech effect: a wire whose steady-state back-stress cannot reach the
+// critical value never nucleates a void, no matter how long the stress
+// runs. With blocked ends the elastic steady profile is σ(x) = G·(L/2 − x),
+// so the peak stress is G·L/2 and immortality requires a j·L product below
+// the classic Blech limit — emergent from the Korhonen model rather than
+// assumed.
+//
+// With a finite CompressiveYield the protection weakens: plastic relaxation
+// (hillock formation) at the anode keeps dissipating compressive stress, so
+// atoms continue to drift and tension slowly accumulates past the elastic
+// bound. Near the elastic limit the wire still nucleates — just much later —
+// and only well below it is it immortal in practice. This degradation of
+// Blech immortality by plastic yielding is a known experimental effect and
+// the tests pin both behaviours.
+
+import "deepheal/internal/units"
+
+// ImmortalityCurrentDensity returns the elastic Blech limit for this wire:
+// the current density below which the steady-state back-stress stays under
+// critical. It is exact (true immortality) when CompressiveYield is 0;
+// with yielding enabled it marks the knee beyond which nucleation times
+// collapse to the ordinary scale.
+func (p Params) ImmortalityCurrentDensity() units.CurrentDensity {
+	return units.CurrentDensity(2 * p.SigmaCrit / (p.GPerJ * p.LengthM))
+}
+
+// CriticalJLProduct returns the elastic Blech j·L product (A/m) for this
+// technology.
+func (p Params) CriticalJLProduct() float64 {
+	return 2 * p.SigmaCrit / p.GPerJ
+}
+
+// Immortal reports whether a wire of this geometry survives indefinitely at
+// the given (absolute) current density under the elastic criterion. With a
+// non-zero CompressiveYield treat it as "long-lived" rather than strictly
+// immortal (see the package comment above).
+func (p Params) Immortal(j units.CurrentDensity) bool {
+	if j < 0 {
+		j = -j
+	}
+	return j < p.ImmortalityCurrentDensity()
+}
+
+// ImmortalityCurrentDensity returns the reduced model's Blech limit: the
+// density at which the saturation stress exactly reaches critical. The
+// reduced model has no yield pathway, so this limit is exact for it.
+func (p ReducedParams) ImmortalityCurrentDensity() units.CurrentDensity {
+	return units.CurrentDensity(p.JRef.SI() / p.SigmaSatPerJ)
+}

@@ -1,0 +1,93 @@
+package em
+
+import (
+	"testing"
+
+	"deepheal/internal/units"
+)
+
+func TestBlechLimitExactWithoutYield(t *testing.T) {
+	// With plastic yielding disabled, the elastic Blech criterion is exact:
+	// just below never nucleates, just above does.
+	p := DefaultParams()
+	p.CompressiveYield = 0
+	jc := p.ImmortalityCurrentDensity()
+	w := MustNewWire(p)
+	below := units.CurrentDensity(0.9 * jc.SI())
+	if _, err := w.TimeToNucleation(below, tempPaper, units.Hours(300)); err == nil {
+		t.Errorf("elastic wire nucleated below the Blech limit (%v)", jc)
+	}
+	above := units.CurrentDensity(1.1 * jc.SI())
+	if _, err := w.TimeToNucleation(above, tempPaper, units.Hours(300)); err != nil {
+		t.Errorf("elastic wire immortal above the Blech limit: %v", err)
+	}
+}
+
+func TestYieldDegradesBlechProtection(t *testing.T) {
+	// With the default plastic yield, sub-critical densities nucleate
+	// eventually but with strongly delayed times; far below the limit the
+	// wire stays void-free over a long horizon.
+	p := DefaultParams()
+	jc := p.ImmortalityCurrentDensity()
+	w := MustNewWire(p)
+	ref, err := w.TimeToNucleation(jPaper, tempPaper, units.Hours(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, err := w.TimeToNucleation(units.CurrentDensity(0.9*jc.SI()), tempPaper, units.Hours(400))
+	if err != nil {
+		t.Fatalf("near-limit density should still nucleate (slowly): %v", err)
+	}
+	if near < 2*ref {
+		t.Errorf("near-limit nucleation %.0f min not strongly delayed vs %.0f min", near/60, ref/60)
+	}
+	if _, err := w.TimeToNucleation(units.CurrentDensity(0.5*jc.SI()), tempPaper, units.Hours(400)); err == nil {
+		t.Error("half the Blech limit should be void-free over the horizon")
+	}
+}
+
+func TestBlechLimitValue(t *testing.T) {
+	p := DefaultParams()
+	jc := p.ImmortalityCurrentDensity()
+	// For the paper wire: 2·σc/(GPerJ·L) ≈ 6.4 MA/cm² — comfortably below
+	// the 7.96 MA/cm² stress the paper uses (so the test wire does fail).
+	if mac := jc.MAcm2(); mac < 5 || mac > 8 {
+		t.Errorf("Blech limit %v out of expected band", jc)
+	}
+	if !p.Immortal(units.MAPerCm2(3)) {
+		t.Error("3 MA/cm² must be immortal")
+	}
+	if p.Immortal(units.MAPerCm2(7.96)) {
+		t.Error("the paper's stress density must not be immortal")
+	}
+	if !p.Immortal(units.MAPerCm2(-3)) {
+		t.Error("Immortal must use the magnitude")
+	}
+}
+
+func TestCriticalJLProduct(t *testing.T) {
+	p := DefaultParams()
+	want := p.ImmortalityCurrentDensity().SI() * p.LengthM
+	if got := p.CriticalJLProduct(); mathxAlmost(got, want) {
+		return
+	} else {
+		t.Errorf("jL product %g, want %g", got, want)
+	}
+}
+
+func mathxAlmost(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+b)
+}
+
+func TestReducedBlechLimitMatchesFull(t *testing.T) {
+	full := DefaultParams().ImmortalityCurrentDensity()
+	reduced := DefaultReducedParams().ImmortalityCurrentDensity()
+	ratio := reduced.SI() / full.SI()
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("reduced Blech limit %v vs full %v (ratio %.2f)", reduced, full, ratio)
+	}
+}

@@ -1,0 +1,90 @@
+package em
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deepheal/internal/rngx"
+	"deepheal/internal/units"
+)
+
+// TestPropertyStressBounded: under any bounded schedule the normalised
+// stress stays within physical bounds (critical cap via nucleation on the
+// tensile side, yield cap on the compressive side).
+func TestPropertyStressBounded(t *testing.T) {
+	p := DefaultParams()
+	f := func(seed int64) bool {
+		rng := rngx.New(seed)
+		w := MustNewWire(p)
+		for i := 0; i < 12; i++ {
+			j := units.MAPerCm2(rng.Uniform(-9, 9))
+			temp := units.Celsius(rng.Uniform(150, 280))
+			w.Run(j, temp, rng.Uniform(600, units.Hours(3)), 0)
+			for _, s := range w.StressProfile() {
+				if math.IsNaN(s) {
+					return false
+				}
+				if s < -p.CompressiveYield-1e-9 {
+					return false
+				}
+				// Tensile stress can only modestly overshoot critical in the
+				// single step before nucleation relaxes it.
+				if s > 3*p.SigmaCrit {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyVoidMonotoneDamage: the permanent void floor never shrinks.
+func TestPropertyVoidMonotoneDamage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rngx.New(seed)
+		w := MustNewWire(DefaultParams())
+		prevPerm := 0.0
+		for i := 0; i < 15 && !w.Broken(); i++ {
+			j := units.MAPerCm2(rng.Uniform(-9, 9))
+			w.Run(j, tempPaper, rng.Uniform(600, units.Hours(2)), 0)
+			perm := w.PermanentVoidLength(EndCathode) + w.PermanentVoidLength(EndAnode)
+			if perm < prevPerm-1e-15 {
+				return false
+			}
+			prevPerm = perm
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyReducedProgressBounded: the reduced model's progress never
+// exceeds the saturation envelope for the largest current it has seen.
+func TestPropertyReducedProgressBounded(t *testing.T) {
+	p := DefaultReducedParams()
+	f := func(seed int64) bool {
+		rng := rngx.New(seed)
+		r := MustNewReduced(p)
+		maxTarget := 0.0
+		for i := 0; i < 30 && !r.Broken(); i++ {
+			j := units.MAPerCm2(rng.Uniform(-10, 10))
+			if tgt := math.Abs(p.SigmaSatPerJ * j.SI() / p.JRef.SI()); tgt > maxTarget {
+				maxTarget = tgt
+			}
+			r.Step(j, units.Celsius(rng.Uniform(40, 250)), rng.Uniform(600, 7200))
+			if math.Abs(r.Progress()) > maxTarget+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+package em
+
+import (
+	"errors"
+	"math"
+
+	"deepheal/internal/units"
+)
+
+// ReducedParams configures the reduced-order EM model: a two-state
+// (nucleation progress, void length) surrogate for the full Korhonen PDE,
+// cheap enough to attach to every segment of a power grid in system-level
+// simulations. DefaultReducedParams is calibrated against the full Wire
+// model and the agreement is enforced by tests.
+type ReducedParams struct {
+	JRef units.CurrentDensity // reference current density
+	TRef units.Temperature    // reference temperature
+	Ea   float64              // Arrhenius activation energy (eV)
+
+	// TNucRefS is the void-nucleation time at (JRef, TRef).
+	TNucRefS float64
+	// SigmaSatPerJ is the steady-state stress (in σ-crit units) reached per
+	// unit (j/JRef) — nucleation progress saturates at its square.
+	SigmaSatPerJ float64
+	// EquilTauS is the time constant for progress to approach its
+	// saturation level at (JRef, TRef).
+	EquilTauS float64
+
+	// GrowthRefMPerS is the void growth speed at (JRef, TRef).
+	GrowthRefMPerS float64
+	// HealBoost, LvThreshM, DamageEta, LvBreakM and RPerVoidLenOhmPerM
+	// mirror the full model's void bookkeeping.
+	HealBoost          float64
+	LvThreshM          float64
+	DamageEta          float64
+	LvBreakM           float64
+	RPerVoidLenOhmPerM float64
+}
+
+// DefaultReducedParams matches DefaultParams (the paper's test wire): void
+// nucleation ≈355 min and failure ≈1050 min at 230 °C, 7.96 MA/cm².
+func DefaultReducedParams() ReducedParams {
+	full := DefaultParams()
+	return ReducedParams{
+		JRef:           units.MAPerCm2(7.96),
+		TRef:           full.TRef,
+		Ea:             full.EaKappa,
+		TNucRefS:       21330,
+		SigmaSatPerJ:   1.25,
+		EquilTauS:      80000,
+		GrowthRefMPerS: 1.07e-11,
+
+		HealBoost:          full.HealBoost,
+		LvThreshM:          full.LvThreshM,
+		DamageEta:          full.DamageEta,
+		LvBreakM:           full.LvBreakM,
+		RPerVoidLenOhmPerM: full.RPerVoidLenOhmPerM,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p ReducedParams) Validate() error {
+	switch {
+	case p.JRef <= 0 || !p.TRef.Valid() || p.Ea < 0:
+		return errors.New("em: reduced reference conditions invalid")
+	case p.TNucRefS <= 0 || p.SigmaSatPerJ <= 1 || p.EquilTauS <= 0:
+		return errors.New("em: reduced nucleation parameters invalid (SigmaSatPerJ must exceed 1)")
+	case p.GrowthRefMPerS <= 0 || p.HealBoost < 1:
+		return errors.New("em: reduced growth parameters invalid")
+	case p.LvThreshM < 0 || p.DamageEta < 0 || p.DamageEta > 1 || p.LvBreakM <= p.LvThreshM:
+		return errors.New("em: reduced damage parameters invalid")
+	case p.RPerVoidLenOhmPerM <= 0:
+		return errors.New("em: reduced resistance parameter invalid")
+	}
+	return nil
+}
+
+// Reduced is the per-segment reduced-order EM state. The zero value is not
+// usable; construct with NewReduced.
+type Reduced struct {
+	p ReducedParams
+	// progress is the signed nucleation progress: +1 nucleates a void at
+	// the forward cathode, −1 at the reverse cathode.
+	progress float64
+	voids    [2]voidState // forward (EndCathode) and reverse (EndAnode)
+	broken   bool
+}
+
+// NewReduced builds a fresh reduced-order segment.
+func NewReduced(p ReducedParams) (*Reduced, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Reduced{p: p}, nil
+}
+
+// MustNewReduced is NewReduced for known-good parameters.
+func MustNewReduced(p ReducedParams) *Reduced {
+	r, err := NewReduced(p)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Broken reports whether the segment has failed open.
+func (r *Reduced) Broken() bool { return r.broken }
+
+// Nucleated reports whether a void has ever formed at either end.
+func (r *Reduced) Nucleated() bool {
+	return r.voids[0].open || r.voids[1].open || r.voids[0].maxLenM > 0 || r.voids[1].maxLenM > 0
+}
+
+// Progress returns the signed nucleation progress in [-1, 1].
+func (r *Reduced) Progress() float64 { return r.progress }
+
+// VoidLength returns the current void length at the given end in metres.
+func (r *Reduced) VoidLength(e End) float64 { return r.voids[e].lenM }
+
+// ResistanceDelta returns the void-induced resistance increase in ohms
+// (+Inf when broken).
+func (r *Reduced) ResistanceDelta() float64 {
+	if r.broken {
+		return math.Inf(1)
+	}
+	return r.p.RPerVoidLenOhmPerM * (r.voids[0].lenM + r.voids[1].lenM)
+}
+
+// Clone returns an independent copy.
+func (r *Reduced) Clone() *Reduced {
+	c := *r
+	return &c
+}
+
+// Step advances the segment by dt seconds at the given signed current
+// density and temperature.
+func (r *Reduced) Step(j units.CurrentDensity, temp units.Temperature, dt float64) {
+	if r.broken || dt <= 0 {
+		return
+	}
+	af := units.Arrhenius(r.p.Ea, temp, r.p.TRef)
+	jr := j.SI() / r.p.JRef.SI()
+
+	// Nucleation progress: a first-order lag toward the steady-state
+	// normalised stress (signed and linear in current). The rate is
+	// quadratic in current — calibrated so |progress| crosses 1 after
+	// TNucRefS at (JRef, TRef) — plus a slow diffusive relaxation term
+	// that flattens the stress peak when little or no current flows.
+	target := r.p.SigmaSatPerJ * jr
+	nucFactor := math.Log(r.p.SigmaSatPerJ / (r.p.SigmaSatPerJ - 1))
+	rate := af * (jr*jr*nucFactor/r.p.TNucRefS + 1/r.p.EquilTauS)
+	r.progress += (target - r.progress) * (1 - math.Exp(-rate*dt))
+	if r.progress > 1 && !r.voids[0].open {
+		r.voids[0].open = true
+	}
+	if r.progress < -1 && !r.voids[1].open {
+		r.voids[1].open = true
+	}
+
+	// Void growth/healing, mirroring the full model's flux bookkeeping.
+	grow := r.p.GrowthRefMPerS * jr * af
+	if r.voids[0].open {
+		d := grow
+		if d < 0 {
+			d *= r.p.HealBoost
+		}
+		growReducedVoid(&r.voids[0], d*dt, r.p)
+	}
+	if r.voids[1].open {
+		d := -grow
+		if d < 0 {
+			d *= r.p.HealBoost
+		}
+		growReducedVoid(&r.voids[1], d*dt, r.p)
+	}
+	if r.voids[0].lenM >= r.p.LvBreakM || r.voids[1].lenM >= r.p.LvBreakM {
+		r.broken = true
+	}
+}
+
+func growReducedVoid(v *voidState, delta float64, p ReducedParams) {
+	v.lenM += delta
+	if v.lenM > v.maxLenM {
+		v.maxLenM = v.lenM
+		if over := v.maxLenM - p.LvThreshM; over > 0 {
+			v.permM = p.DamageEta * over
+		}
+	}
+	if v.lenM < v.permM {
+		v.lenM = v.permM
+	}
+	if v.lenM <= 0 {
+		v.lenM = 0
+		v.open = false
+	}
+}

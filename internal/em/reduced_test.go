@@ -1,0 +1,196 @@
+package em
+
+import (
+	"math"
+	"testing"
+
+	"deepheal/internal/units"
+)
+
+// reducedNucleationTime steps a reduced segment at constant conditions
+// until a void nucleates.
+func reducedNucleationTime(r *Reduced, j units.CurrentDensity, temp units.Temperature, horizon float64) (float64, bool) {
+	const dt = 30
+	for t := 0.0; t < horizon; t += dt {
+		r.Step(j, temp, dt)
+		if r.Nucleated() {
+			return t + dt, true
+		}
+	}
+	return 0, false
+}
+
+func TestReducedNucleationMatchesFullModel(t *testing.T) {
+	r := MustNewReduced(DefaultReducedParams())
+	got, ok := reducedNucleationTime(r, jPaper, tempPaper, units.Hours(24))
+	if !ok {
+		t.Fatal("reduced model did not nucleate")
+	}
+	w := MustNewWire(DefaultParams())
+	want, err := w.TimeToNucleation(jPaper, tempPaper, units.Hours(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := got / want; ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("reduced nucleation %.0f min vs full %.0f min (ratio %.2f)",
+			units.SecondsToMinutes(got), units.SecondsToMinutes(want), ratio)
+	}
+}
+
+func TestReducedTTFMatchesFullModel(t *testing.T) {
+	r := MustNewReduced(DefaultReducedParams())
+	const dt = 30
+	var ttf float64
+	for t := 0.0; t < units.Hours(48); t += dt {
+		r.Step(jPaper, tempPaper, dt)
+		if r.Broken() {
+			ttf = t + dt
+			break
+		}
+	}
+	if ttf == 0 {
+		t.Fatal("reduced model did not fail")
+	}
+	w := MustNewWire(DefaultParams())
+	want, err := w.TimeToFailure(jPaper, tempPaper, units.Hours(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := ttf / want; ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("reduced TTF %.0f min vs full %.0f min (ratio %.2f)",
+			units.SecondsToMinutes(ttf), units.SecondsToMinutes(want), ratio)
+	}
+}
+
+func TestReducedPeriodicRecoveryDelaysNucleation(t *testing.T) {
+	// The key scheduling behaviour must survive model reduction: periodic
+	// reverse intervals delay nucleation substantially.
+	p := DefaultReducedParams()
+	base := MustNewReduced(p)
+	tn, ok := reducedNucleationTime(base, jPaper, tempPaper, units.Hours(24))
+	if !ok {
+		t.Fatal("baseline did not nucleate")
+	}
+	r := MustNewReduced(p)
+	const dt = 30
+	elapsed := 0.0
+	for !r.Nucleated() && elapsed < units.Hours(96) {
+		for i := 0; i < int(units.Minutes(120)/dt) && !r.Nucleated(); i++ {
+			r.Step(jPaper, tempPaper, dt)
+			elapsed += dt
+		}
+		if r.Nucleated() {
+			break
+		}
+		for i := 0; i < int(units.Minutes(40)/dt); i++ {
+			r.Step(-jPaper, tempPaper, dt)
+			elapsed += dt
+		}
+	}
+	if !r.Nucleated() {
+		// Never nucleating under the duty cycle is acceptable — it is an
+		// even stronger version of the delay.
+		return
+	}
+	if ratio := elapsed / tn; ratio < 2 {
+		t.Errorf("reduced periodic delay only %.1fx", ratio)
+	}
+}
+
+func TestReducedHealingRecoversResistance(t *testing.T) {
+	r := MustNewReduced(DefaultReducedParams())
+	const dt = 30
+	for t := 0.0; t < units.Minutes(960); t += dt {
+		r.Step(jPaper, tempPaper, dt)
+	}
+	rise := r.ResistanceDelta()
+	if rise <= 0 {
+		t.Fatal("no resistance rise after growth phase")
+	}
+	for t := 0.0; t < units.Minutes(192); t += dt {
+		r.Step(-jPaper, tempPaper, dt)
+	}
+	frac := (rise - r.ResistanceDelta()) / rise
+	if frac < 0.6 {
+		t.Errorf("reduced healing recovered %.0f%%, want most of the rise", frac*100)
+	}
+}
+
+func TestReducedTemperatureAcceleration(t *testing.T) {
+	hot := MustNewReduced(DefaultReducedParams())
+	cold := MustNewReduced(DefaultReducedParams())
+	tHot, okH := reducedNucleationTime(hot, jPaper, units.Celsius(250), units.Hours(48))
+	tCold, okC := reducedNucleationTime(cold, jPaper, units.Celsius(210), units.Hours(48))
+	if !okH || !okC {
+		t.Fatal("nucleation missing")
+	}
+	if tHot >= tCold {
+		t.Errorf("hot %.0f >= cold %.0f", tHot, tCold)
+	}
+}
+
+func TestReducedLowCurrentNeverNucleates(t *testing.T) {
+	// Below the Blech-like saturation limit the progress target stays
+	// under 1 and the segment is immortal.
+	r := MustNewReduced(DefaultReducedParams())
+	if _, ok := reducedNucleationTime(r, units.MAPerCm2(4), tempPaper, units.Hours(96)); ok {
+		t.Error("sub-critical current nucleated a void")
+	}
+	if math.Abs(r.Progress()) >= 1 {
+		t.Errorf("progress %.2f reached critical under sub-critical current", r.Progress())
+	}
+}
+
+func TestReducedCloneIndependence(t *testing.T) {
+	r := MustNewReduced(DefaultReducedParams())
+	r.Step(jPaper, tempPaper, 3600)
+	c := r.Clone()
+	c.Step(jPaper, tempPaper, 3600)
+	if c.Progress() == r.Progress() {
+		t.Error("clone shares state")
+	}
+}
+
+func TestReducedBrokenIsTerminal(t *testing.T) {
+	r := MustNewReduced(DefaultReducedParams())
+	const dt = 60
+	for t := 0.0; t < units.Hours(48) && !r.Broken(); t += dt {
+		r.Step(jPaper, tempPaper, dt)
+	}
+	if !r.Broken() {
+		t.Fatal("did not break")
+	}
+	if !math.IsInf(r.ResistanceDelta(), 1) {
+		t.Error("broken segment must report infinite resistance")
+	}
+	p := r.Progress()
+	r.Step(jPaper, tempPaper, 3600)
+	if r.Progress() != p {
+		t.Error("stepping a broken segment must be a no-op")
+	}
+}
+
+func TestReducedParamsValidate(t *testing.T) {
+	if err := DefaultReducedParams().Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	mutations := []func(*ReducedParams){
+		func(p *ReducedParams) { p.JRef = 0 },
+		func(p *ReducedParams) { p.TNucRefS = 0 },
+		func(p *ReducedParams) { p.SigmaSatPerJ = 1.0 },
+		func(p *ReducedParams) { p.GrowthRefMPerS = 0 },
+		func(p *ReducedParams) { p.HealBoost = 0 },
+		func(p *ReducedParams) { p.LvBreakM = 0 },
+		func(p *ReducedParams) { p.RPerVoidLenOhmPerM = 0 },
+	}
+	for i, mut := range mutations {
+		p := DefaultReducedParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+		if _, err := NewReduced(p); err == nil {
+			t.Errorf("mutation %d: NewReduced accepted invalid params", i)
+		}
+	}
+}

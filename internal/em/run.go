@@ -1,0 +1,166 @@
+package em
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"deepheal/internal/units"
+)
+
+// Sample is one point of a resistance-versus-time trace.
+type Sample struct {
+	TimeMin       float64 // minutes since the trace start
+	ResistanceOhm float64
+	MaxStress     float64 // normalised peak tensile stress
+	VoidLenM      float64 // total void length across both ends
+}
+
+// Phase is one constant-condition segment of a wire's stress history.
+type Phase struct {
+	J        units.CurrentDensity // signed; negative reverses the wind
+	Temp     units.Temperature
+	Duration float64 // seconds
+}
+
+// Schedule is an ordered sequence of phases.
+type Schedule []Phase
+
+// TotalDuration returns the summed phase durations in seconds.
+func (s Schedule) TotalDuration() float64 {
+	var t float64
+	for _, ph := range s {
+		t += ph.Duration
+	}
+	return t
+}
+
+// Validate checks phase durations and temperatures.
+func (s Schedule) Validate() error {
+	for i, ph := range s {
+		if ph.Duration <= 0 {
+			return fmt.Errorf("em: phase %d has non-positive duration %g", i, ph.Duration)
+		}
+		if !ph.Temp.Valid() {
+			return fmt.Errorf("em: phase %d has invalid temperature %v", i, ph.Temp)
+		}
+	}
+	return nil
+}
+
+// PeriodicSchedule builds cycles of stressDur seconds at +j followed by
+// reverseDur seconds at −j, all at temperature temp — the paper's Fig. 7
+// proactive recovery pattern.
+func PeriodicSchedule(j units.CurrentDensity, temp units.Temperature, stressDur, reverseDur float64, cycles int) Schedule {
+	s := make(Schedule, 0, 2*cycles)
+	for i := 0; i < cycles; i++ {
+		s = append(s,
+			Phase{J: j, Temp: temp, Duration: stressDur},
+			Phase{J: -j, Temp: temp, Duration: reverseDur},
+		)
+	}
+	return s
+}
+
+// Run advances the wire under constant conditions for dur seconds, sampling
+// the trace about every observeEvery seconds (and at the end). A nil trace
+// is returned when observeEvery <= 0. Time in samples is relative to the
+// wire's state at entry.
+func (w *Wire) Run(j units.CurrentDensity, temp units.Temperature, dur, observeEvery float64) []Sample {
+	if dur <= 0 {
+		return nil
+	}
+	var trace []Sample
+	start := w.time
+	record := func() {
+		trace = append(trace, Sample{
+			TimeMin:       units.SecondsToMinutes(w.time - start),
+			ResistanceOhm: w.Resistance(temp),
+			MaxStress:     w.MaxStress(),
+			VoidLenM:      w.voids[0].lenM + w.voids[1].lenM,
+		})
+	}
+	elapsed := 0.0
+	lastRecorded := -1.0
+	next := observeEvery
+	for elapsed < dur && !w.broken {
+		step := math.Min(w.params.StepSeconds, dur-elapsed)
+		if observeEvery > 0 && elapsed+step > next {
+			step = next - elapsed
+		}
+		w.Step(j, temp, step)
+		elapsed += step
+		if observeEvery > 0 && elapsed >= next {
+			record()
+			lastRecorded = elapsed
+			next += observeEvery
+		}
+	}
+	if observeEvery > 0 && lastRecorded < elapsed {
+		record()
+	}
+	return trace
+}
+
+// ApplySchedule runs every phase of the schedule, concatenating the traces
+// with sample times relative to the start of the schedule (sampled every
+// observeEvery seconds; pass 0 for no trace). It stops early if the wire
+// breaks.
+func (w *Wire) ApplySchedule(s Schedule, observeEvery float64) ([]Sample, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var all []Sample
+	offsetMin := 0.0
+	for _, ph := range s {
+		phaseStart := w.time
+		trace := w.Run(ph.J, ph.Temp, ph.Duration, observeEvery)
+		for _, smp := range trace {
+			smp.TimeMin += offsetMin
+			all = append(all, smp)
+		}
+		offsetMin += units.SecondsToMinutes(w.time - phaseStart)
+		if w.broken {
+			break
+		}
+	}
+	return all, nil
+}
+
+// ErrNoFailure is returned by TimeToFailure when the wire survives the
+// entire simulated horizon.
+var ErrNoFailure = errors.New("em: wire did not fail within the horizon")
+
+// TimeToFailure stresses a clone of the wire at constant conditions until it
+// breaks, returning the failure time in seconds. The receiver is unchanged.
+func (w *Wire) TimeToFailure(j units.CurrentDensity, temp units.Temperature, horizon float64) (float64, error) {
+	c := w.Clone()
+	elapsed := 0.0
+	for elapsed < horizon && !c.broken {
+		step := c.params.StepSeconds
+		if elapsed+step > horizon {
+			step = horizon - elapsed
+		}
+		c.Step(j, temp, step)
+		elapsed += step
+	}
+	if !c.broken {
+		return 0, ErrNoFailure
+	}
+	return elapsed, nil
+}
+
+// TimeToNucleation stresses a clone at constant conditions until the first
+// void nucleates, returning the elapsed seconds. The receiver is unchanged.
+func (w *Wire) TimeToNucleation(j units.CurrentDensity, temp units.Temperature, horizon float64) (float64, error) {
+	c := w.Clone()
+	elapsed := 0.0
+	for elapsed < horizon {
+		c.Step(j, temp, c.params.StepSeconds)
+		elapsed += c.params.StepSeconds
+		if c.Nucleated(EndCathode) || c.Nucleated(EndAnode) {
+			return elapsed, nil
+		}
+	}
+	return 0, ErrNoFailure
+}

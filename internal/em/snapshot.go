@@ -1,0 +1,66 @@
+package em
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// wireSnapshot is the serialised form of a Wire's mutable state.
+type wireSnapshot struct {
+	Params Params
+	Sigma  []float64
+	Voids  [2]voidSnapshot
+	Broken bool
+	Time   float64
+}
+
+type voidSnapshot struct {
+	Open          bool
+	LenM, MaxLenM float64
+	PermM         float64
+}
+
+// Snapshot serialises the wire's stress and void state for checkpointing.
+func (w *Wire) Snapshot() ([]byte, error) {
+	snap := wireSnapshot{
+		Params: w.params,
+		Sigma:  w.sigma,
+		Broken: w.broken,
+		Time:   w.time,
+	}
+	for i, v := range w.voids {
+		snap.Voids[i] = voidSnapshot{Open: v.open, LenM: v.lenM, MaxLenM: v.maxLenM, PermM: v.permM}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("em: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreWire rebuilds a wire from a Snapshot.
+func RestoreWire(data []byte) (*Wire, error) {
+	var snap wireSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("em: restore: %w", err)
+	}
+	w, err := NewWire(snap.Params)
+	if err != nil {
+		return nil, fmt.Errorf("em: restore: %w", err)
+	}
+	if len(snap.Sigma) != len(w.sigma) {
+		return nil, fmt.Errorf("em: restore: profile size %d does not match grid %d",
+			len(snap.Sigma), len(w.sigma))
+	}
+	copy(w.sigma, snap.Sigma)
+	for i, v := range snap.Voids {
+		if v.LenM < 0 || v.MaxLenM < v.LenM && v.MaxLenM < v.PermM {
+			return nil, fmt.Errorf("em: restore: inconsistent void state at end %d", i)
+		}
+		w.voids[i] = voidState{open: v.Open, lenM: v.LenM, maxLenM: v.MaxLenM, permM: v.PermM}
+	}
+	w.broken = snap.Broken
+	w.time = snap.Time
+	return w, nil
+}

@@ -1,0 +1,59 @@
+package em
+
+import (
+	"math"
+	"testing"
+
+	"deepheal/internal/units"
+)
+
+func TestWireSnapshotRoundTrip(t *testing.T) {
+	w := MustNewWire(DefaultParams())
+	w.Run(jPaper, tempPaper, units.Minutes(500), 0) // past nucleation
+
+	data, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreWire(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Time() != w.Time() || r.MaxStress() != w.MaxStress() {
+		t.Fatal("restored state differs")
+	}
+	if r.VoidLength(EndCathode) != w.VoidLength(EndCathode) {
+		t.Fatal("void state differs")
+	}
+	// Future evolution must be identical.
+	w.Run(jPaper, tempPaper, units.Minutes(200), 0)
+	r.Run(jPaper, tempPaper, units.Minutes(200), 0)
+	if math.Abs(w.Resistance(tempPaper)-r.Resistance(tempPaper)) > 1e-12 {
+		t.Errorf("evolution diverged: %g vs %g", w.Resistance(tempPaper), r.Resistance(tempPaper))
+	}
+}
+
+func TestWireSnapshotBrokenState(t *testing.T) {
+	w := MustNewWire(DefaultParams())
+	w.Run(jPaper, tempPaper, units.Hours(48), 0)
+	if !w.Broken() {
+		t.Fatal("expected broken wire")
+	}
+	data, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreWire(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Broken() {
+		t.Error("broken flag lost")
+	}
+}
+
+func TestWireSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := RestoreWire([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage accepted")
+	}
+}

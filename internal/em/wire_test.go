@@ -1,0 +1,398 @@
+package em
+
+import (
+	"math"
+	"testing"
+
+	"deepheal/internal/rngx"
+	"deepheal/internal/units"
+)
+
+var (
+	jPaper    = units.MAPerCm2(7.96)
+	tempPaper = units.Celsius(230)
+)
+
+func TestFreshWire(t *testing.T) {
+	w := MustNewWire(DefaultParams())
+	if w.MaxStress() != 0 || w.Broken() || w.Nucleated(EndCathode) || w.Nucleated(EndAnode) {
+		t.Error("fresh wire not pristine")
+	}
+	r := w.Resistance(units.Celsius(20))
+	if math.Abs(r-35.76) > 1e-9 {
+		t.Errorf("room resistance = %g, want 35.76", r)
+	}
+}
+
+func TestResistanceTemperatureDependence(t *testing.T) {
+	w := MustNewWire(DefaultParams())
+	r230 := w.Resistance(tempPaper)
+	// The paper's Fig. 5 trace starts near 72.8 Ω at 230 °C.
+	if r230 < 71 || r230 < w.Resistance(units.Celsius(20)) || r230 > 75 {
+		t.Errorf("R(230°C) = %.2f, want ≈72.8", r230)
+	}
+}
+
+func TestNucleationTimeMatchesPaper(t *testing.T) {
+	// Fig. 5: void nucleation after ≈360 min at 230 °C, 7.96 MA/cm².
+	w := MustNewWire(DefaultParams())
+	tn, err := w.TimeToNucleation(jPaper, tempPaper, units.Hours(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := units.SecondsToMinutes(tn)
+	if min < 300 || min > 430 {
+		t.Errorf("nucleation at %.0f min, want ≈360", min)
+	}
+	// TimeToNucleation works on a clone; the receiver must be untouched.
+	if w.Time() != 0 || w.MaxStress() != 0 {
+		t.Error("TimeToNucleation mutated the receiver")
+	}
+}
+
+func TestResistanceFlatDuringNucleationPhase(t *testing.T) {
+	// Before the void nucleates the resistance must not change (paper:
+	// "during the nucleation phase ... the resistance has almost no change").
+	w := MustNewWire(DefaultParams())
+	w.Run(jPaper, tempPaper, units.Minutes(300), 0)
+	if w.Nucleated(EndCathode) {
+		t.Skip("nucleated earlier than expected")
+	}
+	if got, want := w.Resistance(tempPaper), DefaultParams().Resistance0(tempPaper); got != want {
+		t.Errorf("resistance moved during nucleation: %g vs %g", got, want)
+	}
+}
+
+func TestStressSignsUnderForwardCurrent(t *testing.T) {
+	w := MustNewWire(DefaultParams())
+	w.Run(jPaper, tempPaper, units.Hours(2), 0)
+	prof := w.StressProfile()
+	if prof[0] <= 0 {
+		t.Errorf("cathode stress %g, want tensile (>0)", prof[0])
+	}
+	if prof[len(prof)-1] >= 0 {
+		t.Errorf("anode stress %g, want compressive (<0)", prof[len(prof)-1])
+	}
+}
+
+func TestStressConservationWithoutCurrent(t *testing.T) {
+	// With G = 0 and blocked ends the PDE conserves the stress integral.
+	w := MustNewWire(DefaultParams())
+	w.Run(jPaper, tempPaper, units.Hours(2), 0)
+	before := w.TotalStress()
+	w.Run(0, tempPaper, units.Hours(4), 0)
+	after := w.TotalStress()
+	scale := math.Max(math.Abs(before), 1e-12)
+	if math.Abs(after-before)/scale > 1e-6 {
+		t.Errorf("stress integral drifted: %g -> %g", before, after)
+	}
+}
+
+func TestHotterNucleatesFaster(t *testing.T) {
+	w := MustNewWire(DefaultParams())
+	hot, err := w.TimeToNucleation(jPaper, units.Celsius(250), units.Hours(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := w.TimeToNucleation(jPaper, units.Celsius(210), units.Hours(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot >= cold {
+		t.Errorf("hot nucleation %g >= cold %g", hot, cold)
+	}
+}
+
+func TestHigherCurrentNucleatesFaster(t *testing.T) {
+	w := MustNewWire(DefaultParams())
+	hi, err := w.TimeToNucleation(units.MAPerCm2(10), tempPaper, units.Hours(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := w.TimeToNucleation(jPaper, tempPaper, units.Hours(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi >= lo {
+		t.Errorf("high-j nucleation %g >= low-j %g", hi, lo)
+	}
+}
+
+func TestActiveRecoveryBeatsPassive(t *testing.T) {
+	// Paper Fig. 5: active+accelerated recovery removes >75 % of the rise
+	// within 1/5 of the stress time; passive recovery barely moves.
+	grow := func() *Wire {
+		w := MustNewWire(DefaultParams())
+		w.Run(jPaper, tempPaper, units.Minutes(960), 0)
+		return w
+	}
+	w := grow()
+	r0 := DefaultParams().Resistance0(tempPaper)
+	rise := w.Resistance(tempPaper) - r0
+	if rise < 1.0 || rise > 3.0 {
+		t.Fatalf("void-growth rise = %.2f Ω, want ≈2", rise)
+	}
+	active := grow()
+	active.Run(-jPaper, tempPaper, units.Minutes(192), 0)
+	passive := grow()
+	passive.Run(0, tempPaper, units.Minutes(192), 0)
+
+	fActive := (w.Resistance(tempPaper) - active.Resistance(tempPaper)) / rise
+	fPassive := (w.Resistance(tempPaper) - passive.Resistance(tempPaper)) / rise
+	if fActive < 0.70 {
+		t.Errorf("active recovery = %.0f%%, want >70%%", fActive*100)
+	}
+	if fPassive > 0.15 {
+		t.Errorf("passive recovery = %.0f%%, want near zero", fPassive*100)
+	}
+	if fActive <= fPassive {
+		t.Error("active recovery must beat passive")
+	}
+}
+
+func TestLateRecoveryLeavesPermanent(t *testing.T) {
+	w := MustNewWire(DefaultParams())
+	w.Run(jPaper, tempPaper, units.Minutes(960), 0)
+	w.Run(-jPaper, tempPaper, units.Hours(12), 0)
+	resid := w.Resistance(tempPaper) - DefaultParams().Resistance0(tempPaper)
+	if resid < 0.1 {
+		t.Errorf("deep-growth recovery left only %.3f Ω, expected a permanent component", resid)
+	}
+	if w.PermanentVoidLength(EndCathode) <= 0 {
+		t.Error("expected permanent void damage")
+	}
+}
+
+func TestEarlyRecoveryIsFull(t *testing.T) {
+	// Paper Fig. 6: recovery scheduled early in void growth heals fully.
+	w := MustNewWire(DefaultParams())
+	tn, err := w.TimeToNucleation(jPaper, tempPaper, units.Hours(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(jPaper, tempPaper, tn+units.Minutes(60), 0)
+	if !w.Nucleated(EndCathode) {
+		t.Fatal("void did not nucleate")
+	}
+	w.Run(-jPaper, tempPaper, units.Minutes(180), 0)
+	resid := w.Resistance(tempPaper) - DefaultParams().Resistance0(tempPaper)
+	if resid > 1e-6 {
+		t.Errorf("early recovery residual = %.4f Ω, want 0", resid)
+	}
+	if w.VoidLength(EndCathode) != 0 {
+		t.Errorf("void length = %g, want fully healed", w.VoidLength(EndCathode))
+	}
+}
+
+func TestReverseCurrentInducedEM(t *testing.T) {
+	// Paper Fig. 6: prolonged reverse current after full recovery starts
+	// EM in the opposite direction (tension at the old anode).
+	w := MustNewWire(DefaultParams())
+	w.Run(jPaper, tempPaper, units.Minutes(420), 0)
+	w.Run(-jPaper, tempPaper, units.Hours(96), 0)
+	if !w.Nucleated(EndAnode) {
+		prof := w.StressProfile()
+		t.Fatalf("no reverse-EM void; anode stress = %.3f", prof[len(prof)-1])
+	}
+}
+
+func TestPeriodicRecoveryDelaysNucleation(t *testing.T) {
+	// Paper Fig. 7: short reverse intervals during the nucleation phase
+	// delay void nucleation by roughly 3x.
+	p := DefaultParams()
+	base := MustNewWire(p)
+	tn, err := base.TimeToNucleation(jPaper, tempPaper, units.Hours(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := MustNewWire(p)
+	elapsed := 0.0
+	for !w.Nucleated(EndCathode) && !w.Nucleated(EndAnode) && elapsed < units.Hours(72) {
+		w.Run(jPaper, tempPaper, units.Minutes(120), 0)
+		elapsed += units.Minutes(120)
+		if w.Nucleated(EndCathode) || w.Nucleated(EndAnode) {
+			break
+		}
+		w.Run(-jPaper, tempPaper, units.Minutes(40), 0)
+		elapsed += units.Minutes(40)
+	}
+	ratio := elapsed / tn
+	if ratio < 2.0 {
+		t.Errorf("nucleation delay = %.1fx, want ≳3x", ratio)
+	}
+}
+
+func TestBreakage(t *testing.T) {
+	w := MustNewWire(DefaultParams())
+	ttf, err := w.TimeToFailure(jPaper, tempPaper, units.Hours(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := units.SecondsToMinutes(ttf)
+	if min < 800 || min > 1400 {
+		t.Errorf("continuous-stress TTF = %.0f min, want ≈1000-1200", min)
+	}
+}
+
+func TestBrokenWireBehaviour(t *testing.T) {
+	w := MustNewWire(DefaultParams())
+	w.Run(jPaper, tempPaper, units.Hours(48), 0)
+	if !w.Broken() {
+		t.Fatal("wire should have broken")
+	}
+	if !math.IsInf(w.Resistance(tempPaper), 1) {
+		t.Error("broken wire resistance must be +Inf")
+	}
+	tm := w.Time()
+	w.Step(jPaper, tempPaper, 100)
+	if w.Time() != tm {
+		t.Error("stepping a broken wire must be a no-op")
+	}
+}
+
+func TestTimeToFailureNoFailure(t *testing.T) {
+	w := MustNewWire(DefaultParams())
+	if _, err := w.TimeToFailure(units.MAPerCm2(0.1), tempPaper, units.Hours(2)); err == nil {
+		t.Error("expected ErrNoFailure at low current")
+	}
+}
+
+func TestCloneAndReset(t *testing.T) {
+	w := MustNewWire(DefaultParams())
+	w.Run(jPaper, tempPaper, units.Hours(8), 0)
+	c := w.Clone()
+	if c.MaxStress() != w.MaxStress() || c.Time() != w.Time() {
+		t.Error("clone state mismatch")
+	}
+	c.Run(jPaper, tempPaper, units.Hours(8), 0)
+	if c.MaxStress() == w.MaxStress() {
+		t.Error("clone shares state with original")
+	}
+	w.Reset()
+	if w.MaxStress() != 0 || w.Time() != 0 || w.Broken() {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestRunTraceShape(t *testing.T) {
+	w := MustNewWire(DefaultParams())
+	trace := w.Run(jPaper, tempPaper, units.Minutes(100), units.Minutes(10))
+	if len(trace) < 10 {
+		t.Fatalf("trace too short: %d", len(trace))
+	}
+	for i := 1; i < len(trace); i++ {
+		if trace[i].TimeMin < trace[i-1].TimeMin {
+			t.Fatal("trace times not monotone")
+		}
+	}
+	if got := trace[len(trace)-1].TimeMin; math.Abs(got-100) > 1e-9 {
+		t.Errorf("final sample at %g min, want 100", got)
+	}
+}
+
+func TestNoNaNUnderRandomSchedules(t *testing.T) {
+	rng := rngx.New(5)
+	for trial := 0; trial < 10; trial++ {
+		w := MustNewWire(DefaultParams())
+		for i := 0; i < 20; i++ {
+			j := units.MAPerCm2(rng.Uniform(-10, 10))
+			temp := units.Celsius(rng.Uniform(100, 300))
+			w.Run(j, temp, rng.Uniform(60, units.Hours(2)), 0)
+			if math.IsNaN(w.MaxStress()) || math.IsNaN(w.TotalStress()) {
+				t.Fatalf("trial %d: NaN state", trial)
+			}
+			if w.VoidLength(EndCathode) < 0 || w.VoidLength(EndAnode) < 0 {
+				t.Fatalf("trial %d: negative void length", trial)
+			}
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	mutations := []func(*Params){
+		func(p *Params) { p.LengthM = 0 },
+		func(p *Params) { p.RoomResistanceOhm = -1 },
+		func(p *Params) { p.KappaRef = 0 },
+		func(p *Params) { p.TRef = units.Kelvin(-3) },
+		func(p *Params) { p.GPerJ = 0 },
+		func(p *Params) { p.CompressiveYield = -0.1 },
+		func(p *Params) { p.VoidRate = 0 },
+		func(p *Params) { p.HealBoost = 0.5 },
+		func(p *Params) { p.DamageEta = 1.5 },
+		func(p *Params) { p.LvBreakM = 0 },
+		func(p *Params) { p.NumNodes = 4 },
+		func(p *Params) { p.StepSeconds = 0 },
+	}
+	for i, mut := range mutations {
+		p := DefaultParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+		if _, err := NewWire(p); err == nil {
+			t.Errorf("mutation %d: NewWire accepted invalid params", i)
+		}
+	}
+}
+
+func TestScheduleHelpers(t *testing.T) {
+	s := PeriodicSchedule(jPaper, tempPaper, units.Minutes(120), units.Minutes(40), 3)
+	if len(s) != 6 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if got, want := s.TotalDuration(), units.Minutes(480); got != want {
+		t.Errorf("total duration = %g, want %g", got, want)
+	}
+	for i, ph := range s {
+		wantForward := i%2 == 0
+		if (ph.J > 0) != wantForward {
+			t.Errorf("phase %d direction wrong", i)
+		}
+	}
+	bad := Schedule{{J: jPaper, Temp: tempPaper, Duration: 0}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestApplyScheduleTraceContinuity(t *testing.T) {
+	w := MustNewWire(DefaultParams())
+	s := PeriodicSchedule(jPaper, tempPaper, units.Minutes(60), units.Minutes(20), 2)
+	trace, err := w.ApplySchedule(s, units.Minutes(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	for i := 1; i < len(trace); i++ {
+		if trace[i].TimeMin < trace[i-1].TimeMin {
+			t.Fatalf("schedule trace times not monotone at %d: %v -> %v", i, trace[i-1].TimeMin, trace[i].TimeMin)
+		}
+	}
+	if got := trace[len(trace)-1].TimeMin; math.Abs(got-160) > 1e-6 {
+		t.Errorf("final schedule sample at %g min, want 160", got)
+	}
+	if _, err := w.ApplySchedule(Schedule{{J: jPaper, Temp: tempPaper, Duration: -1}}, 0); err == nil {
+		t.Error("ApplySchedule must reject invalid schedules")
+	}
+}
+
+func TestCompressiveYieldCapsStress(t *testing.T) {
+	p := DefaultParams()
+	w := MustNewWire(p)
+	w.Run(jPaper, tempPaper, units.Hours(10), 0)
+	prof := w.StressProfile()
+	min := prof[0]
+	for _, s := range prof {
+		if s < min {
+			min = s
+		}
+	}
+	if min < -p.CompressiveYield-1e-9 {
+		t.Errorf("compressive stress %g beyond yield %g", min, -p.CompressiveYield)
+	}
+}

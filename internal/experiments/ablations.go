@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+
+	"deepheal/internal/bti"
+	"deepheal/internal/core"
+	"deepheal/internal/em"
+	"deepheal/internal/units"
+)
+
+// EMFreqPoint is one frequency of the AC-healing ablation.
+type EMFreqPoint struct {
+	PeriodMin float64
+	TTFMin    float64 // +Inf-like horizon value when immortal
+	Immortal  bool
+}
+
+// EMFreqResult is the A1 ablation: EM lifetime under bipolar (AC) current
+// rises with frequency — the healing effect first reported by Tao et al.
+// that the paper builds on (§II.B).
+type EMFreqResult struct {
+	DCTTFMin float64
+	Points   []EMFreqPoint
+}
+
+var _ Result = (*EMFreqResult)(nil)
+
+// ID implements Result.
+func (*EMFreqResult) ID() string { return "ablation-em-freq" }
+
+// Title implements Result.
+func (*EMFreqResult) Title() string {
+	return "Ablation A1 — EM lifetime under bipolar current vs. switching period"
+}
+
+// Format implements Result.
+func (r *EMFreqResult) Format() string {
+	t := &table{header: []string{"half-period (min)", "TTF (min)", "vs DC"}}
+	t.add("DC (no reversal)", fmt.Sprintf("%.0f", r.DCTTFMin), "1.0x")
+	for _, p := range r.Points {
+		ttf := fmt.Sprintf("%.0f", p.TTFMin)
+		ratio := fmt.Sprintf("%.1fx", p.TTFMin/r.DCTTFMin)
+		if p.Immortal {
+			ttf = "> " + ttf
+			ratio = "immortal within horizon"
+		}
+		t.add(fmt.Sprintf("%.0f", p.PeriodMin), ttf, ratio)
+	}
+	return t.String() + "\nshorter reversal periods (higher frequency) extend lifetime by orders of magnitude\n"
+}
+
+// RunAblationEMFrequency sweeps the bipolar switching period.
+func RunAblationEMFrequency() (*EMFreqResult, error) {
+	p := em.DefaultParams()
+	res := &EMFreqResult{}
+	base, err := em.NewWire(p)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablation-em-freq: %w", err)
+	}
+	dc, err := base.TimeToFailure(emJ, emTemp, units.Hours(48))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablation-em-freq: DC TTF: %w", err)
+	}
+	res.DCTTFMin = units.SecondsToMinutes(dc)
+
+	horizon := units.Hours(96)
+	for _, halfMin := range []float64{960, 720, 480, 240, 120, 60} {
+		w, err := em.NewWire(p)
+		if err != nil {
+			return nil, err
+		}
+		elapsed, sign := 0.0, 1.0
+		for elapsed < horizon && !w.Broken() {
+			w.Run(units.CurrentDensity(sign)*emJ, emTemp, units.Minutes(halfMin), 0)
+			elapsed = w.Time()
+			sign = -sign
+		}
+		res.Points = append(res.Points, EMFreqPoint{
+			PeriodMin: halfMin,
+			TTFMin:    units.SecondsToMinutes(elapsed),
+			Immortal:  !w.Broken(),
+		})
+	}
+	return res, nil
+}
+
+// BTICondPoint is one (voltage, temperature) recovery condition.
+type BTICondPoint struct {
+	Cond     bti.Condition
+	Fraction float64 // recovery fraction after 6 h
+}
+
+// BTICondResult is the A2 ablation: decomposing the Table I joint effect
+// over a grid of recovery voltages and temperatures.
+type BTICondResult struct {
+	Volts  []float64
+	TempsC []float64
+	Grid   [][]float64 // [temp][volt] recovery fraction
+}
+
+var _ Result = (*BTICondResult)(nil)
+
+// ID implements Result.
+func (*BTICondResult) ID() string { return "ablation-bti-cond" }
+
+// Title implements Result.
+func (*BTICondResult) Title() string {
+	return "Ablation A2 — BTI recovery fraction across voltage × temperature (6 h after 24 h stress)"
+}
+
+// Format implements Result.
+func (r *BTICondResult) Format() string {
+	t := &table{header: []string{"T \\ V"}}
+	for _, v := range r.Volts {
+		t.header = append(t.header, fmt.Sprintf("%+.1f V", v))
+	}
+	for i, tc := range r.TempsC {
+		row := []string{fmt.Sprintf("%.0f°C", tc)}
+		for j := range r.Volts {
+			row = append(row, units.Percent(r.Grid[i][j]))
+		}
+		t.add(row...)
+	}
+	return t.String() + "\ntemperature and reverse bias interact super-multiplicatively — the paper's \"deep healing\" knob\n"
+}
+
+// RunAblationBTIConditions sweeps the recovery condition grid.
+func RunAblationBTIConditions() (*BTICondResult, error) {
+	dev, err := bti.NewDevice(bti.DefaultParams())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablation-bti-cond: %w", err)
+	}
+	dev.Apply(bti.StressAccel, units.Hours(24))
+	res := &BTICondResult{
+		Volts:  []float64{0, -0.1, -0.2, -0.3, -0.4},
+		TempsC: []float64{20, 50, 80, 110, 140},
+	}
+	for _, tc := range res.TempsC {
+		row := make([]float64, len(res.Volts))
+		for j, v := range res.Volts {
+			cond := bti.Condition{GateVoltage: v, Temp: units.Celsius(tc)}
+			row[j] = dev.RecoveryFraction(cond, units.Hours(6))
+		}
+		res.Grid = append(res.Grid, row)
+	}
+	return res, nil
+}
+
+// SchedulePoint is one recovery-interval setting of the A3 ablation.
+type SchedulePoint struct {
+	RecoverySteps int
+	MaxConcurrent int
+	Guardband     float64
+	Overhead      float64
+	Availability  float64
+}
+
+// ScheduleResult is the A3 ablation: how the deep-healing scheduling
+// granularity trades guardband against recovery overhead.
+type ScheduleResult struct {
+	Baseline float64 // no-recovery guardband
+	Points   []SchedulePoint
+}
+
+var _ Result = (*ScheduleResult)(nil)
+
+// ID implements Result.
+func (*ScheduleResult) ID() string { return "ablation-schedule" }
+
+// Title implements Result.
+func (*ScheduleResult) Title() string {
+	return "Ablation A3 — deep-healing scheduling granularity vs. guardband and overhead"
+}
+
+// Format implements Result.
+func (r *ScheduleResult) Format() string {
+	t := &table{header: []string{"recover steps", "max concurrent", "guardband", "overhead", "availability"}}
+	t.add("(no recovery)", "-", fmt.Sprintf("%.1f%%", r.Baseline*100), "0%", "1.000")
+	for _, p := range r.Points {
+		t.add(fmt.Sprintf("%d", p.RecoverySteps),
+			fmt.Sprintf("%d", p.MaxConcurrent),
+			fmt.Sprintf("%.1f%%", p.Guardband*100),
+			fmt.Sprintf("%.1f%%", p.Overhead*100),
+			fmt.Sprintf("%.3f", p.Availability))
+	}
+	return t.String()
+}
+
+// RunAblationSchedule sweeps recovery interval length and concurrency.
+func RunAblationSchedule() (*ScheduleResult, error) {
+	cfg := core.DefaultConfig()
+	cfg.Steps = 900
+	wl, err := Fig12Workloads(cfg.NumCores(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Workloads = wl
+
+	run := func(pol core.Policy) (*core.Report, error) {
+		sim, err := core.NewSimulator(cfg, pol)
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run()
+	}
+	base, err := run(&core.NoRecovery{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablation-schedule: %w", err)
+	}
+	res := &ScheduleResult{Baseline: base.GuardbandFrac}
+	for _, setting := range []struct{ steps, conc int }{
+		{1, 2}, {1, 4}, {2, 2}, {2, 4}, {4, 4}, {2, 6},
+	} {
+		pol := core.DefaultDeepHealing()
+		pol.RecoverySteps = setting.steps
+		pol.MaxConcurrent = setting.conc
+		rep, err := run(pol)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation-schedule: %w", err)
+		}
+		res.Points = append(res.Points, SchedulePoint{
+			RecoverySteps: setting.steps,
+			MaxConcurrent: setting.conc,
+			Guardband:     rep.GuardbandFrac,
+			Overhead:      rep.RecoveryOverhead,
+			Availability:  rep.Availability,
+		})
+	}
+	return res, nil
+}

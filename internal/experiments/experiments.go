@@ -1,0 +1,120 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation, plus the ablations called out in DESIGN.md. Each
+// runner builds the relevant simulators from their calibrated defaults,
+// executes the experiment protocol, and returns a typed result that can be
+// rendered as the paper-style table/series. The CLI (cmd/deepheal), the
+// benchmark harness (bench_test.go) and the integration tests all consume
+// these runners, so the numbers recorded in EXPERIMENTS.md are produced by
+// exactly one code path.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is a completed experiment.
+type Result interface {
+	// ID is the experiment identifier (e.g. "table1", "fig5").
+	ID() string
+	// Title describes the paper artefact being reproduced.
+	Title() string
+	// Format renders the result as the paper-style table or series.
+	Format() string
+}
+
+// Runner executes one experiment.
+type Runner func() (Result, error)
+
+// Registry maps experiment ids to runners, in presentation order.
+func Registry() []struct {
+	ID     string
+	Runner Runner
+} {
+	return []struct {
+		ID     string
+		Runner Runner
+	}{
+		{"table1", func() (Result, error) { return RunTable1() }},
+		{"fig4", func() (Result, error) { return RunFig4() }},
+		{"fig5", func() (Result, error) { return RunFig5() }},
+		{"fig6", func() (Result, error) { return RunFig6() }},
+		{"fig7", func() (Result, error) { return RunFig7() }},
+		{"fig9", func() (Result, error) { return RunFig9() }},
+		{"fig10", func() (Result, error) { return RunFig10() }},
+		{"fig12", func() (Result, error) { return RunFig12() }},
+		{"ablation-em-freq", func() (Result, error) { return RunAblationEMFrequency() }},
+		{"ablation-bti-cond", func() (Result, error) { return RunAblationBTIConditions() }},
+		{"ablation-schedule", func() (Result, error) { return RunAblationSchedule() }},
+		{"ablation-policies", func() (Result, error) { return RunPolicyZoo() }},
+		{"ablation-rebalance", func() (Result, error) { return RunAblationRebalance() }},
+		{"ablation-sizing", func() (Result, error) { return RunSizingStudy() }},
+		{"variation", func() (Result, error) { return RunVariation() }},
+	}
+}
+
+// Run executes the experiment with the given id.
+func Run(id string) (Result, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Runner()
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// IDs lists the registered experiment identifiers.
+func IDs() []string {
+	reg := Registry()
+	out := make([]string, len(reg))
+	for i, e := range reg {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// table is a small text-table builder shared by the result formatters.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+// String renders the table with aligned columns and a separator row.
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len([]rune(h))
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len([]rune(c)); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+
+	"deepheal/internal/assist"
+)
+
+// Fig10Result reproduces Fig. 10: how the load size behind one fixed-size
+// assist circuitry trades off load delay (rising, roughly linearly) against
+// mode-switching time (falling, at a slower rate).
+type Fig10Result struct {
+	Points []assist.SizingPoint
+}
+
+var _ Result = (*Fig10Result)(nil)
+
+// ID implements Result.
+func (*Fig10Result) ID() string { return "fig10" }
+
+// Title implements Result.
+func (*Fig10Result) Title() string {
+	return "Fig. 10 — load size vs. normalized delay and mode-switching time"
+}
+
+// Format implements Result.
+func (r *Fig10Result) Format() string {
+	t := &table{header: []string{"Load Size", "Load V (V)", "Norm. Delay", "Norm. Switching Time", "t_sw (ns)"}}
+	for _, p := range r.Points {
+		t.add(fmt.Sprintf("%d", p.NumLoads),
+			fmt.Sprintf("%.3f", p.LoadVDD-p.LoadVSS),
+			fmt.Sprintf("%.3f", p.NormalizedDelay),
+			fmt.Sprintf("%.3f", p.NormalizedTSw),
+			fmt.Sprintf("%.2f", p.SwitchingTimeS*1e9))
+	}
+	out := t.String()
+	last := r.Points[len(r.Points)-1]
+	out += fmt.Sprintf("\ndelay grows to %.2fx at %d loads (paper ≈1.8x); switching time falls to %.2fx, a slower rate\n",
+		last.NormalizedDelay, last.NumLoads, last.NormalizedTSw)
+	return out
+}
+
+// RunFig10 executes the load-size sweep.
+func RunFig10() (*Fig10Result, error) {
+	pts, err := assist.LoadSizeSweep(assist.DefaultConfig(), 5)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig10: %w", err)
+	}
+	return &Fig10Result{Points: pts}, nil
+}

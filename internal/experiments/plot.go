@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// plotSeries is one curve of an ASCII chart.
+type plotSeries struct {
+	name  string
+	glyph byte
+	xs    []float64
+	ys    []float64
+}
+
+// asciiPlot renders the series into a width×height character chart with a
+// y-axis range label and a legend — enough to see the paper figures' shapes
+// directly in a terminal.
+func asciiPlot(width, height int, xLabel, yLabel string, series ...plotSeries) string {
+	if width < 10 || height < 4 {
+		return ""
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.xs {
+			if !finite(s.xs[i]) || !finite(s.ys[i]) {
+				continue
+			}
+			xMin, xMax = math.Min(xMin, s.xs[i]), math.Max(xMax, s.xs[i])
+			yMin, yMax = math.Min(yMin, s.ys[i]), math.Max(yMax, s.ys[i])
+		}
+	}
+	if !finite(xMin) || !finite(yMin) || xMax == xMin {
+		return ""
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		for i := range s.xs {
+			if !finite(s.xs[i]) || !finite(s.ys[i]) {
+				continue
+			}
+			c := int((s.xs[i] - xMin) / (xMax - xMin) * float64(width-1))
+			r := height - 1 - int((s.ys[i]-yMin)/(yMax-yMin)*float64(height-1))
+			if c >= 0 && c < width && r >= 0 && r < height {
+				grid[r][c] = s.glyph
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%.4g .. %.4g)\n", yLabel, yMin, yMax)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "   %s: %.4g .. %.4g", xLabel, xMin, xMax)
+	if len(series) > 1 || series[0].name != "" {
+		b.WriteString("   [")
+		for i, s := range series {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%c=%s", s.glyph, s.name)
+		}
+		b.WriteByte(']')
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

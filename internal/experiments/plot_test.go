@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsciiPlotBasics(t *testing.T) {
+	out := asciiPlot(40, 8, "x", "y",
+		plotSeries{name: "up", glyph: '*', xs: []float64{0, 1, 2, 3}, ys: []float64{0, 1, 2, 3}})
+	if out == "" {
+		t.Fatal("empty plot")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 1 y-label + 8 rows + axis + x-label.
+	if len(lines) != 11 {
+		t.Fatalf("lines = %d, want 11", len(lines))
+	}
+	if !strings.Contains(lines[0], "y (0 .. 3)") {
+		t.Errorf("y label = %q", lines[0])
+	}
+	// A rising series: the first data row (top) must contain the max point
+	// glyph on the right, the bottom row on the left.
+	top, bottom := lines[1], lines[8]
+	if !strings.Contains(top, "*") || !strings.Contains(bottom, "*") {
+		t.Fatalf("endpoints missing:\n%s", out)
+	}
+	if strings.Index(top, "*") <= strings.Index(bottom, "*") {
+		t.Errorf("rising series not rising:\n%s", out)
+	}
+	if !strings.Contains(lines[10], "x: 0 .. 3") {
+		t.Errorf("x label = %q", lines[10])
+	}
+}
+
+func TestAsciiPlotDegenerate(t *testing.T) {
+	if asciiPlot(5, 2, "x", "y", plotSeries{xs: []float64{1}, ys: []float64{1}}) != "" {
+		t.Error("too-small plot should be empty")
+	}
+	if asciiPlot(40, 8, "x", "y", plotSeries{xs: []float64{1, 1}, ys: []float64{2, 2}}) != "" {
+		t.Error("zero x-range should be empty")
+	}
+	// Constant y is fine (range expanded).
+	out := asciiPlot(40, 8, "x", "y", plotSeries{glyph: '*', xs: []float64{0, 1}, ys: []float64{5, 5}})
+	if out == "" {
+		t.Error("constant series should still plot")
+	}
+}
+
+func TestAsciiPlotIgnoresNonFinite(t *testing.T) {
+	inf := 1.0
+	for i := 0; i < 400; i++ {
+		inf *= 10
+	}
+	out := asciiPlot(40, 6, "x", "y",
+		plotSeries{glyph: '*', xs: []float64{0, 1, 2}, ys: []float64{1, inf, 2}})
+	if strings.Contains(out, "Inf") {
+		t.Error("non-finite leaked into plot")
+	}
+}
+
+func TestAsciiPlotLegend(t *testing.T) {
+	out := asciiPlot(40, 6, "t", "v",
+		plotSeries{name: "a", glyph: 'a', xs: []float64{0, 1}, ys: []float64{0, 1}},
+		plotSeries{name: "b", glyph: 'b', xs: []float64{0, 1}, ys: []float64{1, 0}})
+	if !strings.Contains(out, "a=a") || !strings.Contains(out, "b=b") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}

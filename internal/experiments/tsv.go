@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// TSVExporter is implemented by results that carry machine-readable series
+// suitable for plotting. The map key is a short series name; the value is
+// tab-separated content with a header row.
+type TSVExporter interface {
+	TSV() map[string]string
+}
+
+// tsv renders a header and rows as tab-separated text.
+func tsv(header []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(header, "\t"))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		b.WriteString(strings.Join(r, "\t"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// TSV implements TSVExporter.
+func (r *Table1Result) TSV() map[string]string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Case, f(row.Condition.GateVoltage),
+			f(row.Condition.Temp.C()), f(row.PaperMeasured), f(row.PaperModel), f(row.Simulated)})
+	}
+	return map[string]string{
+		"recovery": tsv([]string{"case", "volt", "temp_c", "paper_meas", "paper_model", "simulated"}, rows),
+	}
+}
+
+// TSV implements TSVExporter.
+func (r *Fig4Result) TSV() map[string]string {
+	header := []string{"cycle", "end_h"}
+	for _, p := range r.Patterns {
+		tag := fmt.Sprintf("%gh_%gh", p.StressHours, p.RecoveryHours)
+		header = append(header, "residual_mv_"+tag, "locked_mv_"+tag)
+	}
+	rows := make([][]string, 0, r.Cycles)
+	for c := 0; c < r.Cycles; c++ {
+		row := []string{strconv.Itoa(c + 1), f(r.Patterns[0].Residuals[c].EndHours)}
+		for _, p := range r.Patterns {
+			row = append(row, f(p.Residuals[c].ResidualV*1000), f(p.Residuals[c].LockedV*1000))
+		}
+		rows = append(rows, row)
+	}
+	return map[string]string{"residuals": tsv(header, rows)}
+}
+
+// TSV implements TSVExporter.
+func (r *Fig5Result) TSV() map[string]string {
+	stress := make([][]string, 0, len(r.StressTrace))
+	for _, s := range r.StressTrace {
+		stress = append(stress, []string{f(s.TimeMin), f(s.ResistanceOhm), f(s.MaxStress), f(s.VoidLenM * 1e6)})
+	}
+	rec := make([][]string, 0, len(r.ActiveTrace))
+	for i := range r.ActiveTrace {
+		rec = append(rec, []string{
+			f(r.StressMinutes + r.ActiveTrace[i].TimeMin),
+			f(r.ActiveTrace[i].ResistanceOhm),
+			f(r.PassiveTrace[i].ResistanceOhm),
+		})
+	}
+	header := []string{"t_min", "r_ohm", "max_stress", "void_um"}
+	return map[string]string{
+		"stress":   tsv(header, stress),
+		"recovery": tsv([]string{"t_min", "r_active_ohm", "r_passive_ohm"}, rec),
+	}
+}
+
+// TSV implements TSVExporter.
+func (r *Fig6Result) TSV() map[string]string {
+	rows := make([][]string, 0, len(r.Trace))
+	for _, s := range r.Trace {
+		rows = append(rows, []string{f(s.TimeMin), f(s.ResistanceOhm), f(s.MaxStress), f(s.VoidLenM * 1e6)})
+	}
+	return map[string]string{"trace": tsv([]string{"t_min", "r_ohm", "max_stress", "void_um"}, rows)}
+}
+
+// TSV implements TSVExporter.
+func (r *Fig7Result) TSV() map[string]string {
+	rows := make([][]string, 0, len(r.Trace))
+	for _, s := range r.Trace {
+		if math.IsInf(s.ResistanceOhm, 0) {
+			// The wire broke; the failure time is in the summary columns.
+			break
+		}
+		rows = append(rows, []string{f(s.TimeMin), f(s.ResistanceOhm), f(s.MaxStress)})
+	}
+	return map[string]string{"trace": tsv([]string{"t_min", "r_ohm", "max_stress"}, rows)}
+}
+
+// TSV implements TSVExporter.
+func (r *Fig9Result) TSV() map[string]string {
+	rows := make([][]string, 0, len(r.SwitchTrace))
+	for _, p := range r.SwitchTrace {
+		rows = append(rows, []string{f(p.TimeS * 1e9), f(p.LoadVDD), f(p.LoadVSS), f(p.GridCurrent * 1e6)})
+	}
+	return map[string]string{
+		"transient": tsv([]string{"t_ns", "load_vdd_v", "load_vss_v", "grid_ua"}, rows),
+	}
+}
+
+// TSV implements TSVExporter.
+func (r *Fig10Result) TSV() map[string]string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{strconv.Itoa(p.NumLoads), f(p.LoadVDD - p.LoadVSS),
+			f(p.NormalizedDelay), f(p.NormalizedTSw), f(p.SwitchingTimeS * 1e9)})
+	}
+	return map[string]string{
+		"sizing": tsv([]string{"loads", "load_v", "delay_norm", "tsw_norm", "tsw_ns"}, rows),
+	}
+}
+
+// TSV implements TSVExporter.
+func (r *Fig12Result) TSV() map[string]string {
+	header := []string{"step"}
+	for _, p := range r.Policies {
+		header = append(header, p.Report.Policy+"_delay", p.Report.Policy+"_emprog", p.Report.Policy+"_maxshift_mv")
+	}
+	n := len(r.Policies[0].Report.Series)
+	rows := make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		row := []string{strconv.Itoa(i)}
+		for _, p := range r.Policies {
+			st := p.Report.Series[i]
+			row = append(row, f(st.WorstDelayNorm), f(st.EMMaxProgress), f(st.MaxShiftV*1000))
+		}
+		rows = append(rows, row)
+	}
+	return map[string]string{"series": tsv(header, rows)}
+}

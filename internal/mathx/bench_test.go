@@ -1,0 +1,41 @@
+package mathx
+
+import "testing"
+
+// BenchmarkSolveTridiag measures the Thomas solve backing the Korhonen
+// stepper (101 unknowns).
+func BenchmarkSolveTridiag(b *testing.B) {
+	n := 101
+	lower := make([]float64, n)
+	diag := make([]float64, n)
+	upper := make([]float64, n)
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = 4
+		lower[i] = -1
+		upper[i] = -1
+		rhs[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveTridiag(lower, diag, upper, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveCG measures the preconditioned CG solve backing the PDN and
+// thermal grids (64-node Laplacian).
+func BenchmarkSolveCG(b *testing.B) {
+	m := laplacian1D(64)
+	rhs := make([]float64, 64)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.SolveCG(rhs, nil, CGOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

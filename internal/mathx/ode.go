@@ -1,0 +1,65 @@
+package mathx
+
+import "fmt"
+
+// Deriv is the right-hand side of an ODE system: dy/dt = f(t, y, dydt).
+// Implementations write the derivative into dydt (len(dydt) == len(y)).
+type Deriv func(t float64, y, dydt []float64)
+
+// RK4Step advances y by one classic fourth-order Runge-Kutta step of size h.
+// y is updated in place; scratch must provide 5 buffers of len(y) (allocated
+// by MakeRKScratch) so repeated stepping is allocation-free.
+func RK4Step(f Deriv, t, h float64, y []float64, scratch [][]float64) {
+	n := len(y)
+	k1, k2, k3, k4, tmp := scratch[0], scratch[1], scratch[2], scratch[3], scratch[4]
+	f(t, y, k1)
+	for i := 0; i < n; i++ {
+		tmp[i] = y[i] + 0.5*h*k1[i]
+	}
+	f(t+0.5*h, tmp, k2)
+	for i := 0; i < n; i++ {
+		tmp[i] = y[i] + 0.5*h*k2[i]
+	}
+	f(t+0.5*h, tmp, k3)
+	for i := 0; i < n; i++ {
+		tmp[i] = y[i] + h*k3[i]
+	}
+	f(t+h, tmp, k4)
+	for i := 0; i < n; i++ {
+		y[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+	}
+}
+
+// MakeRKScratch allocates the scratch buffers RK4Step needs for state size n.
+func MakeRKScratch(n int) [][]float64 {
+	s := make([][]float64, 5)
+	for i := range s {
+		s[i] = make([]float64, n)
+	}
+	return s
+}
+
+// Integrate runs RK4 from t0 to t1 in steps of at most h, invoking observe
+// (if non-nil) after every step with the current time and state.
+func Integrate(f Deriv, y []float64, t0, t1, h float64, observe func(t float64, y []float64)) error {
+	if h <= 0 {
+		return fmt.Errorf("mathx: Integrate step %g must be positive", h)
+	}
+	if t1 < t0 {
+		return fmt.Errorf("mathx: Integrate t1 %g before t0 %g", t1, t0)
+	}
+	scratch := MakeRKScratch(len(y))
+	t := t0
+	for t < t1 {
+		step := h
+		if t+step > t1 {
+			step = t1 - t
+		}
+		RK4Step(f, t, step, y, scratch)
+		t += step
+		if observe != nil {
+			observe(t, y)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRK4ExponentialDecay(t *testing.T) {
+	// y' = -y, y(0)=1 => y(t) = e^{-t}
+	y := []float64{1}
+	err := Integrate(func(_ float64, y, dy []float64) { dy[0] = -y[0] }, y, 0, 2, 0.01, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-2)
+	if !AlmostEqual(y[0], want, 1e-8) {
+		t.Errorf("y(2) = %g, want %g", y[0], want)
+	}
+}
+
+func TestRK4Harmonic(t *testing.T) {
+	// y'' = -y via first-order system; energy must be conserved to O(h^4).
+	y := []float64{1, 0} // position, velocity
+	f := func(_ float64, y, dy []float64) {
+		dy[0] = y[1]
+		dy[1] = -y[0]
+	}
+	if err := Integrate(f, y, 0, 2*math.Pi, 0.001, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(y[0], 1, 1e-9) || math.Abs(y[1]) > 1e-9 {
+		t.Errorf("after one period: pos=%g vel=%g, want 1, 0", y[0], y[1])
+	}
+}
+
+func TestIntegrateObserver(t *testing.T) {
+	var times []float64
+	y := []float64{0}
+	f := func(_ float64, _, dy []float64) { dy[0] = 1 }
+	err := Integrate(f, y, 0, 1, 0.25, func(tt float64, _ []float64) { times = append(times, tt) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 4 || times[len(times)-1] != 1 {
+		t.Errorf("observer times = %v", times)
+	}
+	if !AlmostEqual(y[0], 1, 1e-12) {
+		t.Errorf("y = %g, want 1", y[0])
+	}
+}
+
+func TestIntegrateBadArgs(t *testing.T) {
+	f := func(_ float64, _, dy []float64) { dy[0] = 0 }
+	if err := Integrate(f, []float64{0}, 0, 1, 0, nil); err == nil {
+		t.Error("expected error for zero step")
+	}
+	if err := Integrate(f, []float64{0}, 1, 0, 0.1, nil); err == nil {
+		t.Error("expected error for reversed interval")
+	}
+}
+
+func TestBrentFindsRoot(t *testing.T) {
+	root, err := Brent(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(root, math.Sqrt2, 1e-12) {
+		t.Errorf("root = %.15f, want sqrt(2)", root)
+	}
+}
+
+func TestBrentEndpointRoot(t *testing.T) {
+	root, err := Brent(func(x float64) float64 { return x }, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != 0 {
+		t.Errorf("root = %g, want 0", root)
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return x*x + 1 }, -1, 1, 0); err == nil {
+		t.Error("expected ErrNoBracket")
+	}
+}
+
+func TestBisectMatchesBrent(t *testing.T) {
+	f := func(x float64) float64 { return math.Cos(x) - x }
+	a, err := Brent(f, 0, 1, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bisect(f, 0, 1, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(a, b, 1e-9) {
+		t.Errorf("brent %g vs bisect %g", a, b)
+	}
+}

@@ -1,0 +1,185 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Coord is one (row, col, value) triplet of a sparse matrix under assembly.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is a compressed-sparse-row matrix. It is immutable once built.
+type CSR struct {
+	n       int
+	rowPtr  []int
+	colIdx  []int
+	values  []float64
+	diagIdx []int // index into values of the diagonal entry per row, -1 if absent
+}
+
+// NewCSR assembles an n×n sparse matrix from coordinate triplets. Duplicate
+// (row, col) entries are summed, which makes stamped assembly (finite
+// differences, nodal analysis) natural.
+func NewCSR(n int, entries []Coord) *CSR {
+	es := make([]Coord, len(entries))
+	copy(es, entries)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Row != es[j].Row {
+			return es[i].Row < es[j].Row
+		}
+		return es[i].Col < es[j].Col
+	})
+	m := &CSR{n: n, rowPtr: make([]int, n+1), diagIdx: make([]int, n)}
+	for i := range m.diagIdx {
+		m.diagIdx[i] = -1
+	}
+	for i := 0; i < len(es); {
+		r, c := es[i].Row, es[i].Col
+		if r < 0 || r >= n || c < 0 || c >= n {
+			panic(fmt.Sprintf("mathx: CSR entry (%d,%d) out of range for n=%d", r, c, n))
+		}
+		v := 0.0
+		for i < len(es) && es[i].Row == r && es[i].Col == c {
+			v += es[i].Val
+			i++
+		}
+		if r == c {
+			m.diagIdx[r] = len(m.values)
+		}
+		m.colIdx = append(m.colIdx, c)
+		m.values = append(m.values, v)
+		m.rowPtr[r+1] = len(m.values)
+	}
+	// Rows with no entries keep the running prefix.
+	for r := 1; r <= n; r++ {
+		if m.rowPtr[r] < m.rowPtr[r-1] {
+			m.rowPtr[r] = m.rowPtr[r-1]
+		}
+	}
+	return m
+}
+
+// N reports the matrix dimension.
+func (m *CSR) N() int { return m.n }
+
+// MulVec computes y = M·x.
+func (m *CSR) MulVec(x, y []float64) {
+	if len(x) != m.n || len(y) != m.n {
+		panic("mathx: CSR MulVec dimension mismatch")
+	}
+	for r := 0; r < m.n; r++ {
+		var s float64
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			s += m.values[k] * x[m.colIdx[k]]
+		}
+		y[r] = s
+	}
+}
+
+// CGOptions configures the conjugate gradient solver.
+type CGOptions struct {
+	// MaxIter bounds iterations; 0 means 10·n.
+	MaxIter int
+	// Tol is the relative residual target; 0 means 1e-10.
+	Tol float64
+}
+
+// SolveCG solves M·x = b for a symmetric positive-definite M using Jacobi-
+// preconditioned conjugate gradients. x0 may be nil for a zero start.
+// It returns the solution and the achieved relative residual.
+func (m *CSR) SolveCG(b, x0 []float64, opt CGOptions) ([]float64, float64, error) {
+	n := m.n
+	if len(b) != n {
+		return nil, 0, fmt.Errorf("mathx: SolveCG rhs length %d, want %d", len(b), n)
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	// Jacobi preconditioner from the diagonal.
+	inv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d := 0.0
+		if k := m.diagIdx[i]; k >= 0 {
+			d = m.values[k]
+		}
+		if d == 0 {
+			return nil, 0, ErrSingular
+		}
+		inv[i] = 1 / d
+	}
+	r := make([]float64, n)
+	m.MulVec(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	normB := Norm2(b)
+	if normB == 0 {
+		return x, 0, nil
+	}
+	z := make([]float64, n)
+	p := make([]float64, n)
+	for i := range z {
+		z[i] = inv[i] * r[i]
+	}
+	copy(p, z)
+	rz := Dot(r, z)
+	ap := make([]float64, n)
+	res := Norm2(r) / normB
+	for iter := 0; iter < maxIter && res > tol; iter++ {
+		m.MulVec(p, ap)
+		den := Dot(p, ap)
+		if den == 0 {
+			break
+		}
+		alpha := rz / den
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		for i := range z {
+			z[i] = inv[i] * r[i]
+		}
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+		res = Norm2(r) / normB
+	}
+	if math.IsNaN(res) || res > math.Sqrt(tol) {
+		return x, res, fmt.Errorf("mathx: CG did not converge (residual %.3g)", res)
+	}
+	return x, res, nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

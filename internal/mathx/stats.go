@@ -1,0 +1,102 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of v (0 for empty input).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// StdDev returns the sample standard deviation of v (0 for n < 2).
+func StdDev(v []float64) float64 {
+	n := len(v)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(v)
+	var ss float64
+	for _, x := range v {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// MinMax returns the extrema of v; it panics on empty input.
+func MinMax(v []float64) (lo, hi float64) {
+	if len(v) == 0 {
+		panic("mathx: MinMax of empty slice")
+	}
+	lo, hi = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Percentile returns the p-th percentile (0..100) using linear interpolation
+// between closest ranks; it panics on empty input.
+func Percentile(v []float64, p float64) float64 {
+	if len(v) == 0 {
+		panic("mathx: Percentile of empty slice")
+	}
+	s := make([]float64, len(v))
+	copy(s, v)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Trapezoid integrates y(x) samples with the trapezoid rule. The slices must
+// be equal length; fewer than two samples integrate to 0.
+func Trapezoid(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("mathx: Trapezoid length mismatch")
+	}
+	var area float64
+	for i := 1; i < len(xs); i++ {
+		area += 0.5 * (ys[i] + ys[i-1]) * (xs[i] - xs[i-1])
+	}
+	return area
+}
+
+// AlmostEqual reports whether a and b agree to within tol absolutely or
+// relatively (whichever is looser), the standard float comparison for tests.
+func AlmostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}

@@ -1,0 +1,19 @@
+package pdn
+
+import "testing"
+
+// BenchmarkSolve measures one IR-drop solve of the default 8×8 grid with a
+// warm start (the system simulator's per-step pattern).
+func BenchmarkSolve(b *testing.B) {
+	g := MustNew(DefaultConfig())
+	load := make([]float64, g.NumNodes())
+	for i := range load {
+		load[i] = 0.002
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Solve(load); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+
+	"deepheal/internal/mathx"
+	"deepheal/internal/rngx"
+)
+
+func TestUnloadedGridSitsAtVDD(t *testing.T) {
+	g := MustNew(DefaultConfig())
+	sol, err := g.Solve(make([]float64, g.NumNodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range sol.NodeV {
+		if !mathx.AlmostEqual(v, 1.0, 1e-9) {
+			t.Fatalf("node %d at %g, want VDD", i, v)
+		}
+	}
+	if sol.WorstDrop() > 1e-9 {
+		t.Errorf("worst drop = %g", sol.WorstDrop())
+	}
+}
+
+func TestLoadCausesIRDrop(t *testing.T) {
+	g := MustNew(DefaultConfig())
+	load := make([]float64, g.NumNodes())
+	centre := g.Config().Rows/2*g.Config().Cols + g.Config().Cols/2
+	load[centre] = 0.05
+	sol, err := g.Solve(load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.WorstDrop() <= 0 {
+		t.Fatal("no IR drop under load")
+	}
+	// The loaded node is the minimum-voltage node.
+	min, minIdx := math.Inf(1), -1
+	for i, v := range sol.NodeV {
+		if v < min {
+			min, minIdx = v, i
+		}
+	}
+	if minIdx != centre {
+		t.Errorf("minimum at node %d, want %d", minIdx, centre)
+	}
+}
+
+func TestCurrentConservationKCL(t *testing.T) {
+	// Property: at every non-pad node, branch currents minus the load sum
+	// to zero.
+	g := MustNew(DefaultConfig())
+	rng := rngx.New(3)
+	load := make([]float64, g.NumNodes())
+	for i := range load {
+		load[i] = rng.Uniform(0, 0.01)
+	}
+	sol, err := g.Solve(load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := make([]float64, g.NumNodes())
+	for k, e := range g.Edges() {
+		net[e.A] -= sol.EdgeI[k]
+		net[e.B] += sol.EdgeI[k]
+	}
+	for i := range net {
+		if g.isPad[i] {
+			continue
+		}
+		if math.Abs(net[i]-load[i]) > 1e-8 {
+			t.Fatalf("KCL violated at node %d: inflow %g vs load %g", i, net[i], load[i])
+		}
+	}
+}
+
+func TestSuperposition(t *testing.T) {
+	// The grid is linear: drops from two loads applied together equal the
+	// sum of the drops applied separately.
+	g := MustNew(DefaultConfig())
+	n := g.NumNodes()
+	l1 := make([]float64, n)
+	l2 := make([]float64, n)
+	l1[10] = 0.02
+	l2[30] = 0.03
+	s1, err := g.Solve(l1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := g.Solve(l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := make([]float64, n)
+	for i := range both {
+		both[i] = l1[i] + l2[i]
+	}
+	s12, err := g.Solve(both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdd := g.Config().VDD
+	for i := 0; i < n; i++ {
+		want := (vdd - s1.NodeV[i]) + (vdd - s2.NodeV[i])
+		got := vdd - s12.NodeV[i]
+		if math.Abs(got-want) > 1e-7 {
+			t.Fatalf("superposition broken at node %d: %g vs %g", i, got, want)
+		}
+	}
+}
+
+func TestReverseModeFlipsEdgeCurrents(t *testing.T) {
+	// The assist circuitry's EM recovery reverses grid currents at equal
+	// magnitude; at grid level that is a sign flip of the load map.
+	g := MustNew(DefaultConfig())
+	load := make([]float64, g.NumNodes())
+	load[20] = 0.04
+	fwd, err := g.Solve(load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg := make([]float64, len(load))
+	for i := range load {
+		neg[i] = -load[i]
+	}
+	rev, err := g.Solve(neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range fwd.EdgeI {
+		if math.Abs(fwd.EdgeI[k]+rev.EdgeI[k]) > 1e-9 {
+			t.Fatalf("edge %d did not reverse: %g vs %g", k, fwd.EdgeI[k], rev.EdgeI[k])
+		}
+	}
+}
+
+func TestEdgeEnumeration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = 3, 4
+	g := MustNew(cfg)
+	// 3 rows × 3 horizontal + 2 rows-gaps × 4 vertical = 9 + 8.
+	if len(g.Edges()) != 17 {
+		t.Errorf("edges = %d, want 17", len(g.Edges()))
+	}
+	for _, e := range g.Edges() {
+		if e.A >= e.B {
+			t.Errorf("edge %v not in scan order", e)
+		}
+	}
+}
+
+func TestCurrentDensityConversion(t *testing.T) {
+	g := MustNew(DefaultConfig())
+	// 0.4 µm × 0.2 µm cross-section: 8e-14 m²; 8 mA → 1e11 A/m² = 10 MA/cm².
+	j := g.CurrentDensity(8e-3)
+	if !mathx.AlmostEqual(j.MAcm2(), 10, 1e-9) {
+		t.Errorf("density = %v, want 10 MA/cm²", j)
+	}
+}
+
+func TestMaxEdgeCurrentNearPad(t *testing.T) {
+	// With a single central load and corner pads, the highest-current
+	// segments carry the aggregated pad currents.
+	g := MustNew(DefaultConfig())
+	load := make([]float64, g.NumNodes())
+	load[27] = 0.1
+	sol, err := g.Solve(load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, best := sol.MaxEdgeCurrent()
+	if best <= 0 {
+		t.Fatal("no current anywhere")
+	}
+}
+
+func TestCustomPads(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Pads = []int{0}
+	g := MustNew(cfg)
+	load := make([]float64, g.NumNodes())
+	load[g.NumNodes()-1] = 0.01
+	sol, err := g.Solve(load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.NodeV[0] != cfg.VDD {
+		t.Error("pad not pinned")
+	}
+	if sol.NodeV[g.NumNodes()-1] >= cfg.VDD {
+		t.Error("far node did not drop")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Rows = 1 },
+		func(c *Config) { c.SegOhm = 0 },
+		func(c *Config) { c.VDD = 0 },
+		func(c *Config) { c.WireWidthM = 0 },
+		func(c *Config) { c.Pads = []int{999} },
+	}
+	for i, mut := range mutations {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	g := MustNew(DefaultConfig())
+	if _, err := g.Solve([]float64{1}); err == nil {
+		t.Error("wrong load size accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deepheal/internal/rngx"
+)
+
+// TestPropertyVoltagesBounded: with current drawn (never injected), every
+// node voltage lies between 0 and VDD, and drops grow with load
+// (monotonicity under scaling).
+func TestPropertyVoltagesBounded(t *testing.T) {
+	g := MustNew(DefaultConfig())
+	f := func(seed int64) bool {
+		rng := rngx.New(seed)
+		load := make([]float64, g.NumNodes())
+		for i := range load {
+			load[i] = rng.Uniform(0, 0.02)
+		}
+		sol, err := g.Solve(load)
+		if err != nil {
+			return false
+		}
+		for _, v := range sol.NodeV {
+			if v < 0 || v > g.Config().VDD+1e-12 || math.IsNaN(v) {
+				return false
+			}
+		}
+		// Double the load: the worst drop must not decrease.
+		for i := range load {
+			load[i] *= 2
+		}
+		sol2, err := g.Solve(load)
+		if err != nil {
+			return false
+		}
+		return sol2.WorstDrop() >= sol.WorstDrop()-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPadCurrentBalance: the total current delivered by the pads
+// equals the total load current.
+func TestPropertyPadCurrentBalance(t *testing.T) {
+	g := MustNew(DefaultConfig())
+	f := func(seed int64) bool {
+		rng := rngx.New(seed)
+		load := make([]float64, g.NumNodes())
+		total := 0.0
+		for i := range load {
+			load[i] = rng.Uniform(0, 0.01)
+			total += load[i]
+		}
+		sol, err := g.Solve(load)
+		if err != nil {
+			return false
+		}
+		// Pad injection = sum over edges incident to pads of current out of
+		// the pad, plus the pad's own load is drawn directly.
+		injected := 0.0
+		for k, e := range g.Edges() {
+			if g.isPad[e.A] && !g.isPad[e.B] {
+				injected += sol.EdgeI[k]
+			}
+			if g.isPad[e.B] && !g.isPad[e.A] {
+				injected -= sol.EdgeI[k]
+			}
+		}
+		drawnAtPads := 0.0
+		for i := range load {
+			if g.isPad[i] {
+				drawnAtPads += load[i]
+			}
+		}
+		return math.Abs(injected-(total-drawnAtPads)) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

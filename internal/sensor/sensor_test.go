@@ -1,0 +1,137 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+
+	"deepheal/internal/rngx"
+)
+
+func TestROReadingTracksShift(t *testing.T) {
+	s, err := NewRO(DefaultROConfig(), rngx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := s.Read(0)
+	r40 := s.Read(0.040)
+	if r40.FreqHz >= r0.FreqHz {
+		t.Errorf("frequency did not drop with wearout: %g vs %g", r40.FreqHz, r0.FreqHz)
+	}
+	if math.Abs(r40.ShiftV-0.040) > 0.004 {
+		t.Errorf("estimated shift %.4f V, true 0.040 V", r40.ShiftV)
+	}
+}
+
+func TestROEstimationAccuracyStatistics(t *testing.T) {
+	s, err := NewRO(DefaultROConfig(), rngx.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trueShift = 0.025
+	var sum float64
+	const n = 500
+	for i := 0; i < n; i++ {
+		sum += s.Read(trueShift).ShiftV
+	}
+	mean := sum / n
+	if math.Abs(mean-trueShift) > 0.001 {
+		t.Errorf("mean estimate %.4f, want %.4f", mean, trueShift)
+	}
+}
+
+func TestROQuantisation(t *testing.T) {
+	cfg := DefaultROConfig()
+	cfg.NoiseSigmaHz = 0
+	cfg.CounterHz = 1e5
+	s, err := NewRO(cfg, rngx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Read(0.013)
+	if rem := math.Mod(r.FreqHz, 1e5); rem > 1e-6 && rem < 1e5-1e-6 {
+		t.Errorf("frequency %g not quantised to 100 kHz bins", r.FreqHz)
+	}
+}
+
+func TestRONoiseless(t *testing.T) {
+	cfg := DefaultROConfig()
+	cfg.NoiseSigmaHz = 0
+	cfg.CounterHz = 0
+	s, err := NewRO(cfg, rngx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Read(0.020)
+	if math.Abs(r.ShiftV-0.020) > 1e-12 {
+		t.Errorf("noiseless estimate %.6f, want exact", r.ShiftV)
+	}
+}
+
+func TestROValidation(t *testing.T) {
+	bad := DefaultROConfig()
+	bad.FreshHz = 0
+	if _, err := NewRO(bad, rngx.New(1)); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	bad = DefaultROConfig()
+	bad.SensPerV = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative sensitivity accepted")
+	}
+	if _, err := NewRO(DefaultROConfig(), nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestEMSensorTracksResistance(t *testing.T) {
+	s, err := NewEM(DefaultEMConfig(), rngx.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Read(74.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.DeltaOhm-(74.5-72.78)) > 0.2 {
+		t.Errorf("delta %.3f, want ≈1.72", r.DeltaOhm)
+	}
+	if r.Ratio < 1 {
+		t.Error("stressed wire ratio must exceed 1")
+	}
+}
+
+func TestEMSensorRejectsNonPhysical(t *testing.T) {
+	s, err := NewEM(DefaultEMConfig(), rngx.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(0); err == nil {
+		t.Error("zero resistance accepted")
+	}
+}
+
+func TestEMValidation(t *testing.T) {
+	bad := DefaultEMConfig()
+	bad.RefOhm = 0
+	if _, err := NewEM(bad, rngx.New(1)); err == nil {
+		t.Error("zero reference accepted")
+	}
+	bad = DefaultEMConfig()
+	bad.NoiseSigmaFrac = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative noise accepted")
+	}
+	if _, err := NewEM(DefaultEMConfig(), nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestSensorsDeterministic(t *testing.T) {
+	a, _ := NewRO(DefaultROConfig(), rngx.New(9))
+	b, _ := NewRO(DefaultROConfig(), rngx.New(9))
+	for i := 0; i < 20; i++ {
+		if a.Read(0.01).FreqHz != b.Read(0.01).FreqHz {
+			t.Fatal("same-seed sensors diverged")
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deepheal/internal/rngx"
+)
+
+// TestPropertySteadyStateEnergyBalance: for random power maps, total heat
+// to ambient equals total power, and no tile sits below ambient.
+func TestPropertySteadyStateEnergyBalance(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed int64) bool {
+		rng := rngx.New(seed)
+		g := MustNewGrid(4, 5, cfg)
+		power := make([]float64, 20)
+		total := 0.0
+		for i := range power {
+			power[i] = rng.Uniform(0, 5)
+			total += power[i]
+		}
+		temps, err := g.SteadyState(power)
+		if err != nil {
+			return false
+		}
+		out := 0.0
+		for _, tt := range temps {
+			if tt.K() < cfg.Ambient.K()-1e-9 {
+				return false
+			}
+			out += (tt.K() - cfg.Ambient.K()) / cfg.RVertical
+		}
+		return math.Abs(out-total) < 1e-6*(1+total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMorePowerNeverCools: raising one tile's power cannot lower
+// any steady-state temperature (the conductance matrix is an M-matrix, so
+// its inverse is non-negative).
+func TestPropertyMorePowerNeverCools(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed int64) bool {
+		rng := rngx.New(seed)
+		power := make([]float64, 9)
+		for i := range power {
+			power[i] = rng.Uniform(0, 3)
+		}
+		a := MustNewGrid(3, 3, cfg)
+		before, err := a.SteadyState(power)
+		if err != nil {
+			return false
+		}
+		bump := rng.IntN(9)
+		power[bump] += rng.Uniform(0.5, 2)
+		b := MustNewGrid(3, 3, cfg)
+		after, err := b.SteadyState(power)
+		if err != nil {
+			return false
+		}
+		for i := range before {
+			if after[i].K() < before[i].K()-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

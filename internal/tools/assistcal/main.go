@@ -1,0 +1,39 @@
+// Command assistcal probes the assist-circuitry model against the paper's
+// Fig. 9/10 anchors.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deepheal/internal/assist"
+)
+
+func main() {
+	cfg := assist.DefaultConfig()
+	a, err := assist.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range []assist.Mode{assist.ModeNormal, assist.ModeEMRecovery, assist.ModeBTIRecovery} {
+		if err := a.SetMode(m); err != nil {
+			log.Fatal(err)
+		}
+		op, err := a.Operating()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s loadVDD=%.3f loadVSS=%.3f Vload=%+.3f Igrid=%+.4g Iload=%.4g\n",
+			m, op.LoadVDD, op.LoadVSS, op.LoadVoltage(), op.GridCurrent, op.LoadCurrent)
+	}
+	// fig9 targets: Normal/EM same |Igrid| opposite signs (~5e-4);
+	// BTI: loadVSS~0.82, loadVDD~0.22
+	pts, err := assist.LoadSizeSweep(cfg, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nN  loadV  delay  tswNorm  tsw(ns)")
+	for _, p := range pts {
+		fmt.Printf("%d  %.3f  %.3f  %.3f  %.2f\n", p.NumLoads, p.LoadVDD-p.LoadVSS, p.NormalizedDelay, p.NormalizedTSw, p.SwitchingTimeS*1e9)
+	}
+}

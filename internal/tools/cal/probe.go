@@ -1,0 +1,23 @@
+package main
+
+import (
+	"fmt"
+
+	"deepheal/internal/bti"
+	"deepheal/internal/units"
+)
+
+// probeCycles prints the permanent-state composition around each phase of a
+// 1h:1h duty cycle (developer diagnostics).
+func probeCycles() {
+	p := bti.DefaultParams()
+	d := bti.MustNewDevice(p)
+	for i := 0; i < 4; i++ {
+		d.Apply(bti.StressAccel, units.Hours(1))
+		fmt.Printf("cycle %d post-stress:  P=%.4f locked=%.4f (mV: P1=%.3f)\n",
+			i, d.PermanentV()*1000, d.LockedV()*1000, (d.PermanentV()-d.LockedV())*1000)
+		d.Apply(bti.RecoverDeep, units.Hours(1))
+		fmt.Printf("cycle %d post-recover: P=%.4f locked=%.4f (mV: P1=%.3f)\n",
+			i, d.PermanentV()*1000, d.LockedV()*1000, (d.PermanentV()-d.LockedV())*1000)
+	}
+}

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"fmt"
+
+	"deepheal/internal/bti"
+	"deepheal/internal/units"
+)
+
+// probeSubsteps traces the permanent state in fine steps through cycle 1's
+// stress phase (developer diagnostics).
+func probeSubsteps() {
+	p := bti.DefaultParams()
+	d := bti.MustNewDevice(p)
+	d.Apply(bti.StressAccel, units.Hours(1))
+	d.Apply(bti.RecoverDeep, units.Hours(1))
+	fmt.Printf("start: P1=%.5f locked=%.5f\n", (d.PermanentV()-d.LockedV())*1000, d.LockedV()*1000)
+	for i := 0; i < 8; i++ {
+		d.Apply(bti.StressAccel, 450)
+		fmt.Printf("t=%4ds P1=%.5f locked=%.5f\n", (i+1)*450, (d.PermanentV()-d.LockedV())*1000, d.LockedV()*1000)
+	}
+}

@@ -1,0 +1,72 @@
+// Command emcal is the developer calibration probe for the EM model: it
+// prints the Fig. 5/6/7 anchor quantities for the current DefaultParams.
+package main
+
+import (
+	"fmt"
+
+	"deepheal/internal/em"
+	"deepheal/internal/units"
+)
+
+func main() {
+	p := em.DefaultParams()
+	jStress := units.MAPerCm2(7.96)
+	temp := units.Celsius(230)
+
+	w := em.MustNewWire(p)
+	tn, err := w.TimeToNucleation(jStress, temp, units.Hours(48))
+	fmt.Printf("nucleation time: %.1f min (err=%v)  [target ~360]\n", units.SecondsToMinutes(tn), err)
+
+	ttf, err := w.TimeToFailure(jStress, temp, units.Hours(72))
+	fmt.Printf("continuous TTF: %.1f min (err=%v)  [target ~1050-1150]\n", units.SecondsToMinutes(ttf), err)
+
+	// Fig 5: stress 960 min, then deep recovery (reverse current, same T)
+	w5 := em.MustNewWire(p)
+	w5.Run(jStress, temp, units.Minutes(960), 0)
+	rPeak := w5.Resistance(temp)
+	r0 := p.Resistance0(temp)
+	fmt.Printf("fig5: R0=%.2f  Rpeak(960min)=%.2f  rise=%.2f  [start 72.8 target, rise ~1.8]\n", r0, rPeak, rPeak-r0)
+	w5.Run(-jStress, temp, units.Minutes(192), 0)
+	rAfter := w5.Resistance(temp)
+	fmt.Printf("fig5: after 192min recovery R=%.2f  recovered %.0f%% of rise, perm=%.2f ohm [target >75%%, perm ~0.4]\n",
+		rAfter, (rPeak-rAfter)/(rPeak-r0)*100, rAfter-r0)
+	// passive recovery comparison
+	w5p := em.MustNewWire(p)
+	w5p.Run(jStress, temp, units.Minutes(960), 0)
+	w5p.Run(0, temp, units.Minutes(192), 0)
+	fmt.Printf("fig5: passive recovery 192min: R=%.2f (recovered %.0f%%) [target ~0]\n",
+		w5p.Resistance(temp), (rPeak-w5p.Resistance(temp))/(rPeak-r0)*100)
+
+	// Fig 6: recover early in void growth -> full recovery, then reverse-EM
+	w6 := em.MustNewWire(p)
+	tn6, _ := w6.TimeToNucleation(jStress, temp, units.Hours(24))
+	w6.Run(jStress, temp, tn6+units.Minutes(60), 0)
+	rise6 := w6.Resistance(temp) - r0
+	w6.Run(-jStress, temp, units.Minutes(120), 0)
+	fmt.Printf("fig6: rise=%.2f, after early recovery resid=%.3f ohm [target ~0], reverse stress max=%.3f\n",
+		rise6, w6.Resistance(temp)-r0, w6.MaxStress())
+	// keep reversing - reverse EM should nucleate opposite end eventually
+	w6.Run(-jStress, temp, units.Minutes(600), 0)
+	fmt.Printf("fig6: after 600min more reverse: R=%.2f nucleatedAnode=%v voidAnode=%.3g\n",
+		w6.Resistance(temp), w6.Nucleated(em.EndAnode), w6.VoidLength(em.EndAnode))
+
+	// Fig 7: periodic 110min stress / 30min reverse during nucleation phase
+	w7 := em.MustNewWire(p)
+	elapsed := 0.0
+	for !w7.Nucleated(em.EndCathode) && !w7.Nucleated(em.EndAnode) && elapsed < units.Hours(60) {
+		w7.Run(jStress, temp, units.Minutes(120), 0)
+		elapsed += units.Minutes(120)
+		if w7.Nucleated(em.EndCathode) || w7.Nucleated(em.EndAnode) {
+			break
+		}
+		w7.Run(-jStress, temp, units.Minutes(45), 0)
+		elapsed += units.Minutes(45)
+	}
+	fmt.Printf("fig7: nucleation with periodic recovery at %.0f min (%.1fx delay)\n",
+		units.SecondsToMinutes(elapsed), elapsed/tn)
+	// then continuous stress to failure
+	ttf7, err := w7.TimeToFailure(jStress, temp, units.Hours(72))
+	fmt.Printf("fig7: TTF = %.0f min total (%.2fx vs %.0f) err=%v\n",
+		units.SecondsToMinutes(elapsed+ttf7), (elapsed+ttf7)/ttf, units.SecondsToMinutes(ttf), err)
+}

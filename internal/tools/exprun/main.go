@@ -1,0 +1,20 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"deepheal/internal/experiments"
+)
+
+func main() {
+	for _, id := range experiments.IDs() {
+		start := time.Now()
+		res, err := experiments.Run(id)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Printf("=== %s (%s) [%.1fs]\n%s\n", res.ID(), res.Title(), time.Since(start).Seconds(), res.Format())
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deepheal/internal/core"
+	"deepheal/internal/pdn"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	g, err := pdn.New(cfg.PDN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	load := make([]float64, g.NumNodes())
+	for i := range load {
+		load[i] = 0.7 * cfg.LoadCurrentA
+	}
+	sol, err := g.Solve(load)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, amps := sol.MaxEdgeCurrent()
+	fmt.Printf("max edge %d current %.4g A density %v (JRef %v)\n", k, amps, g.CurrentDensity(amps), cfg.EM.JRef)
+	fmt.Printf("worst IR drop %.4f V\n", sol.WorstDrop())
+}

@@ -1,0 +1,38 @@
+// Command syscal probes the system-level scheduler against the Fig. 12
+// qualitative targets.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"deepheal/internal/core"
+)
+
+func main() {
+	for _, pol := range []core.Policy{&core.NoRecovery{}, &core.PassiveRecovery{}, core.DefaultDeepHealing()} {
+		cfg := core.DefaultConfig()
+		start := time.Now()
+		sim, err := core.NewSimulator(cfg, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sim.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		mid := rep.Series[len(rep.Series)/2]
+		firstNuc := -1
+		for _, st := range rep.Series {
+			if st.EMMaxProgress >= 1 {
+				firstNuc = st.Step
+				break
+			}
+		}
+		fmt.Printf("  firstNuc=%d emDelta(mid)=%.3g maxProg(mid)=%.3f\n", firstNuc, mid.EMDeltaOhm, mid.EMMaxProgress)
+		fmt.Printf("%-13s guardband=%5.1f%% finalShift=%5.1fmV midMaxShift=%5.1fmV emNuc=%-5v emFail=%5d avail=%.3f ovh=%.3f maxT=%.0fC (%.1fs)\n",
+			rep.Policy, rep.GuardbandFrac*100, rep.FinalShiftV*1000, mid.MaxShiftV*1000,
+			rep.EMNucleated, rep.EMFailedStep, rep.Availability, rep.RecoveryOverhead, mid.MaxTempC, time.Since(start).Seconds())
+	}
+}

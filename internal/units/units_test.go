@@ -1,0 +1,120 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCelsiusKelvinRoundTrip(t *testing.T) {
+	f := func(c float64) bool {
+		if math.IsNaN(c) || math.IsInf(c, 0) || math.Abs(c) > 1e6 {
+			return true
+		}
+		return math.Abs(Celsius(c).C()-c) < 1e-9*math.Max(1, math.Abs(c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTemperatureString(t *testing.T) {
+	if got := Celsius(110).String(); got != "110.0°C" {
+		t.Errorf("String() = %q, want 110.0°C", got)
+	}
+}
+
+func TestTemperatureValid(t *testing.T) {
+	cases := []struct {
+		temp Temperature
+		want bool
+	}{
+		{Celsius(20), true},
+		{Celsius(-273.15), false},
+		{Celsius(-300), false},
+		{Kelvin(1), true},
+		{Temperature(math.Inf(1)), false},
+	}
+	for _, c := range cases {
+		if got := c.temp.Valid(); got != c.want {
+			t.Errorf("Valid(%v K) = %v, want %v", c.temp.K(), got, c.want)
+		}
+	}
+}
+
+func TestArrheniusIdentity(t *testing.T) {
+	if got := Arrhenius(0.7, Celsius(85), Celsius(85)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Arrhenius at reference = %g, want 1", got)
+	}
+}
+
+func TestArrheniusAcceleration(t *testing.T) {
+	// Higher temperature must accelerate; lower must decelerate.
+	hot := Arrhenius(0.7, Celsius(110), Celsius(20))
+	cold := Arrhenius(0.7, Celsius(-10), Celsius(20))
+	if hot <= 1 {
+		t.Errorf("hot acceleration %g, want > 1", hot)
+	}
+	if cold >= 1 {
+		t.Errorf("cold factor %g, want < 1", cold)
+	}
+	// Reciprocity: swapping T and Tref inverts the factor.
+	inv := Arrhenius(0.7, Celsius(20), Celsius(110))
+	if math.Abs(hot*inv-1) > 1e-12 {
+		t.Errorf("reciprocity broken: %g * %g != 1", hot, inv)
+	}
+}
+
+func TestArrheniusMonotoneInEa(t *testing.T) {
+	prev := 0.0
+	for _, ea := range []float64{0.1, 0.3, 0.5, 0.9, 1.2} {
+		f := Arrhenius(ea, Celsius(110), Celsius(20))
+		if f <= prev {
+			t.Fatalf("Arrhenius not increasing in Ea at %g: %g <= %g", ea, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestCurrentDensityRoundTrip(t *testing.T) {
+	j := MAPerCm2(7.96)
+	if math.Abs(j.MAcm2()-7.96) > 1e-12 {
+		t.Errorf("MAcm2 round trip = %g", j.MAcm2())
+	}
+	if math.Abs(j.SI()-7.96e10) > 1 {
+		t.Errorf("SI = %g, want 7.96e10", j.SI())
+	}
+	if got := j.String(); got != "7.96MA/cm²" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if Hours(1.5) != 5400 {
+		t.Errorf("Hours(1.5) = %g", Hours(1.5))
+	}
+	if Minutes(2) != 120 {
+		t.Errorf("Minutes(2) = %g", Minutes(2))
+	}
+	if SecondsToHours(7200) != 2 {
+		t.Errorf("SecondsToHours(7200) = %g", SecondsToHours(7200))
+	}
+	if SecondsToMinutes(90) != 1.5 {
+		t.Errorf("SecondsToMinutes(90) = %g", SecondsToMinutes(90))
+	}
+}
+
+func TestLengthHelpers(t *testing.T) {
+	if Micron(1.57) != 1.57e-6 {
+		t.Errorf("Micron = %g", Micron(1.57))
+	}
+	if Millimetre(2.673) != 2.673e-3 {
+		t.Errorf("Millimetre = %g", Millimetre(2.673))
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.724); got != "72.4%" {
+		t.Errorf("Percent = %q", got)
+	}
+}

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"deepheal/internal/mathx"
+)
+
+// TraceProfile replays a recorded utilisation trace — e.g. a datacentre or
+// device activity log — with linear interpolation between samples. Steps
+// past the last sample wrap around when Loop is set, otherwise hold the
+// final value.
+type TraceProfile struct {
+	interp *mathx.Interpolator
+	last   float64 // time of the last sample
+	loop   bool
+	label  string
+}
+
+var _ Profile = (*TraceProfile)(nil)
+
+// NewTraceProfile builds a replay profile from (stepTime, utilisation)
+// samples. Times must be strictly increasing and start at or before 0;
+// utilisations are clamped to [0, 1] on playback.
+func NewTraceProfile(label string, times, utils []float64, loop bool) (*TraceProfile, error) {
+	if len(times) == 0 || len(times) != len(utils) {
+		return nil, fmt.Errorf("workload: trace needs equal non-empty samples, got %d/%d", len(times), len(utils))
+	}
+	if times[0] > 0 {
+		return nil, errors.New("workload: trace must start at or before step 0")
+	}
+	in, err := mathx.NewInterpolator(times, utils)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	return &TraceProfile{
+		interp: in,
+		last:   times[len(times)-1],
+		loop:   loop,
+		label:  label,
+	}, nil
+}
+
+// At implements Profile.
+func (p *TraceProfile) At(step int) float64 {
+	t := float64(step)
+	if p.loop && p.last > 0 {
+		for t < 0 {
+			t += p.last
+		}
+		for t > p.last {
+			t -= p.last
+		}
+	}
+	return mathx.Clamp(p.interp.At(t), 0, 1)
+}
+
+// Name implements Profile.
+func (p *TraceProfile) Name() string {
+	if p.label != "" {
+		return "trace(" + p.label + ")"
+	}
+	return "trace"
+}

@@ -1,0 +1,157 @@
+// Package workload generates the deterministic utilisation traces that
+// drive the system-level simulations: per-step utilisation in [0, 1] for
+// each core/block, from periodic, bursty and IoT duty-cycled profiles.
+// Utilisation maps to electrical stress (BTI), load current (PDN/EM) and
+// power (thermal) in the scheduler.
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"deepheal/internal/mathx"
+	"deepheal/internal/rngx"
+)
+
+// Profile produces a utilisation sample per step.
+type Profile interface {
+	// At returns the utilisation in [0, 1] at the given step index.
+	At(step int) float64
+	// Name identifies the profile for reports.
+	Name() string
+}
+
+// Constant is a fixed-utilisation profile.
+type Constant struct {
+	// Util is the utilisation level.
+	Util float64
+}
+
+var _ Profile = Constant{}
+
+// At implements Profile.
+func (c Constant) At(int) float64 { return mathx.Clamp(c.Util, 0, 1) }
+
+// Name implements Profile.
+func (c Constant) Name() string { return fmt.Sprintf("constant(%.2f)", c.Util) }
+
+// Periodic alternates between busy and idle phases — the paper's scheduled
+// ON/OFF pattern.
+type Periodic struct {
+	// BusySteps and IdleSteps set the cycle shape.
+	BusySteps, IdleSteps int
+	// BusyUtil is the utilisation while busy.
+	BusyUtil float64
+	// Offset shifts the phase so cores can be staggered.
+	Offset int
+}
+
+var _ Profile = Periodic{}
+
+// At implements Profile.
+func (p Periodic) At(step int) float64 {
+	period := p.BusySteps + p.IdleSteps
+	if period <= 0 {
+		return 0
+	}
+	phase := ((step+p.Offset)%period + period) % period
+	if phase < p.BusySteps {
+		return mathx.Clamp(p.BusyUtil, 0, 1)
+	}
+	return 0
+}
+
+// Name implements Profile.
+func (p Periodic) Name() string {
+	return fmt.Sprintf("periodic(%d:%d)", p.BusySteps, p.IdleSteps)
+}
+
+// Bursty draws busy bursts with random lengths and gaps from a seeded
+// stream; the same seed always yields the same trace.
+type Bursty struct {
+	seq  []float64
+	name string
+}
+
+var _ Profile = (*Bursty)(nil)
+
+// NewBursty pre-generates steps samples of a bursty trace: exponential-ish
+// burst and gap lengths around the given means, busy utilisation in
+// [minUtil, 1].
+func NewBursty(rng *rngx.Source, steps, meanBusy, meanIdle int, minUtil float64) (*Bursty, error) {
+	if rng == nil {
+		return nil, errors.New("workload: nil rng")
+	}
+	if steps <= 0 || meanBusy <= 0 || meanIdle <= 0 {
+		return nil, fmt.Errorf("workload: bursty wants positive steps/means, got %d/%d/%d", steps, meanBusy, meanIdle)
+	}
+	if minUtil < 0 || minUtil > 1 {
+		return nil, fmt.Errorf("workload: minUtil %g outside [0,1]", minUtil)
+	}
+	seq := make([]float64, 0, steps)
+	for len(seq) < steps {
+		busy := 1 + rng.IntN(2*meanBusy)
+		util := rng.Uniform(minUtil, 1)
+		for i := 0; i < busy && len(seq) < steps; i++ {
+			seq = append(seq, util)
+		}
+		idle := 1 + rng.IntN(2*meanIdle)
+		for i := 0; i < idle && len(seq) < steps; i++ {
+			seq = append(seq, 0)
+		}
+	}
+	return &Bursty{seq: seq, name: fmt.Sprintf("bursty(%d:%d)", meanBusy, meanIdle)}, nil
+}
+
+// At implements Profile; steps beyond the pre-generated horizon wrap.
+func (b *Bursty) At(step int) float64 {
+	if len(b.seq) == 0 {
+		return 0
+	}
+	return b.seq[((step%len(b.seq))+len(b.seq))%len(b.seq)]
+}
+
+// Name implements Profile.
+func (b *Bursty) Name() string { return b.name }
+
+// IoTDutyCycle models the paper's ULP/IoT motivation: long sleep with brief
+// wake-ups (e.g. a medical implant sampling every few minutes).
+type IoTDutyCycle struct {
+	// WakeEvery is the period in steps; Active the busy steps per period.
+	WakeEvery, Active int
+	// Util is the utilisation while awake.
+	Util float64
+}
+
+var _ Profile = IoTDutyCycle{}
+
+// At implements Profile.
+func (p IoTDutyCycle) At(step int) float64 {
+	if p.WakeEvery <= 0 {
+		return 0
+	}
+	phase := ((step % p.WakeEvery) + p.WakeEvery) % p.WakeEvery
+	if phase < p.Active {
+		return mathx.Clamp(p.Util, 0, 1)
+	}
+	return 0
+}
+
+// Name implements Profile.
+func (p IoTDutyCycle) Name() string {
+	return fmt.Sprintf("iot(%d/%d)", p.Active, p.WakeEvery)
+}
+
+// Trace materialises a profile over a horizon.
+func Trace(p Profile, steps int) []float64 {
+	out := make([]float64, steps)
+	for i := range out {
+		out[i] = p.At(i)
+	}
+	return out
+}
+
+// MeanUtil returns the average utilisation of a profile over a horizon.
+func MeanUtil(p Profile, steps int) float64 {
+	return mathx.Mean(Trace(p, steps))
+}

@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deepheal/internal/rngx"
+)
+
+func TestConstantClamped(t *testing.T) {
+	if (Constant{Util: 2}).At(0) != 1 {
+		t.Error("not clamped high")
+	}
+	if (Constant{Util: -1}).At(5) != 0 {
+		t.Error("not clamped low")
+	}
+	if (Constant{Util: 0.5}).Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestPeriodicShape(t *testing.T) {
+	p := Periodic{BusySteps: 2, IdleSteps: 3, BusyUtil: 0.8}
+	want := []float64{0.8, 0.8, 0, 0, 0, 0.8, 0.8, 0, 0, 0}
+	for i, w := range want {
+		if got := p.At(i); got != w {
+			t.Errorf("At(%d) = %g, want %g", i, got, w)
+		}
+	}
+}
+
+func TestPeriodicOffset(t *testing.T) {
+	a := Periodic{BusySteps: 1, IdleSteps: 1, BusyUtil: 1}
+	b := Periodic{BusySteps: 1, IdleSteps: 1, BusyUtil: 1, Offset: 1}
+	for i := 0; i < 10; i++ {
+		if a.At(i) == b.At(i) {
+			t.Fatalf("offset profiles identical at %d", i)
+		}
+	}
+}
+
+func TestPeriodicDegenerate(t *testing.T) {
+	if (Periodic{}).At(3) != 0 {
+		t.Error("degenerate period must be idle")
+	}
+}
+
+func TestPeriodicNegativeStepsSafe(t *testing.T) {
+	p := Periodic{BusySteps: 2, IdleSteps: 2, BusyUtil: 1}
+	f := func(step int) bool {
+		v := p.At(step)
+		return v == 0 || v == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBurstyDeterministicAndBounded(t *testing.T) {
+	a, err := NewBursty(rngx.New(4), 500, 5, 10, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBursty(rngx.New(4), 500, 5, 10, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	for i := 0; i < 500; i++ {
+		va, vb := a.At(i), b.At(i)
+		if va != vb {
+			t.Fatal("same-seed bursty traces diverged")
+		}
+		if va < 0 || va > 1 {
+			t.Fatalf("utilisation %g out of range", va)
+		}
+		if va > 0 {
+			if va < 0.4 {
+				t.Fatalf("busy utilisation %g below minUtil", va)
+			}
+			busy++
+		}
+	}
+	if busy == 0 || busy == 500 {
+		t.Errorf("bursty trace degenerate: %d/500 busy", busy)
+	}
+}
+
+func TestBurstyWraps(t *testing.T) {
+	b, err := NewBursty(rngx.New(4), 50, 3, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.At(0) != b.At(50) || b.At(7) != b.At(107) {
+		t.Error("trace does not wrap")
+	}
+	if b.At(-1) != b.At(49) {
+		t.Error("negative steps do not wrap")
+	}
+}
+
+func TestBurstyErrors(t *testing.T) {
+	if _, err := NewBursty(nil, 10, 1, 1, 0); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NewBursty(rngx.New(1), 0, 1, 1, 0); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := NewBursty(rngx.New(1), 10, 1, 1, 2); err == nil {
+		t.Error("minUtil > 1 accepted")
+	}
+}
+
+func TestIoTDutyCycle(t *testing.T) {
+	p := IoTDutyCycle{WakeEvery: 10, Active: 1, Util: 0.9}
+	mean := MeanUtil(p, 1000)
+	if math.Abs(mean-0.09) > 1e-9 {
+		t.Errorf("mean util = %g, want 0.09", mean)
+	}
+	if (IoTDutyCycle{}).At(5) != 0 {
+		t.Error("degenerate IoT profile must sleep")
+	}
+}
+
+func TestTraceLength(t *testing.T) {
+	tr := Trace(Constant{Util: 0.5}, 42)
+	if len(tr) != 42 {
+		t.Errorf("trace length %d", len(tr))
+	}
+	for _, v := range tr {
+		if v != 0.5 {
+			t.Fatal("wrong value")
+		}
+	}
+}
+
+func TestProfileNames(t *testing.T) {
+	b, err := NewBursty(rngx.New(1), 10, 2, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Profile{Constant{Util: 1}, Periodic{BusySteps: 1, IdleSteps: 1}, b, IoTDutyCycle{WakeEvery: 5, Active: 1}} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+	}
+}
+
+func TestTraceProfilePlayback(t *testing.T) {
+	p, err := NewTraceProfile("ramp", []float64{0, 10, 20}, []float64{0, 1, 0}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(0) != 0 || p.At(10) != 1 || p.At(20) != 0 {
+		t.Error("sample points wrong")
+	}
+	if got := p.At(5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("At(5) = %g, want 0.5", got)
+	}
+	// Hold after the end without looping.
+	if p.At(100) != 0 {
+		t.Error("non-looping trace must hold the final value")
+	}
+	if p.Name() != "trace(ramp)" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestTraceProfileLoops(t *testing.T) {
+	p, err := NewTraceProfile("", []float64{0, 4}, []float64{0, 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.At(6)-p.At(2)) > 1e-12 {
+		t.Errorf("loop broken: At(6)=%g At(2)=%g", p.At(6), p.At(2))
+	}
+	if p.Name() != "trace" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestTraceProfileClampsUtil(t *testing.T) {
+	p, err := NewTraceProfile("x", []float64{0, 1}, []float64{-0.5, 1.5}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(0) != 0 || p.At(1) != 1 {
+		t.Error("utilisation not clamped")
+	}
+}
+
+func TestTraceProfileErrors(t *testing.T) {
+	if _, err := NewTraceProfile("x", nil, nil, false); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := NewTraceProfile("x", []float64{1, 2}, []float64{0, 1}, false); err == nil {
+		t.Error("trace starting after 0 accepted")
+	}
+	if _, err := NewTraceProfile("x", []float64{0, 0}, []float64{0, 1}, false); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+}
