@@ -6,9 +6,12 @@
 //	deepheal list              # show available experiment ids
 //	deepheal all               # run every experiment
 //	deepheal table1 fig5 ...   # run specific experiments
+//	deepheal sim [flags]       # run one policy simulation directly
 //
 // Each experiment prints its paper-style table or series followed by a
 // summary comparing the simulated result against the paper's anchors.
+// The sim subcommand drives a single engine simulation with progress
+// reporting and checkpoint/resume; see `deepheal sim -h`.
 package main
 
 import (
@@ -33,7 +36,7 @@ func run(args []string) error {
 	quiet := fs.Bool("q", false, "print only experiment summaries, not full series")
 	outDir := fs.String("o", "", "also write <id>.txt (and <id>_<series>.tsv where available) into this directory")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: deepheal [-q] [-o dir] list | all | <experiment>...\n\nexperiments:\n")
+		fmt.Fprintf(fs.Output(), "usage: deepheal [-q] [-o dir] list | all | sim | <experiment>...\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
 			fmt.Fprintf(fs.Output(), "  %s\n", id)
 		}
@@ -49,6 +52,8 @@ func run(args []string) error {
 
 	var ids []string
 	switch fs.Arg(0) {
+	case "sim":
+		return runSim(fs.Args()[1:])
 	case "list":
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)

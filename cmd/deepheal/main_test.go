@@ -1,9 +1,12 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"deepheal/internal/core"
 )
 
 func TestRunList(t *testing.T) {
@@ -40,5 +43,66 @@ func TestRunWithOutputDir(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, "table1_recovery.tsv")); err != nil {
 		t.Errorf("missing table1_recovery.tsv: %v", err)
+	}
+}
+
+func TestRunSimShortLifetime(t *testing.T) {
+	if err := run([]string{"sim", "-steps", "30", "-policy", "deep-healing", "-workers", "2", "-progress"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSimRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"sim", "-policy", "nope", "-steps", "5"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run([]string{"sim", "extra"}); err == nil {
+		t.Error("positional argument accepted")
+	}
+	if err := run([]string{"sim", "-checkpoint", "x", "-checkpoint-every", "0", "-steps", "5"}); err == nil {
+		t.Error("zero checkpoint interval accepted")
+	}
+}
+
+func TestRunSimCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sim.ckpt")
+	if err := run([]string{"sim", "-steps", "25", "-checkpoint", ckpt, "-checkpoint-every", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Errorf("finished run left checkpoint behind (stat err = %v)", err)
+	}
+
+	// Interrupted run: save a mid-lifetime snapshot by hand, then let the
+	// CLI resume from it and finish the horizon.
+	cfg := core.DefaultConfig()
+	cfg.Steps = 25
+	sim, err := core.NewSimulator(cfg, core.DefaultDeepHealing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunSteps(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sim.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckpt, snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"sim", "-steps", "25", "-checkpoint", ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Errorf("resumed run left checkpoint behind (stat err = %v)", err)
+	}
+
+	// A snapshot from a different system must be refused, not half-applied.
+	if err := os.WriteFile(ckpt, snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"sim", "-steps", "30", "-checkpoint", ckpt}); err == nil {
+		t.Error("mismatched checkpoint accepted")
 	}
 }

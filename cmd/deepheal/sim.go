@@ -1,0 +1,196 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"deepheal/internal/core"
+	"deepheal/internal/engine"
+)
+
+// policyFactories maps CLI policy names to fresh policy instances. Factories,
+// not values: stateful policies must start (or resume) clean per run.
+var policyFactories = map[string]func() core.Policy{
+	"no-recovery":           func() core.Policy { return &core.NoRecovery{} },
+	"passive":               func() core.Policy { return &core.PassiveRecovery{} },
+	"deep-healing":          func() core.Policy { return core.DefaultDeepHealing() },
+	"round-robin":           func() core.Policy { return core.DefaultRoundRobin() },
+	"heat-aware":            func() core.Policy { return core.DefaultHeatAware() },
+	"adaptive-compensation": func() core.Policy { return &core.AdaptiveCompensation{} },
+}
+
+func policyNames() []string {
+	names := make([]string, 0, len(policyFactories))
+	for name := range policyFactories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// runSim executes a single engine-driven lifetime simulation with optional
+// progress reporting and checkpoint/resume.
+func runSim(args []string) error {
+	fs := flag.NewFlagSet("deepheal sim", flag.ContinueOnError)
+	policy := fs.String("policy", "deep-healing", "scheduling policy to run")
+	rows := fs.Int("rows", 0, "die rows (0 = default config)")
+	cols := fs.Int("cols", 0, "die cols (0 = default config)")
+	steps := fs.Int("steps", 0, "simulated steps (0 = default config)")
+	workers := fs.Int("workers", 0, "wearout-stage worker bound (0 = GOMAXPROCS, 1 = serial)")
+	progress := fs.Bool("progress", false, "print step progress while running")
+	checkpoint := fs.String("checkpoint", "", "checkpoint file: resume from it if present, save into it while running")
+	checkpointEvery := fs.Int("checkpoint-every", 100, "steps between checkpoint saves (with -checkpoint)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: deepheal sim [flags]\n\npolicies:\n")
+		for _, name := range policyNames() {
+			fmt.Fprintf(fs.Output(), "  %s\n", name)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("sim: unexpected argument %q", fs.Arg(0))
+	}
+	factory, ok := policyFactories[*policy]
+	if !ok {
+		return fmt.Errorf("sim: unknown policy %q (have %v)", *policy, policyNames())
+	}
+	if *checkpoint != "" && *checkpointEvery < 1 {
+		return fmt.Errorf("sim: -checkpoint-every must be at least 1")
+	}
+
+	cfg := core.DefaultConfig()
+	if *rows > 0 || *cols > 0 {
+		r, c := cfg.Rows, cfg.Cols
+		if *rows > 0 {
+			r = *rows
+		}
+		if *cols > 0 {
+			c = *cols
+		}
+		cfg = core.ConfigForGrid(r, c)
+	}
+	if *steps > 0 {
+		cfg.Steps = *steps
+	}
+
+	opts := []core.Option{core.WithWorkers(*workers)}
+	if *progress {
+		opts = append(opts, core.WithProgress(func(step, total int) {
+			if step%10 == 0 || step == total {
+				fmt.Fprintf(os.Stderr, "\rstep %d/%d", step, total)
+			}
+			if step == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}))
+	}
+
+	sim, err := core.NewSimulator(cfg, factory(), opts...)
+	if err != nil {
+		return err
+	}
+	if *checkpoint != "" {
+		data, err := os.ReadFile(*checkpoint)
+		switch {
+		case err == nil:
+			if err := sim.Restore(data); err != nil {
+				return fmt.Errorf("sim: resume from %s: %w", *checkpoint, err)
+			}
+			fmt.Printf("resumed from %s at step %d/%d\n", *checkpoint, sim.Step(), cfg.Steps)
+		case errors.Is(err, os.ErrNotExist):
+			// First run: the file appears once the first checkpoint is saved.
+		default:
+			return err
+		}
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	for sim.Step() < cfg.Steps {
+		n := cfg.Steps - sim.Step()
+		if *checkpoint != "" && n > *checkpointEvery {
+			n = *checkpointEvery
+		}
+		if err := sim.RunSteps(ctx, n); err != nil {
+			return err
+		}
+		if *checkpoint != "" && sim.Step() < cfg.Steps {
+			if err := saveCheckpoint(*checkpoint, sim); err != nil {
+				return err
+			}
+		}
+	}
+	rep, err := sim.RunContext(ctx)
+	if err != nil {
+		return err
+	}
+	if *checkpoint != "" {
+		// The horizon is done; a stale checkpoint would only re-run the end.
+		if err := os.Remove(*checkpoint); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+
+	fmt.Printf("policy %s: %d steps on a %dx%d die in %.1fs\n",
+		rep.Policy, len(rep.Series), cfg.Rows, cfg.Cols, time.Since(start).Seconds())
+	fmt.Printf("  guardband       %6.2f %%\n", rep.GuardbandFrac*100)
+	fmt.Printf("  final shift     %6.1f mV\n", rep.FinalShiftV*1000)
+	fmt.Printf("  availability    %6.2f %%\n", rep.Availability*100)
+	fmt.Printf("  recovery spent  %6.2f %% of core-steps\n", rep.RecoveryOverhead*100)
+	if rep.EMNucleated {
+		fmt.Printf("  EM: void nucleated")
+		if rep.EMFailedStep >= 0 {
+			fmt.Printf(", grid segment broke at step %d", rep.EMFailedStep)
+		}
+		fmt.Println()
+	} else {
+		fmt.Println("  EM: no void nucleation")
+	}
+	fmt.Println("  stage wall time:")
+	printStageTimes(sim.StageTimes())
+	return nil
+}
+
+// saveCheckpoint writes the simulator snapshot atomically (write + rename) so
+// a crash mid-save never corrupts the resume point.
+func saveCheckpoint(path string, sim *core.Simulator) error {
+	data, err := sim.Snapshot()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func printStageTimes(times map[engine.StageName]time.Duration) {
+	order := []engine.StageName{
+		engine.StagePlan, engine.StageElectrical, engine.StageThermal,
+		engine.StageWearout, engine.StageSense, engine.StageRecord,
+	}
+	var total time.Duration
+	for _, d := range times {
+		total += d
+	}
+	for _, name := range order {
+		d, ok := times[name]
+		if !ok {
+			continue
+		}
+		frac := 0.0
+		if total > 0 {
+			frac = float64(d) / float64(total) * 100
+		}
+		fmt.Printf("    %-10s %10s  %5.1f %%\n", name, d.Round(time.Microsecond), frac)
+	}
+}

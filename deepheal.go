@@ -26,10 +26,14 @@
 package deepheal
 
 import (
+	"context"
+	"time"
+
 	"deepheal/internal/assist"
 	"deepheal/internal/bti"
 	"deepheal/internal/core"
 	"deepheal/internal/em"
+	"deepheal/internal/engine"
 	"deepheal/internal/experiments"
 	"deepheal/internal/lifetime"
 	"deepheal/internal/rngx"
@@ -184,6 +188,12 @@ type (
 	PassiveRecoveryPolicy = core.PassiveRecovery
 	// SystemReport summarises one policy run.
 	SystemReport = core.Report
+	// StatefulPolicy is a Policy whose planning state survives checkpoints.
+	StatefulPolicy = core.StatefulPolicy
+	// SimOption tunes how a Simulator executes (workers, hooks).
+	SimOption = core.Option
+	// StageName identifies one stage of the engine pipeline.
+	StageName = engine.StageName
 	// WorkloadProfile produces per-step utilisation.
 	WorkloadProfile = workload.Profile
 )
@@ -191,17 +201,42 @@ type (
 // DefaultSystemConfig returns the 16-core reference system.
 func DefaultSystemConfig() SystemConfig { return core.DefaultConfig() }
 
+// SystemConfigForGrid returns the reference system rescaled to a rows×cols
+// die.
+func SystemConfigForGrid(rows, cols int) SystemConfig { return core.ConfigForGrid(rows, cols) }
+
 // DefaultDeepHealing returns the tuned Deep Healing scheduler.
 func DefaultDeepHealing() *DeepHealingPolicy { return core.DefaultDeepHealing() }
 
-// NewSimulator builds a system simulator for one policy run.
-func NewSimulator(cfg SystemConfig, p Policy) (*Simulator, error) {
-	return core.NewSimulator(cfg, p)
+// NewSimulator builds a system simulator for one policy run. Options bound
+// the wearout-stage worker pool (WithWorkers) and install observability
+// hooks (WithProgress, WithStageTime); results are bit-identical for every
+// worker count.
+func NewSimulator(cfg SystemConfig, p Policy, opts ...SimOption) (*Simulator, error) {
+	return core.NewSimulator(cfg, p, opts...)
+}
+
+// WithWorkers bounds the simulator's wearout-stage worker pool
+// (0 = GOMAXPROCS, 1 = serial).
+func WithWorkers(n int) SimOption { return core.WithWorkers(n) }
+
+// WithProgress installs a per-step progress callback.
+func WithProgress(fn func(step, total int)) SimOption { return core.WithProgress(fn) }
+
+// WithStageTime installs a per-pipeline-stage wall-time callback.
+func WithStageTime(fn func(stage StageName, d time.Duration)) SimOption {
+	return core.WithStageTime(fn)
 }
 
 // RunPolicies runs one independent simulation per policy concurrently.
 func RunPolicies(cfg SystemConfig, policies ...Policy) ([]*SystemReport, error) {
 	return core.RunPolicies(cfg, policies...)
+}
+
+// RunPoliciesContext is RunPolicies with cancellation and an explicit worker
+// bound (0 = GOMAXPROCS).
+func RunPoliciesContext(ctx context.Context, cfg SystemConfig, workers int, policies ...Policy) ([]*SystemReport, error) {
+	return core.RunPoliciesContext(ctx, cfg, workers, policies...)
 }
 
 // Scheduler auto-tuning.

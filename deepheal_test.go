@@ -1,8 +1,10 @@
 package deepheal_test
 
 import (
+	"context"
 	"math"
 	"testing"
+	"time"
 
 	"deepheal"
 )
@@ -86,6 +88,51 @@ func TestSystemFlow(t *testing.T) {
 	}
 	if rep.Policy != "deep-healing" {
 		t.Errorf("policy = %q", rep.Policy)
+	}
+}
+
+func TestEngineFacade(t *testing.T) {
+	cfg := deepheal.SystemConfigForGrid(3, 3)
+	cfg.Steps = 40
+	var steps int
+	stageSeen := map[deepheal.StageName]bool{}
+	sim, err := deepheal.NewSimulator(cfg, deepheal.DefaultDeepHealing(),
+		deepheal.WithWorkers(2),
+		deepheal.WithProgress(func(step, total int) { steps = step }),
+		deepheal.WithStageTime(func(stage deepheal.StageName, _ time.Duration) { stageSeen[stage] = true }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunSteps(context.Background(), 20); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sim.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := deepheal.NewSimulator(cfg, deepheal.DefaultDeepHealing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 40 || steps != 20 || len(stageSeen) != 6 {
+		t.Errorf("series %d, progress %d, stages %d", len(rep.Series), steps, len(stageSeen))
+	}
+
+	reports, err := deepheal.RunPoliciesContext(context.Background(), cfg, 2,
+		&deepheal.NoRecoveryPolicy{}, deepheal.DefaultDeepHealing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 || reports[0].Policy != "no-recovery" {
+		t.Error("RunPoliciesContext order broken")
 	}
 }
 

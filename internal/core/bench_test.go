@@ -1,0 +1,35 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSimulatorStep measures one pipeline step at growing die sizes,
+// serial versus sharded wearout stepping. The horizon is set far beyond any
+// plausible b.N so the simulator never runs out of steps mid-benchmark.
+func BenchmarkSimulatorStep(b *testing.B) {
+	for _, size := range []struct{ rows, cols int }{{4, 4}, {8, 8}, {16, 16}} {
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"sharded", 0}} {
+			b.Run(fmt.Sprintf("%dx%d/%s", size.rows, size.cols, mode.name), func(b *testing.B) {
+				cfg := ConfigForGrid(size.rows, size.cols)
+				cfg.Steps = 1 << 30
+				sim, err := NewSimulator(cfg, DefaultDeepHealing(), WithWorkers(mode.workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx := context.Background()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := sim.RunSteps(ctx, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"deepheal/internal/engine"
+)
+
+// bundledPolicies returns a fresh instance of every shipped policy; each
+// simulator must own its policy because stateful policies mutate during Plan.
+func bundledPolicies() []func() Policy {
+	return []func() Policy{
+		func() Policy { return &NoRecovery{} },
+		func() Policy { return &PassiveRecovery{} },
+		func() Policy { return DefaultDeepHealing() },
+		func() Policy { return DefaultRoundRobin() },
+		func() Policy { return DefaultHeatAware() },
+		func() Policy { return &AdaptiveCompensation{} },
+	}
+}
+
+func compareReports(t *testing.T, label string, got, want *Report) {
+	t.Helper()
+	if len(got.Series) != len(want.Series) {
+		t.Fatalf("%s: series length %d, want %d", label, len(got.Series), len(want.Series))
+	}
+	for i := range want.Series {
+		if got.Series[i] != want.Series[i] {
+			t.Fatalf("%s: series diverged at step %d:\n got %+v\nwant %+v",
+				label, i, got.Series[i], want.Series[i])
+		}
+	}
+	if got.GuardbandFrac != want.GuardbandFrac ||
+		got.FinalShiftV != want.FinalShiftV ||
+		got.Availability != want.Availability ||
+		got.RecoveryOverhead != want.RecoveryOverhead ||
+		got.EMNucleated != want.EMNucleated ||
+		got.EMFailedStep != want.EMFailedStep {
+		t.Errorf("%s: report summary diverged:\n got %+v\nwant %+v", label, got, want)
+	}
+}
+
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	// The headline resume guarantee: run N steps, checkpoint, restore into a
+	// fresh simulator, run to the horizon — the full Series must be
+	// bit-identical to an uninterrupted run, for every bundled policy.
+	cfg := testConfig()
+	cfg.Steps = 120
+	for _, fresh := range bundledPolicies() {
+		name := fresh().Name()
+		want := runPolicy(t, cfg, fresh())
+
+		first, err := NewSimulator(cfg, fresh())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := first.RunSteps(context.Background(), cfg.Steps/2); err != nil {
+			t.Fatalf("%s: first half: %v", name, err)
+		}
+		snap, err := first.Snapshot()
+		if err != nil {
+			t.Fatalf("%s: snapshot: %v", name, err)
+		}
+
+		resumed, err := NewSimulator(cfg, fresh())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resumed.Restore(snap); err != nil {
+			t.Fatalf("%s: restore: %v", name, err)
+		}
+		if resumed.Step() != cfg.Steps/2 {
+			t.Fatalf("%s: resumed at step %d, want %d", name, resumed.Step(), cfg.Steps/2)
+		}
+		got, err := resumed.Run()
+		if err != nil {
+			t.Fatalf("%s: resumed run: %v", name, err)
+		}
+		compareReports(t, name, got, want)
+	}
+}
+
+func TestCheckpointMidStepSequence(t *testing.T) {
+	// Checkpointing repeatedly (every few steps) must not perturb the run.
+	cfg := testConfig()
+	cfg.Steps = 60
+	want := runPolicy(t, cfg, DefaultDeepHealing())
+
+	sim, err := NewSimulator(cfg, DefaultDeepHealing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for sim.Step() < cfg.Steps {
+		if err := sim.RunSteps(ctx, 7); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, "periodic checkpoints", got, want)
+}
+
+func TestShardedBitIdenticalToSerial(t *testing.T) {
+	// The sharded wearout stage must be bit-identical to serial stepping for
+	// any worker count — the engine pool's core contract at system level.
+	cfg := testConfig()
+	cfg.Steps = 100
+	serial, err := NewSimulator(cfg, DefaultDeepHealing(), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 7} {
+		sim, err := NewSimulator(cfg, DefaultDeepHealing(), WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareReports(t, fmt.Sprintf("workers=%d", workers), got, want)
+	}
+}
+
+func TestRestoreGuards(t *testing.T) {
+	cfg := testConfig()
+	cfg.Steps = 20
+	sim, err := NewSimulator(cfg, DefaultDeepHealing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunSteps(context.Background(), 5); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sim.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Different grid geometry.
+	other := ConfigForGrid(3, 3)
+	other.Steps = 20
+	wrongGrid, err := NewSimulator(other, DefaultDeepHealing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wrongGrid.Restore(snap); err == nil {
+		t.Error("snapshot restored into a different grid")
+	}
+
+	// Different horizon.
+	horizon := cfg
+	horizon.Steps = 40
+	wrongHorizon, err := NewSimulator(horizon, DefaultDeepHealing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wrongHorizon.Restore(snap); err == nil {
+		t.Error("snapshot restored into a different horizon")
+	}
+
+	// Different policy.
+	wrongPolicy, err := NewSimulator(cfg, &NoRecovery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wrongPolicy.Restore(snap); err == nil {
+		t.Error("snapshot restored under a different policy")
+	}
+
+	// Garbage bytes.
+	fresh, err := NewSimulator(cfg, DefaultDeepHealing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore([]byte("not a snapshot")); err == nil {
+		t.Error("garbage accepted as snapshot")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Steps = 500
+	sim, err := NewSimulator(cfg, DefaultDeepHealing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := sim.RunSteps(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := sim.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The simulator is left on a step boundary: a fresh context resumes it
+	// and the resumed run still matches an uninterrupted one.
+	got, err := sim.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runPolicy(t, cfg, DefaultDeepHealing())
+	compareReports(t, "cancel+resume", got, want)
+}
+
+func TestProgressAndStageTimeHooks(t *testing.T) {
+	cfg := testConfig()
+	cfg.Steps = 25
+	var progress []int
+	stages := map[engine.StageName]int{}
+	sim, err := NewSimulator(cfg, DefaultDeepHealing(),
+		WithProgress(func(step, total int) {
+			if total != cfg.Steps {
+				t.Errorf("progress total %d, want %d", total, cfg.Steps)
+			}
+			progress = append(progress, step)
+		}),
+		WithStageTime(func(stage engine.StageName, _ time.Duration) { stages[stage]++ }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(progress) != cfg.Steps || progress[len(progress)-1] != cfg.Steps {
+		t.Errorf("progress calls %v", progress)
+	}
+	for _, name := range []engine.StageName{
+		engine.StagePlan, engine.StageElectrical, engine.StageThermal,
+		engine.StageWearout, engine.StageSense, engine.StageRecord,
+	} {
+		if stages[name] != cfg.Steps {
+			t.Errorf("stage %s timed %d times, want %d", name, stages[name], cfg.Steps)
+		}
+	}
+	if times := sim.StageTimes(); len(times) != 6 {
+		t.Errorf("StageTimes has %d stages, want 6", len(times))
+	}
+}

@@ -96,6 +96,16 @@ func DefaultConfig() Config {
 	}
 }
 
+// ConfigForGrid returns DefaultConfig rescaled to a rows×cols die: the PDN
+// mesh follows the core grid, everything else keeps the calibrated values.
+// Core count becomes a cheap knob for scaling studies.
+func ConfigForGrid(rows, cols int) Config {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = rows, cols
+	cfg.PDN = systemPDNConfig(rows, cols)
+	return cfg
+}
+
 // SystemEMParams rescales the wire-calibrated reduced EM model to on-die
 // use conditions: the reference point moves to a busy local rail at a
 // typical hot-tile temperature, and the nucleation/growth timescales are

@@ -1,45 +1,47 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sync"
+
+	"deepheal/internal/engine"
 )
 
-// RunPolicies runs one independent simulation per policy concurrently and
-// returns the reports in the same order. Each simulation owns its state
-// (devices, grids, RNG streams), so the runs are deterministic regardless
-// of interleaving. The first error wins; all goroutines are always joined
+// RunPolicies runs one independent simulation per policy on a worker pool
+// bounded at GOMAXPROCS and returns the reports in the same order. Each
+// simulation owns its state (devices, grids, RNG streams), so the runs are
+// deterministic regardless of interleaving. The lowest-index error wins
+// (the error a serial loop would hit first); all workers are always joined
 // before returning.
 func RunPolicies(cfg Config, policies ...Policy) ([]*Report, error) {
+	return RunPoliciesContext(context.Background(), cfg, 0, policies...)
+}
+
+// RunPoliciesContext is RunPolicies with cancellation and an explicit
+// worker bound (0 = GOMAXPROCS). Simulations already running finish their
+// current step before observing cancellation. Each simulation steps its own
+// wearout serially — the pool's parallelism is across policies.
+func RunPoliciesContext(ctx context.Context, cfg Config, workers int, policies ...Policy) ([]*Report, error) {
 	if len(policies) == 0 {
 		return nil, fmt.Errorf("core: no policies given")
 	}
+	pool := engine.NewPool(workers)
 	reports := make([]*Report, len(policies))
-	errs := make([]error, len(policies))
-	var wg sync.WaitGroup
-	for i, pol := range policies {
-		i, pol := i, pol
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sim, err := NewSimulator(cfg, pol)
-			if err != nil {
-				errs[i] = fmt.Errorf("core: %s: %w", pol.Name(), err)
-				return
-			}
-			rep, err := sim.Run()
-			if err != nil {
-				errs[i] = fmt.Errorf("core: %s: %w", pol.Name(), err)
-				return
-			}
-			reports[i] = rep
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := pool.Map(len(policies), func(i int) error {
+		pol := policies[i]
+		sim, err := NewSimulator(cfg, pol, WithWorkers(1))
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("core: %s: %w", pol.Name(), err)
 		}
+		rep, err := sim.RunContext(ctx)
+		if err != nil {
+			return fmt.Errorf("core: %s: %w", pol.Name(), err)
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return reports, nil
 }

@@ -1,6 +1,11 @@
 package core
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+)
 
 func TestRunPoliciesMatchesSerial(t *testing.T) {
 	cfg := testConfig()
@@ -23,6 +28,53 @@ func TestRunPoliciesMatchesSerial(t *testing.T) {
 	}
 	if reports[0].Policy != "no-recovery" || reports[1].Policy != "deep-healing" {
 		t.Error("report order does not follow policy order")
+	}
+}
+
+func TestRunPoliciesMoreThanNumCPU(t *testing.T) {
+	// More policies than cores: the bounded pool must queue the excess while
+	// preserving report order and per-policy determinism.
+	cfg := testConfig()
+	cfg.Steps = 30
+	n := runtime.NumCPU() + 3
+	policies := make([]Policy, n)
+	for i := range policies {
+		if i%2 == 0 {
+			policies[i] = &NoRecovery{}
+		} else {
+			policies[i] = DefaultDeepHealing()
+		}
+	}
+	reports, err := RunPolicies(cfg, policies...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != n {
+		t.Fatalf("reports = %d, want %d", len(reports), n)
+	}
+	wantWorst := runPolicy(t, cfg, &NoRecovery{})
+	wantDeep := runPolicy(t, cfg, DefaultDeepHealing())
+	for i, rep := range reports {
+		want := wantWorst
+		if i%2 == 1 {
+			want = wantDeep
+		}
+		if rep.Policy != want.Policy {
+			t.Fatalf("slot %d ran %q, want %q", i, rep.Policy, want.Policy)
+		}
+		if rep.GuardbandFrac != want.GuardbandFrac || rep.FinalShiftV != want.FinalShiftV {
+			t.Errorf("slot %d diverged from the serial run", i)
+		}
+	}
+}
+
+func TestRunPoliciesContextCancelled(t *testing.T) {
+	cfg := testConfig()
+	cfg.Steps = 5000
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunPoliciesContext(ctx, cfg, 2, &NoRecovery{}, DefaultDeepHealing()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
 
 // CoreMode is the per-step operating mode the policy assigns to a core.
 type CoreMode int
@@ -53,10 +57,14 @@ type Observation struct {
 }
 
 // neighbourHeat returns the mean temperature of core i's grid neighbours,
-// or its own temperature when the layout is unknown.
+// its own temperature when the layout is unknown, or 0 when no thermal
+// data is available at all.
 func (o Observation) neighbourHeat(i int) float64 {
-	if o.Rows*o.Cols != len(o.TileTempC) || len(o.TileTempC) == 0 {
+	if i < 0 || i >= len(o.TileTempC) {
 		return 0
+	}
+	if o.Rows*o.Cols != len(o.TileTempC) {
+		return o.TileTempC[i]
 	}
 	r, c := i/o.Cols, i%o.Cols
 	sum, n := 0.0, 0
@@ -168,6 +176,26 @@ func DefaultDeepHealing() *DeepHealing {
 
 // Name implements Policy.
 func (*DeepHealing) Name() string { return "deep-healing" }
+
+// SnapshotState implements StatefulPolicy: the per-core recovery countdowns
+// are the only planning state.
+func (p *DeepHealing) SnapshotState() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p.remaining); err != nil {
+		return nil, fmt.Errorf("core: deep-healing snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements StatefulPolicy.
+func (p *DeepHealing) RestoreState(data []byte) error {
+	var remaining []int
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&remaining); err != nil {
+		return fmt.Errorf("core: deep-healing restore: %w", err)
+	}
+	p.remaining = remaining
+	return nil
+}
 
 // Plan implements Policy.
 func (p *DeepHealing) Plan(obs Observation) Decision {

@@ -109,10 +109,23 @@ func TestNeighbourHeatGeometry(t *testing.T) {
 	if got := obs.neighbourHeat(0); got != 25 {
 		t.Errorf("neighbourHeat(0) = %g, want 25", got)
 	}
-	// Malformed layout falls back safely.
+	// Regression: when the layout is unknown (Rows*Cols does not match the
+	// temperature map) a core must see its own temperature, as documented —
+	// not a 0 that would zero out heat-aware scoring.
 	bad := Observation{TileTempC: []float64{1, 2}, Rows: 3, Cols: 3}
-	if got := bad.neighbourHeat(0); got != 0 {
-		t.Errorf("malformed layout heat = %g, want 0", got)
+	if got := bad.neighbourHeat(0); got != 1 {
+		t.Errorf("unknown layout heat = %g, want own temperature 1", got)
+	}
+	if got := bad.neighbourHeat(1); got != 2 {
+		t.Errorf("unknown layout heat = %g, want own temperature 2", got)
+	}
+	// Out-of-range indices and missing thermal data still fall back to 0.
+	if got := bad.neighbourHeat(5); got != 0 {
+		t.Errorf("out-of-range heat = %g, want 0", got)
+	}
+	none := Observation{Rows: 2, Cols: 2}
+	if got := none.neighbourHeat(0); got != 0 {
+		t.Errorf("no-data heat = %g, want 0", got)
 	}
 }
 

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"deepheal/internal/bti"
 	"deepheal/internal/em"
+	"deepheal/internal/engine"
 	"deepheal/internal/lifetime"
 	"deepheal/internal/pdn"
 	"deepheal/internal/rngx"
@@ -15,10 +18,47 @@ import (
 	"deepheal/internal/workload"
 )
 
-// Simulator runs one policy over the configured system.
+// Options tunes how a Simulator executes; the physics are unaffected.
+type Options struct {
+	// Workers bounds the worker pool used for the sharded wearout stage.
+	// 0 uses GOMAXPROCS; 1 steps serially. Results are bit-identical for
+	// every setting (see internal/engine.Pool).
+	Workers int
+	// Progress, if non-nil, is called after every completed step with the
+	// steps done and the configured horizon.
+	Progress func(step, total int)
+	// StageTime, if non-nil, observes the wall time of every pipeline stage.
+	StageTime func(stage engine.StageName, d time.Duration)
+}
+
+// Option mutates Options; pass them to NewSimulator.
+type Option func(*Options)
+
+// WithWorkers bounds the wearout-stage worker pool (0 = GOMAXPROCS).
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithProgress installs a per-step progress callback.
+func WithProgress(fn func(step, total int)) Option {
+	return func(o *Options) { o.Progress = fn }
+}
+
+// WithStageTime installs a per-stage wall-time callback.
+func WithStageTime(fn func(stage engine.StageName, d time.Duration)) Option {
+	return func(o *Options) { o.StageTime = fn }
+}
+
+// Simulator runs one policy over the configured system as a staged engine
+// pipeline: plan → electrical → thermal → wearout → sense → record. The
+// wearout stage shards the independent per-core BTI devices and per-segment
+// EM models across a bounded worker pool with bit-identical results to
+// serial stepping; Snapshot/Restore checkpoint the whole system between
+// steps.
 type Simulator struct {
 	cfg    Config
 	policy Policy
+	opts   Options
+	pool   *engine.Pool
+	pipe   *engine.Pipeline
 
 	cores     []*bti.Device
 	sensors   []*sensor.ROSensor
@@ -28,10 +68,33 @@ type Simulator struct {
 	segments  []*em.Reduced
 	emSensor  *sensor.EMSensor
 	lastTemps []float64 // °C per tile at the end of the previous step
+
+	// Cross-step state (checkpointed): the pending observation produced by
+	// the sense stage, the previous step's modes for switch-overhead
+	// accounting, and the report accumulators.
+	step          int
+	sensedShift   []float64
+	sensedEMDelta float64
+	prevModes     []CoreMode
+	series        []StepStats
+	demandedSum   float64
+	deliveredSum  float64
+	recoverySteps int
+	guardband     float64
+	emNucleated   bool
+	emFailedStep  int
+
+	// Per-step scratch (rebuilt every step, never checkpointed).
+	demand, effUtil, powerMap, load []float64
+	dec                             Decision
+	temps                           []units.Temperature
+	sol                             *pdn.Solution
+	recovering                      int
+	demanded, delivered             float64
 }
 
 // NewSimulator builds a simulator for one policy run.
-func NewSimulator(cfg Config, policy Policy) (*Simulator, error) {
+func NewSimulator(cfg Config, policy Policy, opts ...Option) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -40,7 +103,11 @@ func NewSimulator(cfg Config, policy Policy) (*Simulator, error) {
 	}
 	n := cfg.NumCores()
 	rng := rngx.New(cfg.Seed)
-	s := &Simulator{cfg: cfg, policy: policy}
+	s := &Simulator{cfg: cfg, policy: policy, emFailedStep: -1}
+	for _, o := range opts {
+		o(&s.opts)
+	}
+	s.pool = engine.NewPool(s.opts.Workers)
 
 	s.cores = make([]*bti.Device, n)
 	s.sensors = make([]*sensor.ROSensor, n)
@@ -92,6 +159,30 @@ func NewSimulator(cfg Config, policy Policy) (*Simulator, error) {
 		return nil, err
 	}
 	s.emSensor = es
+
+	s.demand = make([]float64, n)
+	s.effUtil = make([]float64, n)
+	s.powerMap = make([]float64, n)
+	s.load = make([]float64, n)
+	s.sensedShift = make([]float64, n)
+	seriesCap := cfg.Steps
+	if seriesCap > 1<<16 {
+		seriesCap = 1 << 16 // let very long horizons grow on demand
+	}
+	s.series = make([]StepStats, 0, seriesCap)
+	s.pipe = engine.NewPipeline([]engine.Stage{
+		{Name: engine.StagePlan, Run: s.stagePlan},
+		{Name: engine.StageElectrical, Run: s.stageElectrical},
+		{Name: engine.StageThermal, Run: s.stageThermal},
+		{Name: engine.StageWearout, Run: s.stageWearout},
+		{Name: engine.StageSense, Run: s.stageSense},
+		{Name: engine.StageRecord, Run: s.stageRecord},
+	}, engine.Hooks{Progress: s.opts.Progress, StageTime: s.opts.StageTime})
+
+	// The step-0 plan observes the fresh system.
+	if err := s.sense(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -128,168 +219,266 @@ type Report struct {
 	RecoveryOverhead float64
 }
 
-// Run executes the configured horizon and returns the report.
+// Step reports the next step the simulator will execute (equals the number
+// of completed steps).
+func (s *Simulator) Step() int { return s.step }
+
+// StageTimes returns the accumulated wall time per pipeline stage.
+func (s *Simulator) StageTimes() map[engine.StageName]time.Duration {
+	return s.pipe.StageTimes()
+}
+
+// Run executes the remaining horizon and returns the report.
 func (s *Simulator) Run() (*Report, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the simulation stops between steps
+// when ctx is done, returning its error. A cancelled simulator is left on a
+// step boundary and can be Snapshot()ed or resumed with another RunContext.
+func (s *Simulator) RunContext(ctx context.Context) (*Report, error) {
+	if err := s.RunSteps(ctx, s.cfg.Steps-s.step); err != nil {
+		return nil, err
+	}
+	return s.report(), nil
+}
+
+// RunSteps advances at most n steps (fewer if the horizon is reached),
+// checking ctx between steps. Use it to interleave checkpoints with
+// stepping; RunContext finalises the report once the horizon is reached.
+func (s *Simulator) RunSteps(ctx context.Context, n int) error {
+	for i := 0; i < n && s.step < s.cfg.Steps; i++ {
+		if err := s.pipe.Step(ctx, s.step, s.cfg.Steps); err != nil {
+			return err
+		}
+		s.step++
+	}
+	return nil
+}
+
+// stagePlan computes this step's demand, asks the policy for a decision and
+// settles work migration plus mode-switch overhead.
+func (s *Simulator) stagePlan() error {
+	n := s.cfg.NumCores()
+	for i := 0; i < n; i++ {
+		s.demand[i] = s.profiles[i].At(s.step)
+	}
+	obs := Observation{
+		Step:             s.step,
+		SensedShiftV:     append([]float64(nil), s.sensedShift...),
+		SensedEMDeltaOhm: s.sensedEMDelta,
+		Demand:           append([]float64(nil), s.demand...),
+		TileTempC:        append([]float64(nil), s.lastTemps...),
+		Rows:             s.cfg.Rows,
+		Cols:             s.cfg.Cols,
+	}
+	dec := s.policy.Plan(obs)
+	if len(dec.Modes) != n {
+		return fmt.Errorf("core: policy %q returned %d modes for %d cores", s.policy.Name(), len(dec.Modes), n)
+	}
+	for _, m := range dec.Modes {
+		switch m {
+		case ModeRun, ModeGated, ModeRecover:
+		default:
+			return fmt.Errorf("core: policy %q returned invalid mode %v", s.policy.Name(), m)
+		}
+	}
+	s.dec = dec
+
+	delivered := s.migrate(dec.Modes, s.demand, s.effUtil)
+	// Mode-switch overhead: a core returning from recovery spends part of
+	// the step restoring state and reclaiming its migrated work.
+	if ovh := s.cfg.SwitchOverheadFrac; ovh > 0 && s.prevModes != nil {
+		for i := range dec.Modes {
+			if s.prevModes[i] == ModeRecover && dec.Modes[i] != ModeRecover {
+				if cap := 1 - ovh; s.effUtil[i] > cap {
+					delivered -= s.effUtil[i] - cap
+					s.effUtil[i] = cap
+				}
+			}
+		}
+	}
+	if s.prevModes == nil {
+		s.prevModes = make([]CoreMode, n)
+	}
+	copy(s.prevModes, dec.Modes)
+	demanded := 0.0
+	for _, d := range s.demand {
+		demanded += d
+	}
+	s.demanded, s.delivered = demanded, delivered
+	s.demandedSum += demanded
+	s.deliveredSum += delivered
+	return nil
+}
+
+// stageElectrical solves the power grid for this step's load map.
+func (s *Simulator) stageElectrical() error {
+	for i := range s.load {
+		s.load[i] = s.effUtil[i] * s.cfg.LoadCurrentA
+	}
+	sol, err := s.power.Solve(s.load)
+	if err != nil {
+		return err
+	}
+	s.sol = sol
+	return nil
+}
+
+// stageThermal maps modes to power and solves the temperature field.
+func (s *Simulator) stageThermal() error {
+	recovering := 0
+	for i := range s.powerMap {
+		switch s.dec.Modes[i] {
+		case ModeRecover:
+			s.powerMap[i] = 0.05
+			recovering++
+		default:
+			s.powerMap[i] = s.cfg.IdlePowerW + s.effUtil[i]*s.cfg.ActivePowerW
+		}
+	}
+	s.recovering = recovering
+	s.recoverySteps += recovering
+	temps, err := s.grid.SteadyState(s.powerMap)
+	if err != nil {
+		return err
+	}
+	s.temps = temps
+	for i, t := range temps {
+		s.lastTemps[i] = t.C()
+	}
+	return nil
+}
+
+// stageWearout advances every core's BTI state and every segment's EM state
+// for the step. Each index owns its component and reads only shared
+// per-step inputs, so the pool shards the loops with bit-identical results
+// to serial stepping.
+func (s *Simulator) stageWearout() error {
 	cfg := s.cfg
 	n := cfg.NumCores()
+	errs := make([]error, n)
+	s.pool.ForEach(n, func(i int) {
+		temp := s.temps[i]
+		switch s.dec.Modes[i] {
+		case ModeRun:
+			errs[i] = s.cores[i].StepUnder(engine.Condition{
+				Seconds: cfg.StepSeconds, VoltageV: cfg.ActiveGateV, Temp: temp})
+		case ModeGated:
+			stress := s.effUtil[i] * cfg.StepSeconds
+			if stress > 0 {
+				errs[i] = s.cores[i].StepUnder(engine.Condition{
+					Seconds: stress, VoltageV: cfg.ActiveGateV, Temp: temp})
+			}
+			if rest := cfg.StepSeconds - stress; rest > 0 && errs[i] == nil {
+				errs[i] = s.cores[i].StepUnder(engine.Condition{
+					Seconds: rest, VoltageV: 0, Temp: temp})
+			}
+		case ModeRecover:
+			errs[i] = s.cores[i].StepUnder(engine.Condition{
+				Seconds: cfg.StepSeconds, VoltageV: cfg.RecoveryV, Temp: temp})
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	sign := 1.0
+	if s.dec.EMReverse {
+		sign = -1
+	}
+	edges := s.power.Edges()
+	segErrs := make([]error, len(s.segments))
+	s.pool.ForEach(len(s.segments), func(k int) {
+		e := edges[k]
+		j := s.power.CurrentDensity(sign * s.sol.EdgeI[k])
+		segTemp := s.temps[e.A]
+		if t := s.temps[e.B]; t > segTemp {
+			segTemp = t
+		}
+		segErrs[k] = s.segments[k].StepUnder(engine.Condition{
+			Seconds: cfg.StepSeconds, CurrentDensity: j, Temp: segTemp})
+	})
+	for _, err := range segErrs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stageSense samples the sensors after the wearout stage, producing the
+// observation the next step's plan will consume. The final step skips it:
+// there is no next plan, and skipping keeps the sensor noise streams
+// byte-aligned with a run that was never checkpointed.
+func (s *Simulator) stageSense() error {
+	if s.step+1 >= s.cfg.Steps {
+		return nil
+	}
+	return s.sense()
+}
+
+// sense reads every wearout sensor into the pending observation.
+func (s *Simulator) sense() error {
+	for i := range s.sensors {
+		s.sensedShift[i] = s.sensors[i].Read(s.cores[i].ShiftV()).ShiftV
+	}
+	worstDelta := 0.0
+	for _, seg := range s.segments {
+		if d := seg.ResistanceDelta(); d > worstDelta && !math.IsInf(d, 1) {
+			worstDelta = d
+		}
+	}
+	reading, err := s.emSensor.Read(s.cfg.PDN.SegOhm + worstDelta)
+	if err != nil {
+		return err
+	}
+	s.sensedEMDelta = reading.DeltaOhm
+	return nil
+}
+
+// stageRecord assembles the per-step statistics and report accumulators.
+func (s *Simulator) stageRecord() error {
+	st := s.collect(s.step, s.dec, s.temps, s.recovering, s.demanded, s.delivered)
+	if st.WorstDelayNorm-1 > s.guardband {
+		s.guardband = st.WorstDelayNorm - 1
+	}
+	for _, seg := range s.segments {
+		if seg.Nucleated() {
+			s.emNucleated = true
+		}
+		if seg.Broken() && s.emFailedStep < 0 {
+			s.emFailedStep = s.step
+		}
+	}
+	s.series = append(s.series, st)
+	return nil
+}
+
+// report finalises the run summary from the accumulated state.
+func (s *Simulator) report() *Report {
+	cfg := s.cfg
 	rep := &Report{
-		Policy:       s.policy.Name(),
-		Series:       make([]StepStats, 0, cfg.Steps),
-		EMFailedStep: -1,
+		Policy:        s.policy.Name(),
+		Series:        s.series,
+		GuardbandFrac: s.guardband,
+		EMNucleated:   s.emNucleated,
+		EMFailedStep:  s.emFailedStep,
 	}
-	demand := make([]float64, n)
-	effUtil := make([]float64, n)
-	powerMap := make([]float64, n)
-	load := make([]float64, n)
-	sensed := make([]float64, n)
-	var prevModes []CoreMode
-
-	var demandedSum, deliveredSum float64
-	recoverySteps := 0
-
-	for step := 0; step < cfg.Steps; step++ {
-		for i := 0; i < n; i++ {
-			demand[i] = s.profiles[i].At(step)
-			sensed[i] = s.sensors[i].Read(s.cores[i].ShiftV()).ShiftV
-		}
-		worstDelta := 0.0
-		for _, seg := range s.segments {
-			if d := seg.ResistanceDelta(); d > worstDelta && !math.IsInf(d, 1) {
-				worstDelta = d
-			}
-		}
-		emReading, err := s.emSensor.Read(cfg.PDN.SegOhm + worstDelta)
-		if err != nil {
-			return nil, err
-		}
-
-		obs := Observation{
-			Step:             step,
-			SensedShiftV:     append([]float64(nil), sensed...),
-			SensedEMDeltaOhm: emReading.DeltaOhm,
-			Demand:           append([]float64(nil), demand...),
-			TileTempC:        append([]float64(nil), s.lastTemps...),
-			Rows:             cfg.Rows,
-			Cols:             cfg.Cols,
-		}
-		dec := s.policy.Plan(obs)
-		if len(dec.Modes) != n {
-			return nil, fmt.Errorf("core: policy %q returned %d modes for %d cores", s.policy.Name(), len(dec.Modes), n)
-		}
-
-		delivered := s.migrate(dec.Modes, demand, effUtil)
-		// Mode-switch overhead: a core returning from recovery spends part
-		// of the step restoring state and reclaiming its migrated work.
-		if ovh := cfg.SwitchOverheadFrac; ovh > 0 && prevModes != nil {
-			for i := range dec.Modes {
-				if prevModes[i] == ModeRecover && dec.Modes[i] != ModeRecover {
-					if cap := 1 - ovh; effUtil[i] > cap {
-						delivered -= effUtil[i] - cap
-						effUtil[i] = cap
-					}
-				}
-			}
-		}
-		if prevModes == nil {
-			prevModes = make([]CoreMode, n)
-		}
-		copy(prevModes, dec.Modes)
-		demanded := 0.0
-		for _, d := range demand {
-			demanded += d
-		}
-		demandedSum += demanded
-		deliveredSum += delivered
-
-		// Power and temperature.
-		recovering := 0
-		for i := 0; i < n; i++ {
-			switch dec.Modes[i] {
-			case ModeRecover:
-				powerMap[i] = 0.05
-				recovering++
-			default:
-				powerMap[i] = cfg.IdlePowerW + effUtil[i]*cfg.ActivePowerW
-			}
-		}
-		recoverySteps += recovering
-		temps, err := s.grid.SteadyState(powerMap)
-		if err != nil {
-			return nil, err
-		}
-		for i, t := range temps {
-			s.lastTemps[i] = t.C()
-		}
-
-		// BTI evolution.
-		for i := 0; i < n; i++ {
-			temp := temps[i]
-			switch dec.Modes[i] {
-			case ModeRun:
-				s.cores[i].Apply(bti.Condition{GateVoltage: cfg.ActiveGateV, Temp: temp}, cfg.StepSeconds)
-			case ModeGated:
-				stress := effUtil[i] * cfg.StepSeconds
-				if stress > 0 {
-					s.cores[i].Apply(bti.Condition{GateVoltage: cfg.ActiveGateV, Temp: temp}, stress)
-				}
-				if rest := cfg.StepSeconds - stress; rest > 0 {
-					s.cores[i].Apply(bti.Condition{GateVoltage: 0, Temp: temp}, rest)
-				}
-			case ModeRecover:
-				s.cores[i].Apply(bti.Condition{GateVoltage: cfg.RecoveryV, Temp: temp}, cfg.StepSeconds)
-			default:
-				return nil, fmt.Errorf("core: policy %q returned invalid mode %v", s.policy.Name(), dec.Modes[i])
-			}
-		}
-
-		// PDN and EM evolution.
-		for i := 0; i < n; i++ {
-			load[i] = effUtil[i] * cfg.LoadCurrentA
-		}
-		sol, err := s.power.Solve(load)
-		if err != nil {
-			return nil, err
-		}
-		sign := 1.0
-		if dec.EMReverse {
-			sign = -1
-		}
-		for k, e := range s.power.Edges() {
-			j := s.power.CurrentDensity(sign * sol.EdgeI[k])
-			segTemp := temps[e.A]
-			if t := temps[e.B]; t > segTemp {
-				segTemp = t
-			}
-			s.segments[k].Step(j, segTemp, cfg.StepSeconds)
-		}
-
-		st := s.collect(step, dec, temps, recovering, demanded, delivered)
-		if st.WorstDelayNorm-1 > rep.GuardbandFrac {
-			rep.GuardbandFrac = st.WorstDelayNorm - 1
-		}
-		for _, seg := range s.segments {
-			if seg.Nucleated() {
-				rep.EMNucleated = true
-			}
-			if seg.Broken() && rep.EMFailedStep < 0 {
-				rep.EMFailedStep = step
-			}
-		}
-		rep.Series = append(rep.Series, st)
-	}
-
 	for _, dev := range s.cores {
 		if v := dev.ShiftV(); v > rep.FinalShiftV {
 			rep.FinalShiftV = v
 		}
 	}
-	if demandedSum > 0 {
-		rep.Availability = deliveredSum / demandedSum
+	if s.demandedSum > 0 {
+		rep.Availability = s.deliveredSum / s.demandedSum
 	} else {
 		rep.Availability = 1
 	}
-	rep.RecoveryOverhead = float64(recoverySteps) / float64(cfg.Steps*n)
-	return rep, nil
+	rep.RecoveryOverhead = float64(s.recoverySteps) / float64(cfg.Steps*cfg.NumCores())
+	return rep
 }
 
 // migrate redistributes the demand of recovering cores onto available ones
@@ -332,13 +521,12 @@ func (s *Simulator) migrate(modes []CoreMode, demand []float64, effUtil []float6
 func (s *Simulator) collect(step int, dec Decision, temps []units.Temperature, recovering int, demanded, delivered float64) StepStats {
 	st := StepStats{Step: step, Recovering: recovering, EMReverse: dec.EMReverse}
 	var sum float64
-	for i, dev := range s.cores {
+	for _, dev := range s.cores {
 		v := dev.ShiftV()
 		sum += v
 		if v > st.MaxShiftV {
 			st.MaxShiftV = v
 		}
-		_ = i
 	}
 	st.MeanShiftV = sum / float64(len(s.cores))
 	delay, err := lifetime.DelayFromShift(s.cfg.DelayVdd, s.cfg.DelayVth0, s.cfg.DelayAlpha, st.MaxShiftV)

@@ -1,0 +1,16 @@
+package em
+
+import "deepheal/internal/engine"
+
+// Reduced implements engine.Component so every PDN segment's EM state can
+// be stepped, checkpointed and validated through the engine.
+
+// StepUnder implements engine.Component: the generic condition maps onto
+// the segment's signed current density and metal temperature.
+func (r *Reduced) StepUnder(c engine.Condition) error {
+	r.Step(c.CurrentDensity, c.Temp, c.Seconds)
+	return nil
+}
+
+// Validate implements engine.Component.
+func (r *Reduced) Validate() error { return r.p.Validate() }

@@ -39,6 +39,60 @@ func (w *Wire) Snapshot() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// reducedSnapshot is the serialised form of a Reduced segment's mutable
+// state, parameters alongside for compatibility checking on restore.
+type reducedSnapshot struct {
+	Params   ReducedParams
+	Progress float64
+	Voids    [2]voidSnapshot
+	Broken   bool
+}
+
+// Snapshot serialises the segment's nucleation and void state for
+// checkpointing system simulations.
+func (r *Reduced) Snapshot() ([]byte, error) {
+	snap := reducedSnapshot{Params: r.p, Progress: r.progress, Broken: r.broken}
+	for i, v := range r.voids {
+		snap.Voids[i] = voidSnapshot{Open: v.open, LenM: v.lenM, MaxLenM: v.maxLenM, PermM: v.permM}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("em: reduced snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore rewinds the segment in place to a Snapshot.
+func (r *Reduced) Restore(data []byte) error {
+	nr, err := RestoreReduced(data)
+	if err != nil {
+		return err
+	}
+	*r = *nr
+	return nil
+}
+
+// RestoreReduced rebuilds a reduced-order segment from a Snapshot.
+func RestoreReduced(data []byte) (*Reduced, error) {
+	var snap reducedSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("em: reduced restore: %w", err)
+	}
+	r, err := NewReduced(snap.Params)
+	if err != nil {
+		return nil, fmt.Errorf("em: reduced restore: %w", err)
+	}
+	for i, v := range snap.Voids {
+		if v.LenM < 0 {
+			return nil, fmt.Errorf("em: reduced restore: negative void length at end %d", i)
+		}
+		r.voids[i] = voidState{open: v.Open, lenM: v.LenM, maxLenM: v.MaxLenM, permM: v.PermM}
+	}
+	r.progress = snap.Progress
+	r.broken = snap.Broken
+	return r, nil
+}
+
 // RestoreWire rebuilds a wire from a Snapshot.
 func RestoreWire(data []byte) (*Wire, error) {
 	var snap wireSnapshot

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// StageName identifies one phase of a simulation step.
+type StageName string
+
+// The canonical stage order of a system simulation step.
+const (
+	// StagePlan asks the scheduling policy for this step's decision.
+	StagePlan StageName = "plan"
+	// StageElectrical solves the power-delivery network.
+	StageElectrical StageName = "electrical"
+	// StageThermal solves the die temperature field.
+	StageThermal StageName = "thermal"
+	// StageWearout advances the per-core/per-segment wearout state (the
+	// embarrassingly parallel part, sharded across the pool).
+	StageWearout StageName = "wearout"
+	// StageSense samples the wearout sensors for the next observation.
+	StageSense StageName = "sense"
+	// StageRecord assembles the per-step statistics.
+	StageRecord StageName = "record"
+)
+
+// Stage is one named phase of a simulation step.
+type Stage struct {
+	Name StageName
+	Run  func() error
+}
+
+// Hooks observes pipeline execution. All callbacks are optional and are
+// invoked synchronously on the stepping goroutine.
+type Hooks struct {
+	// Progress is called after every completed step with the number of
+	// steps done and the total horizon.
+	Progress func(step, total int)
+	// StageTime is called after each stage with its wall time.
+	StageTime func(stage StageName, d time.Duration)
+}
+
+// Pipeline runs an ordered list of stages once per simulation step,
+// accumulating per-stage wall time and honouring context cancellation
+// between steps.
+type Pipeline struct {
+	stages []Stage
+	hooks  Hooks
+	totals map[StageName]time.Duration
+	steps  int
+}
+
+// NewPipeline builds a pipeline over the given stages.
+func NewPipeline(stages []Stage, hooks Hooks) *Pipeline {
+	return &Pipeline{
+		stages: stages,
+		hooks:  hooks,
+		totals: make(map[StageName]time.Duration, len(stages)),
+	}
+}
+
+// Step runs every stage once in order. step and total parameterise the
+// Progress hook. Cancellation is checked before any stage runs, so an
+// interrupted run is always left on a step boundary — exactly the state a
+// snapshot can checkpoint.
+func (p *Pipeline) Step(ctx context.Context, step, total int) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("engine: step %d: %w", step, err)
+	}
+	for _, st := range p.stages {
+		start := time.Now()
+		if err := st.Run(); err != nil {
+			return fmt.Errorf("engine: stage %s: %w", st.Name, err)
+		}
+		d := time.Since(start)
+		p.totals[st.Name] += d
+		if p.hooks.StageTime != nil {
+			p.hooks.StageTime(st.Name, d)
+		}
+	}
+	p.steps++
+	if p.hooks.Progress != nil {
+		p.hooks.Progress(step+1, total)
+	}
+	return nil
+}
+
+// Steps reports how many full steps the pipeline has executed.
+func (p *Pipeline) Steps() int { return p.steps }
+
+// StageTimes returns a copy of the accumulated per-stage wall times.
+func (p *Pipeline) StageTimes() map[StageName]time.Duration {
+	out := make(map[StageName]time.Duration, len(p.totals))
+	for k, v := range p.totals {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPipelineRunsStagesInOrder(t *testing.T) {
+	var order []StageName
+	stages := []Stage{
+		{Name: StagePlan, Run: func() error { order = append(order, StagePlan); return nil }},
+		{Name: StageWearout, Run: func() error { order = append(order, StageWearout); return nil }},
+		{Name: StageRecord, Run: func() error { order = append(order, StageRecord); return nil }},
+	}
+	var progressed []int
+	p := NewPipeline(stages, Hooks{Progress: func(step, total int) { progressed = append(progressed, step) }})
+	for step := 0; step < 3; step++ {
+		if err := p.Step(context.Background(), step, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Steps() != 3 {
+		t.Errorf("Steps() = %d, want 3", p.Steps())
+	}
+	if len(order) != 9 || order[0] != StagePlan || order[1] != StageWearout || order[2] != StageRecord {
+		t.Errorf("stage order wrong: %v", order)
+	}
+	if len(progressed) != 3 || progressed[2] != 3 {
+		t.Errorf("progress callbacks wrong: %v", progressed)
+	}
+	times := p.StageTimes()
+	for _, name := range []StageName{StagePlan, StageWearout, StageRecord} {
+		if _, ok := times[name]; !ok {
+			t.Errorf("no accumulated time for stage %s", name)
+		}
+	}
+}
+
+func TestPipelineStageErrorNamesStage(t *testing.T) {
+	boom := errors.New("boom")
+	p := NewPipeline([]Stage{
+		{Name: StagePlan, Run: func() error { return nil }},
+		{Name: StageThermal, Run: func() error { return boom }},
+		{Name: StageRecord, Run: func() error { t.Fatal("ran past failing stage"); return nil }},
+	}, Hooks{})
+	err := p.Step(context.Background(), 0, 1)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if p.Steps() != 0 {
+		t.Error("failed step must not count")
+	}
+}
+
+func TestPipelineHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	p := NewPipeline([]Stage{{Name: StagePlan, Run: func() error { ran = true; return nil }}}, Hooks{})
+	err := p.Step(ctx, 0, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("stage ran despite cancelled context")
+	}
+}
+
+func TestPipelineStageTimeHook(t *testing.T) {
+	seen := map[StageName]int{}
+	p := NewPipeline(
+		[]Stage{
+			{Name: StageSense, Run: func() error { return nil }},
+			{Name: StageRecord, Run: func() error { return nil }},
+		},
+		Hooks{StageTime: func(stage StageName, _ time.Duration) { seen[stage]++ }},
+	)
+	for step := 0; step < 2; step++ {
+		if err := p.Step(context.Background(), step, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seen[StageSense] != 2 || seen[StageRecord] != 2 {
+		t.Errorf("stage-time hook calls = %v, want 2 per stage", seen)
+	}
+}

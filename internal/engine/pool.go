@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded worker pool for data-parallel stepping. It is stateless
+// between calls (no goroutines live while idle), so one Pool can be shared
+// by every stage of a simulation.
+type Pool struct {
+	workers int
+}
+
+// NewPool builds a pool. workers <= 0 uses GOMAXPROCS; workers == 1 runs
+// everything serially on the calling goroutine.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach invokes fn(i) for every i in [0, n), sharding the index range
+// into contiguous chunks across the workers. fn must touch only state owned
+// by index i (plus read-only shared inputs); under that contract the result
+// is bit-identical to the serial loop `for i := 0; i < n; i++ { fn(i) }`
+// regardless of the worker count, because no cross-index accumulation
+// happens inside the parallel region.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// Map runs fn(i) for every i in [0, n) on at most Workers() goroutines and
+// returns the lowest-index error (error-first semantics: the error a serial
+// loop would have hit first wins, independent of scheduling). All tasks are
+// always joined before returning.
+func (p *Pool) Map(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	errs := make([]error, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

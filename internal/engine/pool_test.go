@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 64} {
+		for _, n := range []int{0, 1, 5, 64, 1000} {
+			pool := NewPool(workers)
+			counts := make([]int32, n)
+			pool.ForEach(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachShardedMatchesSerial(t *testing.T) {
+	// Independent per-index work must land bit-identically whatever the
+	// worker count — the contract the simulator's wearout stage relies on.
+	n := 257
+	serial := make([]float64, n)
+	NewPool(1).ForEach(n, func(i int) { serial[i] = float64(i) * 1.000000001 })
+	for _, workers := range []int{2, 5, 16} {
+		out := make([]float64, n)
+		NewPool(workers).ForEach(n, func(i int) { out[i] = float64(i) * 1.000000001 })
+		for i := range out {
+			if out[i] != serial[i] {
+				t.Fatalf("workers=%d: index %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestMapErrorFirst(t *testing.T) {
+	// The lowest-index error must win regardless of scheduling.
+	pool := NewPool(4)
+	err := pool.Map(10, func(i int) error {
+		if i == 7 || i == 3 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "task 3 failed" {
+		t.Fatalf("err = %v, want task 3 failed", err)
+	}
+	if err := pool.Map(5, func(int) error { return nil }); err != nil {
+		t.Fatalf("clean map returned %v", err)
+	}
+	if err := pool.Map(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("empty map returned %v", err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	pool := NewPool(workers)
+	var mu sync.Mutex
+	var active, peak int
+	gate := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = pool.Map(20, func(int) error {
+			mu.Lock()
+			active++
+			if active > peak {
+				peak = active
+			}
+			mu.Unlock()
+			<-gate
+			mu.Lock()
+			active--
+			mu.Unlock()
+			return nil
+		})
+	}()
+	for i := 0; i < 20; i++ {
+		gate <- struct{}{}
+	}
+	<-done
+	if peak > workers {
+		t.Fatalf("peak concurrency %d exceeds bound %d", peak, workers)
+	}
+}
+
+func TestNewPoolDefaults(t *testing.T) {
+	if NewPool(0).Workers() < 1 {
+		t.Error("default pool must have at least one worker")
+	}
+	if got := NewPool(5).Workers(); got != 5 {
+		t.Errorf("Workers() = %d, want 5", got)
+	}
+}

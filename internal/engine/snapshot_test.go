@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// memComponent is a trivial Component whose state is one byte slice.
+type memComponent struct {
+	state []byte
+	fail  bool
+}
+
+func (m *memComponent) StepUnder(Condition) error { return nil }
+func (m *memComponent) Snapshot() ([]byte, error) {
+	if m.fail {
+		return nil, errTest
+	}
+	return append([]byte(nil), m.state...), nil
+}
+func (m *memComponent) Restore(data []byte) error {
+	if m.fail {
+		return errTest
+	}
+	m.state = append([]byte(nil), data...)
+	return nil
+}
+func (m *memComponent) Validate() error { return nil }
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "component failed" }
+
+func TestSystemSnapshotRoundtrip(t *testing.T) {
+	a := &memComponent{state: []byte("alpha")}
+	b := &memComponent{state: []byte("beta")}
+	snap := NewSystemSnapshot(42)
+	if err := snap.Add("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Add("b", b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := DecodeSystemSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 42 || got.Version != SnapshotVersion {
+		t.Fatalf("decoded step/version = %d/%d", got.Step, got.Version)
+	}
+	a2, b2 := &memComponent{}, &memComponent{}
+	if err := got.Restore("a", a2); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Restore("b", b2); err != nil {
+		t.Fatal(err)
+	}
+	if string(a2.state) != "alpha" || string(b2.state) != "beta" {
+		t.Errorf("restored state %q/%q", a2.state, b2.state)
+	}
+}
+
+func TestSystemSnapshotRejectsDuplicates(t *testing.T) {
+	snap := NewSystemSnapshot(0)
+	if err := snap.AddBytes("x", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.AddBytes("x", []byte{2}); err == nil {
+		t.Fatal("duplicate component name accepted")
+	}
+}
+
+func TestSystemSnapshotMissingComponent(t *testing.T) {
+	snap := NewSystemSnapshot(0)
+	if _, err := snap.Bytes("ghost"); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("missing component err = %v", err)
+	}
+	if err := snap.Restore("ghost", &memComponent{}); err == nil {
+		t.Fatal("restore from missing component succeeded")
+	}
+}
+
+func TestSystemSnapshotVersionCheck(t *testing.T) {
+	snap := NewSystemSnapshot(7)
+	snap.Version = SnapshotVersion + 1
+	data, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSystemSnapshot(data); err == nil {
+		t.Fatal("future snapshot version accepted")
+	}
+	if _, err := DecodeSystemSnapshot([]byte("not a snapshot")); err == nil {
+		t.Fatal("garbage accepted as snapshot")
+	}
+}
+
+func TestSystemSnapshotAddPropagatesErrors(t *testing.T) {
+	snap := NewSystemSnapshot(0)
+	if err := snap.Add("bad", &memComponent{fail: true}); err == nil {
+		t.Fatal("failing component snapshot accepted")
+	}
+}

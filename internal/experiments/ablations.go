@@ -197,28 +197,26 @@ func RunAblationSchedule() (*ScheduleResult, error) {
 	}
 	cfg.Workloads = wl
 
-	run := func(pol core.Policy) (*core.Report, error) {
-		sim, err := core.NewSimulator(cfg, pol)
-		if err != nil {
-			return nil, err
-		}
-		return sim.Run()
-	}
-	base, err := run(&core.NoRecovery{})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: ablation-schedule: %w", err)
-	}
-	res := &ScheduleResult{Baseline: base.GuardbandFrac}
-	for _, setting := range []struct{ steps, conc int }{
+	settings := []struct{ steps, conc int }{
 		{1, 2}, {1, 4}, {2, 2}, {2, 4}, {4, 4}, {2, 6},
-	} {
+	}
+	// One bounded batch: the baseline plus every sweep point runs on the
+	// engine pool, each simulation owning its own deterministic state.
+	policies := make([]core.Policy, 0, len(settings)+1)
+	policies = append(policies, &core.NoRecovery{})
+	for _, setting := range settings {
 		pol := core.DefaultDeepHealing()
 		pol.RecoverySteps = setting.steps
 		pol.MaxConcurrent = setting.conc
-		rep, err := run(pol)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation-schedule: %w", err)
-		}
+		policies = append(policies, pol)
+	}
+	reports, err := core.RunPolicies(cfg, policies...)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablation-schedule: %w", err)
+	}
+	res := &ScheduleResult{Baseline: reports[0].GuardbandFrac}
+	for i, setting := range settings {
+		rep := reports[i+1]
 		res.Points = append(res.Points, SchedulePoint{
 			RecoverySteps: setting.steps,
 			MaxConcurrent: setting.conc,

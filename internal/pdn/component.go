@@ -1,0 +1,57 @@
+package pdn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"deepheal/internal/engine"
+)
+
+// Grid implements engine.Component. The grid's only mutable state is the
+// warm-start vector of the conjugate-gradient solver — but that state
+// influences the iterate the solver converges to at finite tolerance, so a
+// bit-identical resume must carry it.
+
+// StepUnder implements engine.Component by solving the IR-drop problem for
+// the condition's load map (the typed Solve returns the full solution).
+func (g *Grid) StepUnder(c engine.Condition) error {
+	_, err := g.Solve(c.Load)
+	return err
+}
+
+// gridSnapshot is the serialised form of a power grid's mutable state.
+type gridSnapshot struct {
+	Config Config
+	Warm   []float64
+}
+
+// Snapshot implements engine.Component.
+func (g *Grid) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gridSnapshot{Config: g.cfg, Warm: g.warm}); err != nil {
+		return nil, fmt.Errorf("pdn: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements engine.Component by rebuilding the grid in place.
+func (g *Grid) Restore(data []byte) error {
+	var snap gridSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("pdn: restore: %w", err)
+	}
+	ng, err := New(snap.Config)
+	if err != nil {
+		return fmt.Errorf("pdn: restore: %w", err)
+	}
+	if len(snap.Warm) != len(ng.warm) {
+		return fmt.Errorf("pdn: restore: %d warm-start entries for %d unknowns", len(snap.Warm), len(ng.warm))
+	}
+	copy(ng.warm, snap.Warm)
+	*g = *ng
+	return nil
+}
+
+// Validate implements engine.Component.
+func (g *Grid) Validate() error { return g.cfg.Validate() }

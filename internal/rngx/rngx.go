@@ -1,28 +1,53 @@
 // Package rngx provides the deterministic random number generation used by
 // the simulators: a seedable source with convenience distributions
-// (normal, lognormal, log-uniform) and stream splitting so concurrent
-// components draw from independent, reproducible sequences.
+// (normal, lognormal, log-uniform), stream splitting so concurrent
+// components draw from independent, reproducible sequences, and exact
+// snapshot/restore so long-running simulations can checkpoint mid-stream.
 package rngx
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
 	"math"
 	"math/rand"
 )
 
+// op identifies one primitive draw for the snapshot journal. The underlying
+// generator consumes a variable number of raw words per draw (e.g. the
+// ziggurat normal sampler), so restoring a stream replays the journal
+// against a fresh generator instead of copying raw state.
+type op struct {
+	Kind byte  // one of the op* constants
+	Arg  int64 // draw argument where consumption depends on it (IntN, Perm)
+}
+
+const (
+	opFloat64 byte = iota
+	opNorm
+	opIntN
+	opPerm
+	opSplit
+)
+
 // Source is a deterministic pseudo-random stream.
 type Source struct {
-	rng *rand.Rand
+	rng     *rand.Rand
+	seed    int64
+	journal []op
 }
 
 // New creates a Source from a seed. The same seed always yields the same
 // sequence, which keeps every experiment byte-for-byte reproducible.
 func New(seed int64) *Source {
-	return &Source{rng: rand.New(rand.NewSource(seed))}
+	return &Source{rng: rand.New(rand.NewSource(seed)), seed: seed}
 }
 
 // Split derives an independent child stream labelled by id. Children of the
-// same parent with different ids are decorrelated; the parent is unaffected.
+// same parent with different ids are decorrelated; the parent is unaffected
+// beyond consuming one draw.
 func (s *Source) Split(id int64) *Source {
+	s.journal = append(s.journal, op{Kind: opSplit})
 	// SplitMix64-style hash of (parent seed draw, id) for the child seed.
 	z := uint64(s.rng.Int63()) ^ (uint64(id) * 0x9e3779b97f4a7c15)
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -32,18 +57,25 @@ func (s *Source) Split(id int64) *Source {
 }
 
 // Float64 draws uniformly from [0, 1).
-func (s *Source) Float64() float64 { return s.rng.Float64() }
+func (s *Source) Float64() float64 {
+	s.journal = append(s.journal, op{Kind: opFloat64})
+	return s.rng.Float64()
+}
 
 // IntN draws uniformly from [0, n).
-func (s *Source) IntN(n int) int { return s.rng.Intn(n) }
+func (s *Source) IntN(n int) int {
+	s.journal = append(s.journal, op{Kind: opIntN, Arg: int64(n)})
+	return s.rng.Intn(n)
+}
 
 // Uniform draws uniformly from [lo, hi).
 func (s *Source) Uniform(lo, hi float64) float64 {
-	return lo + (hi-lo)*s.rng.Float64()
+	return lo + (hi-lo)*s.Float64()
 }
 
 // Normal draws from a Gaussian with the given mean and standard deviation.
 func (s *Source) Normal(mean, sigma float64) float64 {
+	s.journal = append(s.journal, op{Kind: opNorm})
 	return mean + sigma*s.rng.NormFloat64()
 }
 
@@ -60,7 +92,72 @@ func (s *Source) LogUniform(lo, hi float64) float64 {
 }
 
 // Perm returns a random permutation of [0, n).
-func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+func (s *Source) Perm(n int) []int {
+	s.journal = append(s.journal, op{Kind: opPerm, Arg: int64(n)})
+	return s.rng.Perm(n)
+}
 
 // Bool draws true with probability p.
-func (s *Source) Bool(p float64) bool { return s.rng.Float64() < p }
+func (s *Source) Bool(p float64) bool { return s.Float64() < p }
+
+// sourceSnapshot is the serialised form of a Source: the original seed plus
+// the journal of draws made since creation.
+type sourceSnapshot struct {
+	Seed int64
+	Ops  []op
+}
+
+// Snapshot serialises the stream state. A restored Source continues the
+// exact sequence the original would have produced.
+func (s *Source) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sourceSnapshot{Seed: s.seed, Ops: s.journal}); err != nil {
+		return nil, fmt.Errorf("rngx: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore rewinds the receiver to the snapshotted stream position by
+// replaying the recorded draws against a fresh generator.
+func (s *Source) Restore(data []byte) error {
+	var snap sourceSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("rngx: restore: %w", err)
+	}
+	rng := rand.New(rand.NewSource(snap.Seed))
+	for i, o := range snap.Ops {
+		switch o.Kind {
+		case opFloat64:
+			rng.Float64()
+		case opNorm:
+			rng.NormFloat64()
+		case opIntN:
+			if o.Arg <= 0 {
+				return fmt.Errorf("rngx: restore: op %d: IntN(%d) invalid", i, o.Arg)
+			}
+			rng.Intn(int(o.Arg))
+		case opPerm:
+			if o.Arg < 0 {
+				return fmt.Errorf("rngx: restore: op %d: Perm(%d) invalid", i, o.Arg)
+			}
+			rng.Perm(int(o.Arg))
+		case opSplit:
+			rng.Int63()
+		default:
+			return fmt.Errorf("rngx: restore: unknown op kind %d", o.Kind)
+		}
+	}
+	s.rng = rng
+	s.seed = snap.Seed
+	s.journal = snap.Ops
+	return nil
+}
+
+// RestoreSource rebuilds a Source from a Snapshot.
+func RestoreSource(data []byte) (*Source, error) {
+	s := New(0)
+	if err := s.Restore(data); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -127,6 +127,79 @@ func TestBoolProbability(t *testing.T) {
 	}
 }
 
+func TestSnapshotRestoreContinuesSequence(t *testing.T) {
+	// A restored stream must continue exactly where the snapshot was taken,
+	// across every draw kind (the journal replays them all).
+	s := New(42)
+	s.Float64()
+	s.Normal(0, 1)
+	s.IntN(9)
+	s.Perm(5)
+	s.Split(3)
+	s.LogNormal(0, 0.5)
+	s.Uniform(1, 2)
+	s.Bool(0.5)
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreSource(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if a, b := s.Float64(), r.Float64(); a != b {
+			t.Fatalf("draw %d: restored %g, original %g", i, b, a)
+		}
+		if a, b := s.Normal(3, 2), r.Normal(3, 2); a != b {
+			t.Fatalf("normal draw %d diverged", i)
+		}
+	}
+}
+
+func TestSnapshotRestoreInPlace(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 10; i++ {
+		s.Normal(0, 1)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Float64()
+	other := New(999) // differently seeded and positioned
+	other.IntN(4)
+	if err := other.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := other.Float64(); got != want {
+		t.Errorf("in-place restore drew %g, want %g", got, want)
+	}
+}
+
+func TestSnapshotSplitChildrenReproducible(t *testing.T) {
+	s := New(12)
+	s.Float64()
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantChild := s.Split(5).Float64()
+	r, err := RestoreSource(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Split(5).Float64(); got != wantChild {
+		t.Errorf("restored split child drew %g, want %g", got, wantChild)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := RestoreSource([]byte("junk")); err == nil {
+		t.Error("garbage accepted as rng snapshot")
+	}
+}
+
 func TestIntNRange(t *testing.T) {
 	s := New(31)
 	for i := 0; i < 1000; i++ {

@@ -1,0 +1,95 @@
+package sensor
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"deepheal/internal/engine"
+)
+
+// Both sensors implement engine.Component. Sensors do not evolve with time
+// (StepUnder is a no-op) but their noise streams are real state: a resumed
+// simulation must read the same noise sequence the uninterrupted one would.
+
+// StepUnder implements engine.Component; sensors advance only when read.
+func (s *ROSensor) StepUnder(engine.Condition) error { return nil }
+
+// roSnapshot is the serialised form of an RO sensor.
+type roSnapshot struct {
+	Config ROConfig
+	RNG    []byte
+}
+
+// Snapshot implements engine.Component.
+func (s *ROSensor) Snapshot() ([]byte, error) {
+	rng, err := s.rng.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("sensor: ro snapshot: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(roSnapshot{Config: s.cfg, RNG: rng}); err != nil {
+		return nil, fmt.Errorf("sensor: ro snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements engine.Component.
+func (s *ROSensor) Restore(data []byte) error {
+	var snap roSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("sensor: ro restore: %w", err)
+	}
+	if err := snap.Config.Validate(); err != nil {
+		return fmt.Errorf("sensor: ro restore: %w", err)
+	}
+	if err := s.rng.Restore(snap.RNG); err != nil {
+		return fmt.Errorf("sensor: ro restore: %w", err)
+	}
+	s.cfg = snap.Config
+	return nil
+}
+
+// Validate implements engine.Component.
+func (s *ROSensor) Validate() error { return s.cfg.Validate() }
+
+// StepUnder implements engine.Component; sensors advance only when read.
+func (s *EMSensor) StepUnder(engine.Condition) error { return nil }
+
+// emSnapshot is the serialised form of an EM sensor.
+type emSnapshot struct {
+	Config EMConfig
+	RNG    []byte
+}
+
+// Snapshot implements engine.Component.
+func (s *EMSensor) Snapshot() ([]byte, error) {
+	rng, err := s.rng.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("sensor: em snapshot: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(emSnapshot{Config: s.cfg, RNG: rng}); err != nil {
+		return nil, fmt.Errorf("sensor: em snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements engine.Component.
+func (s *EMSensor) Restore(data []byte) error {
+	var snap emSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("sensor: em restore: %w", err)
+	}
+	if err := snap.Config.Validate(); err != nil {
+		return fmt.Errorf("sensor: em restore: %w", err)
+	}
+	if err := s.rng.Restore(snap.RNG); err != nil {
+		return fmt.Errorf("sensor: em restore: %w", err)
+	}
+	s.cfg = snap.Config
+	return nil
+}
+
+// Validate implements engine.Component.
+func (s *EMSensor) Validate() error { return s.cfg.Validate() }

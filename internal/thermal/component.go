@@ -1,0 +1,62 @@
+package thermal
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"deepheal/internal/engine"
+)
+
+// Grid implements engine.Component: the die temperature field is state that
+// must survive a checkpoint (it warm-starts the next solve and feeds the
+// policies' heat-aware observations).
+
+// StepUnder implements engine.Component. A positive Seconds advances the
+// backward-Euler transient; Seconds == 0 requests the steady state of the
+// supplied power map.
+func (g *Grid) StepUnder(c engine.Condition) error {
+	if c.Seconds > 0 {
+		return g.Step(c.Power, c.Seconds)
+	}
+	_, err := g.SteadyState(c.Power)
+	return err
+}
+
+// gridSnapshot is the serialised form of a thermal grid's mutable state.
+type gridSnapshot struct {
+	Rows, Cols int
+	Config     Config
+	TempsK     []float64
+}
+
+// Snapshot implements engine.Component.
+func (g *Grid) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	snap := gridSnapshot{Rows: g.rows, Cols: g.cols, Config: g.cfg, TempsK: g.temps}
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("thermal: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements engine.Component by rebuilding the grid in place.
+func (g *Grid) Restore(data []byte) error {
+	var snap gridSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("thermal: restore: %w", err)
+	}
+	ng, err := NewGrid(snap.Rows, snap.Cols, snap.Config)
+	if err != nil {
+		return fmt.Errorf("thermal: restore: %w", err)
+	}
+	if len(snap.TempsK) != len(ng.temps) {
+		return fmt.Errorf("thermal: restore: %d temperatures for %d tiles", len(snap.TempsK), len(ng.temps))
+	}
+	copy(ng.temps, snap.TempsK)
+	*g = *ng
+	return nil
+}
+
+// Validate implements engine.Component.
+func (g *Grid) Validate() error { return g.cfg.Validate() }
