@@ -1,0 +1,83 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"deepheal/internal/bench"
+)
+
+// runBench executes the tracked benchmark set and writes the trajectory
+// report. With -baseline it also gates: any tracked benchmark that slowed
+// past -factor fails the command, which is how CI pins the perf work in this
+// repo to the committed BENCH_PR2.json.
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("deepheal bench", flag.ContinueOnError)
+	out := fs.String("o", "BENCH_PR2.json", "write the JSON report here (empty = don't write)")
+	baseline := fs.String("baseline", "", "compare against this JSON report and fail on regressions")
+	factor := fs.Float64("factor", 2, "allowed ns/op growth factor vs the baseline")
+	minNs := fs.Float64("min-ns", bench.MinGateNs, "skip gating benchmarks with baselines under this many ns/op (timer noise)")
+	pattern := fs.String("bench", ".", "benchmark name pattern (go test -bench)")
+	benchtime := fs.String("benchtime", "1000x", "per-benchmark time or iteration count (go test -benchtime)")
+	verbose := fs.Bool("v", false, "stream raw go test output while running")
+	prof := profileFlags{}
+	fs.StringVar(&prof.cpu, "cpuprofile", "", "pass -cpuprofile to go test (requires exactly one package)")
+	fs.StringVar(&prof.mem, "memprofile", "", "pass -memprofile to go test (requires exactly one package)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: deepheal bench [flags] [package...]\n\n"+
+			"Runs the tracked benchmark set (default: the numerical-kernel and\n"+
+			"simulator packages) and writes a machine-readable trajectory report.\n"+
+			"Run it from the repository root: it shells out to `go test`.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var sink io.Writer
+	if *verbose {
+		sink = os.Stderr
+	}
+	rep, err := bench.Run(bench.Options{
+		Packages:   fs.Args(),
+		Pattern:    *pattern,
+		Benchtime:  *benchtime,
+		Stdout:     sink,
+		CPUProfile: prof.cpu,
+		MemProfile: prof.mem,
+	})
+	if err != nil {
+		return err
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("bench: no benchmarks matched %q", *pattern)
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-60s %14.1f ns/op %10d B/op %8d allocs/op\n", r.Key(), r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d benchmarks to %s\n", len(rep.Results), *out)
+	}
+
+	if *baseline == "" {
+		return nil
+	}
+	base, err := bench.ReadFile(*baseline)
+	if err != nil {
+		return err
+	}
+	regs, compared := bench.Compare(base, rep, *factor, *minNs)
+	fmt.Printf("compared %d benchmarks against %s (factor %.2gx, floor %.0f ns)\n", compared, *baseline, *factor, *minNs)
+	if len(regs) == 0 {
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "REGRESSION", r)
+	}
+	return fmt.Errorf("bench: %d benchmark(s) regressed more than %.2gx", len(regs), *factor)
+}

@@ -7,11 +7,14 @@
 //	deepheal all               # run every experiment
 //	deepheal table1 fig5 ...   # run specific experiments
 //	deepheal sim [flags]       # run one policy simulation directly
+//	deepheal bench [flags]     # run tracked benchmarks, emit/compare JSON
 //
 // Each experiment prints its paper-style table or series followed by a
 // summary comparing the simulated result against the paper's anchors.
 // The sim subcommand drives a single engine simulation with progress
-// reporting and checkpoint/resume; see `deepheal sim -h`.
+// reporting and checkpoint/resume; see `deepheal sim -h`. The bench
+// subcommand records the benchmark trajectory (see `deepheal bench -h`);
+// CI gates it against the committed BENCH_PR2.json.
 package main
 
 import (
@@ -36,7 +39,7 @@ func run(args []string) error {
 	quiet := fs.Bool("q", false, "print only experiment summaries, not full series")
 	outDir := fs.String("o", "", "also write <id>.txt (and <id>_<series>.tsv where available) into this directory")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: deepheal [-q] [-o dir] list | all | sim | <experiment>...\n\nexperiments:\n")
+		fmt.Fprintf(fs.Output(), "usage: deepheal [-q] [-o dir] list | all | sim | bench | <experiment>...\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
 			fmt.Fprintf(fs.Output(), "  %s\n", id)
 		}
@@ -54,6 +57,8 @@ func run(args []string) error {
 	switch fs.Arg(0) {
 	case "sim":
 		return runSim(fs.Args()[1:])
+	case "bench":
+		return runBench(fs.Args()[1:])
 	case "list":
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profileFlags is the -cpuprofile/-memprofile pair shared by the long-running
+// subcommands. Register the flags, then defer stop() once parsing succeeds.
+type profileFlags struct {
+	cpu, mem string
+}
+
+// start begins CPU profiling (if requested) and returns a stop function that
+// finishes the CPU profile and writes the heap profile. The stop function is
+// safe to call exactly once; profile-file errors are reported on stderr
+// rather than failing the run whose work is already done.
+func (p *profileFlags) start() (stop func(), err error) {
+	var cpuFile *os.File
+	if p.cpu != "" {
+		cpuFile, err = os.Create(p.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "deepheal: cpuprofile:", err)
+			}
+		}
+		if p.mem != "" {
+			f, err := os.Create(p.mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "deepheal: memprofile:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "deepheal: memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "deepheal: memprofile:", err)
+			}
+		}
+	}, nil
+}

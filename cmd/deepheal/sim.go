@@ -45,6 +45,9 @@ func runSim(args []string) error {
 	progress := fs.Bool("progress", false, "print step progress while running")
 	checkpoint := fs.String("checkpoint", "", "checkpoint file: resume from it if present, save into it while running")
 	checkpointEvery := fs.Int("checkpoint-every", 100, "steps between checkpoint saves (with -checkpoint)")
+	prof := profileFlags{}
+	fs.StringVar(&prof.cpu, "cpuprofile", "", "write a CPU profile of the run to this file")
+	fs.StringVar(&prof.mem, "memprofile", "", "write a heap profile at the end of the run to this file")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: deepheal sim [flags]\n\npolicies:\n")
 		for _, name := range policyNames() {
@@ -65,6 +68,11 @@ func runSim(args []string) error {
 	if *checkpoint != "" && *checkpointEvery < 1 {
 		return fmt.Errorf("sim: -checkpoint-every must be at least 1")
 	}
+	stopProfiles, err := prof.start()
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	defer stopProfiles()
 
 	cfg := core.DefaultConfig()
 	if *rows > 0 || *cols > 0 {

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		line string
+		want Result
+		ok   bool
+	}{
+		{
+			line: "BenchmarkEvolveHour-8   \t  176449\t      6695 ns/op\t       0 B/op\t       0 allocs/op",
+			want: Result{Name: "BenchmarkEvolveHour", Iters: 176449, NsPerOp: 6695},
+			ok:   true,
+		},
+		{
+			line: "BenchmarkSimulatorStep/8x8/serial-4 \t 300\t 543398 ns/op\t 91833 B/op\t 103 allocs/op",
+			want: Result{Name: "BenchmarkSimulatorStep/8x8/serial", Iters: 300, NsPerOp: 543398, BytesPerOp: 91833, AllocsPerOp: 103},
+			ok:   true,
+		},
+		{
+			// Custom ReportMetric pairs interleave with the standard units and
+			// must be skipped, not mis-parsed.
+			line: "BenchmarkFig5EMRecovery-8 \t 1\t 123456789 ns/op\t 0.8420 recovery_frac\t 2048 B/op\t 12 allocs/op",
+			want: Result{Name: "BenchmarkFig5EMRecovery", Iters: 1, NsPerOp: 123456789, BytesPerOp: 2048, AllocsPerOp: 12},
+			ok:   true,
+		},
+		{
+			// Sub-benchmark names containing dashes keep everything except the
+			// numeric GOMAXPROCS suffix.
+			line: "BenchmarkRun/deep-healing-16 \t 10\t 99 ns/op\t 0 B/op\t 0 allocs/op",
+			want: Result{Name: "BenchmarkRun/deep-healing", Iters: 10, NsPerOp: 99},
+			ok:   true,
+		},
+		{line: "pkg: deepheal/internal/bti", ok: false},
+		{line: "PASS", ok: false},
+		{line: "ok  \tdeepheal/internal/bti\t0.5s", ok: false},
+		{line: "", ok: false},
+		{line: "BenchmarkBroken-8 notanumber 5 ns/op", ok: false},
+	}
+	for _, tc := range cases {
+		got, ok := ParseLine(tc.line)
+		if ok != tc.ok {
+			t.Errorf("ParseLine(%q) ok = %v, want %v", tc.line, ok, tc.ok)
+			continue
+		}
+		if ok && got != tc.want {
+			t.Errorf("ParseLine(%q) = %+v, want %+v", tc.line, got, tc.want)
+		}
+	}
+}
+
+func TestParseOutput(t *testing.T) {
+	out := "goos: linux\ngoarch: amd64\npkg: deepheal/internal/bti\n" +
+		"BenchmarkEvolveHour-8 \t 100\t 6695 ns/op\t 0 B/op\t 0 allocs/op\n" +
+		"BenchmarkRecoveryFraction-8 \t 100\t 5113 ns/op\t 10240 B/op\t 1 allocs/op\n" +
+		"PASS\nok  \tdeepheal/internal/bti\t0.1s\n"
+	results, pkg := parseOutput(out)
+	if pkg != "deepheal/internal/bti" {
+		t.Errorf("package = %q", pkg)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	if results[1].Name != "BenchmarkRecoveryFraction" || results[1].AllocsPerOp != 1 {
+		t.Errorf("second result = %+v", results[1])
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := &Report{
+		GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", Benchtime: "100x",
+		Results: []Result{
+			{Package: "deepheal/internal/bti", Name: "BenchmarkEvolveHour", Iters: 100, NsPerOp: 6695},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchtime != rep.Benchtime || len(got.Results) != 1 || got.Results[0] != rep.Results[0] {
+		t.Errorf("round trip = %+v, want %+v", got, rep)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	baseline := &Report{Results: []Result{
+		{Package: "p", Name: "BenchmarkFast", NsPerOp: 500},     // under the noise floor
+		{Package: "p", Name: "BenchmarkStable", NsPerOp: 10000}, // within factor
+		{Package: "p", Name: "BenchmarkSlow", NsPerOp: 10000},   // regresses
+		{Package: "p", Name: "BenchmarkGone", NsPerOp: 10000},   // missing from current
+	}}
+	current := &Report{Results: []Result{
+		{Package: "p", Name: "BenchmarkFast", NsPerOp: 5000}, // 10x but < minNs baseline
+		{Package: "p", Name: "BenchmarkStable", NsPerOp: 15000},
+		{Package: "p", Name: "BenchmarkSlow", NsPerOp: 25000},
+		{Package: "p", Name: "BenchmarkNew", NsPerOp: 1}, // missing from baseline
+	}}
+	regs, compared := Compare(baseline, current, 2, MinGateNs)
+	if compared != 3 {
+		t.Errorf("compared = %d, want 3", compared)
+	}
+	if len(regs) != 1 || regs[0].Key != "p.BenchmarkSlow" {
+		t.Fatalf("regressions = %+v, want just p.BenchmarkSlow", regs)
+	}
+	if regs[0].Ratio != 2.5 {
+		t.Errorf("ratio = %v, want 2.5", regs[0].Ratio)
+	}
+}

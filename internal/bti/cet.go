@@ -2,11 +2,14 @@ package bti
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // cetGrid is the immutable geometry and weighting of a capture–emission-time
 // map. Devices built from the same Params share one grid; only the occupancy
-// vector is per-device state.
+// vector is per-device state. The kernel cache (see kernel.go) is the one
+// mutable, lock-guarded part.
 type cetGrid struct {
 	nc, ne int
 	// tauC[i] and tauE[j] are the cell-centre capture/emission times
@@ -16,6 +19,13 @@ type cetGrid struct {
 	// weight[i*ne+j] is the threshold-voltage contribution (volts) of cell
 	// (i, j) at full occupancy. Weights sum to MaxShiftV.
 	weight []float64
+
+	mu           sync.RWMutex
+	kernels      map[condKey]*evolveKernel
+	kernelFloats int                // cached kernel footprint, in float64s
+	seen         map[condKey]uint64 // key → phase that first requested it
+	phase        atomic.Uint64      // Apply-phase token source (see kernel.go)
+	scratch      sync.Pool          // *axisScratch for the direct separable sweep
 }
 
 // newCETGrid discretises the bivariate-lognormal trap density onto a
@@ -69,7 +79,24 @@ func gridAxis(mu, sigma, span float64, n int) []float64 {
 // evolve advances the occupancy vector occ (len nc*ne, values in [0,1]) by
 // dt seconds under condition acceleration factors: captureAF multiplies
 // capture rates (0 when not stressing) and emitAF multiplies emission rates.
-func (g *cetGrid) evolve(occ []float64, captureAF, emitAF, dt float64) {
+// It dispatches through the condition-keyed kernel cache (phase is the
+// caller's Apply-phase token, see kernel.go); with every rate zero (or a
+// degenerate duration) the sweep is a no-op and is skipped.
+func (g *cetGrid) evolve(occ []float64, captureAF, emitAF, dt float64, phase uint64) {
+	if dt <= 0 || (captureAF <= 0 && emitAF <= 0) {
+		return
+	}
+	if k := g.kernel(captureAF, emitAF, dt, phase); k != nil {
+		k.apply(occ)
+		return
+	}
+	g.evolveSeparable(occ, captureAF, emitAF, dt)
+}
+
+// evolveNaive is the direct per-cell reference implementation (one
+// exponential per cell per substep). The kernel path must match it within
+// 1e-12 relative; the differential tests in kernel_test.go enforce that.
+func (g *cetGrid) evolveNaive(occ []float64, captureAF, emitAF, dt float64) {
 	for i := 0; i < g.nc; i++ {
 		var rc float64
 		if captureAF > 0 {

@@ -1,0 +1,274 @@
+package bti
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"deepheal/internal/rngx"
+)
+
+// relDiff returns |a-b| / max(|a|, |b|, floor) — a relative difference that
+// stays finite around zero.
+func relDiff(a, b float64) float64 {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1e-30 {
+		scale = 1e-30
+	}
+	return math.Abs(a-b) / scale
+}
+
+// randomOcc fills a fresh occupancy vector with values in [0, 1].
+func randomOcc(rng *rngx.Source, n int) []float64 {
+	occ := make([]float64, n)
+	for i := range occ {
+		occ[i] = rng.Float64()
+	}
+	return occ
+}
+
+// TestEvolveMatchesNaive is the core differential guarantee of the kernel
+// rework: both optimized paths (the direct separable sweep and the cached
+// kernel) must match the naive per-cell-exponential reference within 1e-12
+// relative, across random grid sizes, acceleration factors and substeps.
+func TestEvolveMatchesNaive(t *testing.T) {
+	rng := rngx.New(42)
+	sizes := []struct{ nc, ne int }{{2, 2}, {5, 9}, {12, 18}, {28, 44}}
+	for _, size := range sizes {
+		p := DefaultParams()
+		p.GridCapture, p.GridEmission = size.nc, size.ne
+		g := newCETGrid(p)
+		for trial := 0; trial < 50; trial++ {
+			captureAF := 0.0
+			if rng.Bool(0.5) {
+				captureAF = rng.LogUniform(1e-3, 1e3)
+			}
+			emitAF := rng.LogUniform(1e-3, 1e3)
+			dt := rng.LogUniform(1e-2, 1e5)
+
+			ref := randomOcc(rng, size.nc*size.ne)
+			sep := append([]float64(nil), ref...)
+			ker := append([]float64(nil), ref...)
+
+			g.evolveNaive(ref, captureAF, emitAF, dt)
+			g.evolveSeparable(sep, captureAF, emitAF, dt)
+			// Promote the key (first sight in phase 1, build in phase 2),
+			// then apply the cached kernel.
+			g.evolve(make([]float64, len(ref)), captureAF, emitAF, dt, 1)
+			g.evolve(ker, captureAF, emitAF, dt, 2)
+
+			for i := range ref {
+				if d := relDiff(sep[i], ref[i]); d > 1e-12 {
+					t.Fatalf("%dx%d separable cell %d: %g vs naive %g (rel %g)", size.nc, size.ne, i, sep[i], ref[i], d)
+				}
+				if ker[i] != sep[i] {
+					t.Fatalf("%dx%d kernel cell %d: %g, separable %g — the two optimized paths must agree bitwise", size.nc, size.ne, i, ker[i], sep[i])
+				}
+				if ker[i] < 0 || ker[i] > 1 {
+					t.Fatalf("%dx%d kernel cell %d out of [0,1]: %g", size.nc, size.ne, i, ker[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEvolveShortCircuits verifies the degenerate-input guards: zero rates
+// or a non-positive duration must leave the occupancy untouched.
+func TestEvolveShortCircuits(t *testing.T) {
+	p := DefaultParams().Coarse()
+	g := newCETGrid(p)
+	rng := rngx.New(7)
+	occ := randomOcc(rng, g.nc*g.ne)
+	want := append([]float64(nil), occ...)
+	g.evolve(occ, 0, 0, 3600, 1)
+	g.evolve(occ, 1, 1, 0, 1)
+	g.evolve(occ, 1, 1, -5, 1)
+	for i := range occ {
+		if occ[i] != want[i] {
+			t.Fatalf("cell %d modified by a degenerate evolve: %g != %g", i, occ[i], want[i])
+		}
+	}
+}
+
+// applyReference replays the seed implementation of Apply: naive per-cell
+// evolution at fixed maxSubstep resolution, no kernel cache, no closed-form
+// fast path. The production ApplyObserved must track it within 1e-12.
+func applyReference(d *Device, c Condition, dur float64) {
+	captureAF := d.params.captureAccel(c)
+	emitAF := d.params.emissionAccel(c)
+	elapsed := 0.0
+	for elapsed < dur {
+		step := math.Min(maxSubstep, dur-elapsed)
+		d.grid.evolveNaive(d.occ, captureAF, emitAF, step)
+		d.stepPermanent(c, emitAF, step)
+		elapsed += step
+		d.age += step
+	}
+}
+
+// TestApplyMatchesReference drives stress/recovery phase sequences through
+// the production Apply (kernel cache plus the closed-form recovery fast
+// path) and the seed reference in lockstep, comparing the full state after
+// every phase.
+func TestApplyMatchesReference(t *testing.T) {
+	rng := rngx.New(99)
+	conds := []Condition{StressAccel, RecoverPassive, RecoverActive, RecoverAccelerated, RecoverDeep}
+	for trial := 0; trial < 10; trial++ {
+		p := DefaultParams()
+		if trial%2 == 0 {
+			p = p.Coarse()
+		}
+		dev := MustNewDevice(p)
+		ref := dev.Clone()
+		for phase := 0; phase < 8; phase++ {
+			c := conds[rng.IntN(len(conds))]
+			dur := rng.Uniform(1, 4*3600)
+			dev.Apply(c, dur)
+			applyReference(ref, c, dur)
+			if d := relDiff(dev.ShiftV(), ref.ShiftV()); d > 1e-12 {
+				t.Fatalf("trial %d phase %d (%v, %.0fs): ShiftV %g vs reference %g (rel %g)",
+					trial, phase, c, dur, dev.ShiftV(), ref.ShiftV(), d)
+			}
+			if d := relDiff(dev.PermanentV(), ref.PermanentV()); d > 1e-12 {
+				t.Fatalf("trial %d phase %d (%v, %.0fs): PermanentV %g vs reference %g (rel %g)",
+					trial, phase, c, dur, dev.PermanentV(), ref.PermanentV(), d)
+			}
+			for i := range dev.occ {
+				// Occupancies live on [0, 1]; compare absolutely on that
+				// scale (tiny cells near total cancellation have no stable
+				// relative precision to demand).
+				if d := math.Abs(dev.occ[i] - ref.occ[i]); d > 1e-12 {
+					t.Fatalf("trial %d phase %d: occ[%d] %g vs reference %g (abs %g)",
+						trial, phase, i, dev.occ[i], ref.occ[i], d)
+				}
+			}
+			if dev.Age() != ref.Age() {
+				t.Fatalf("trial %d phase %d: age %g vs reference %g", trial, phase, dev.Age(), ref.Age())
+			}
+		}
+	}
+}
+
+// TestObservationSplitting checks that observation callbacks aligned with
+// the substep grid do not perturb the trajectory. Under stress the substep
+// boundaries coincide, so the observed device must end bit-identical to an
+// unobserved one; under recovery the closed-form fast path collapses the
+// substeps differently around each observation, so agreement is to 1e-12.
+// The callback times must tile the phase either way.
+func TestObservationSplitting(t *testing.T) {
+	for _, c := range []Condition{StressAccel, RecoverDeep} {
+		plain := MustNewDevice(DefaultParams().Coarse())
+		plain.Apply(StressAccel, 7200) // shared preload so recovery has signal
+		observed := plain.Clone()
+
+		plain.Apply(c, 2*3600)
+		var times []float64
+		observed.ApplyObserved(c, 2*3600, 1800, func(tt, _ float64) { times = append(times, tt) })
+
+		exact := c.Stressing()
+		if d := relDiff(plain.ShiftV(), observed.ShiftV()); (exact && d != 0) || d > 1e-12 {
+			t.Fatalf("%v: observed ShiftV %g vs plain %g (rel %g)", c, observed.ShiftV(), plain.ShiftV(), d)
+		}
+		for i := range plain.occ {
+			if d := math.Abs(plain.occ[i] - observed.occ[i]); (exact && d != 0) || d > 1e-12 {
+				t.Fatalf("%v: occ[%d] diverged under aligned observation (abs %g)", c, i, d)
+			}
+		}
+		want := []float64{1800, 3600, 5400, 7200}
+		if len(times) != len(want) {
+			t.Fatalf("%v: observation times %v, want %v", c, times, want)
+		}
+		for i := range want {
+			if times[i] != want[i] {
+				t.Fatalf("%v: observation times %v, want %v", c, times, want)
+			}
+		}
+	}
+}
+
+// TestSharedGrid verifies that equal Params share one immutable grid (and
+// with it one kernel cache) while distinct Params do not.
+func TestSharedGrid(t *testing.T) {
+	p := DefaultParams()
+	a, b := MustNewDevice(p), MustNewDevice(p)
+	if a.grid != b.grid {
+		t.Fatal("devices with equal Params must share a grid")
+	}
+	q := p
+	q.MaxShiftV *= 2
+	c := MustNewDevice(q)
+	if c.grid == a.grid {
+		t.Fatal("devices with different Params must not share a grid")
+	}
+}
+
+// TestKernelCacheBounds fills the cache past its float budget with distinct
+// promoted keys and checks the accounting invariant: the resident footprint
+// never exceeds maxKernelFloats (full cache refuses admission), and cached
+// keys keep resolving.
+func TestKernelCacheBounds(t *testing.T) {
+	p := DefaultParams() // 28x44: 2464 floats per kernel, budget fits ~851
+	g := newCETGrid(p)
+	occ := make([]float64, g.nc*g.ne)
+	for i := 0; i < 1200; i++ {
+		dt := 1 + float64(i) // distinct key per i
+		g.evolve(occ, 1, 1, dt, uint64(2*i+1))
+		g.evolve(occ, 1, 1, dt, uint64(2*i+2))
+		g.mu.RLock()
+		floats, entries := g.kernelFloats, len(g.kernels)
+		g.mu.RUnlock()
+		if floats > maxKernelFloats {
+			t.Fatalf("after %d keys: kernelFloats %d exceeds budget %d", i+1, floats, maxKernelFloats)
+		}
+		if entries*2*g.nc*g.ne != floats {
+			t.Fatalf("after %d keys: %d entries inconsistent with %d floats", i+1, entries, floats)
+		}
+	}
+	if k := g.kernel(1, 1, 1, 99999); k == nil {
+		t.Fatal("first promoted key evicted from a refuse-on-full cache")
+	}
+	if k := g.kernel(1, 1, 1200, 99999); k != nil {
+		t.Fatal("key past the budget was admitted")
+	}
+}
+
+// TestConcurrentEvolveSharedGrid exercises the kernel cache from many
+// goroutines sharing one grid — the simulator's sharded wearout stage — and
+// checks every result against the naive reference. Run under -race this
+// also validates the cache's locking.
+func TestConcurrentEvolveSharedGrid(t *testing.T) {
+	p := DefaultParams().Coarse()
+	g := newCETGrid(p)
+	keys := []condKey{
+		{1, 1, 900}, {2, 1, 900}, {1, 3, 900}, {0, 2, 3600}, {5, 5, 450},
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rngx.New(int64(w))
+			for iter := 0; iter < 200; iter++ {
+				k := keys[rng.IntN(len(keys))]
+				occ := randomOcc(rng, g.nc*g.ne)
+				want := append([]float64(nil), occ...)
+				g.evolve(occ, k.captureAF, k.emitAF, k.dt, uint64(w*1000+iter))
+				g.evolveNaive(want, k.captureAF, k.emitAF, k.dt)
+				for i := range occ {
+					if relDiff(occ[i], want[i]) > 1e-12 {
+						errs <- "concurrent evolve diverged from naive reference"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}

@@ -339,12 +339,11 @@ func (s *Simulator) stageThermal() error {
 	}
 	s.recovering = recovering
 	s.recoverySteps += recovering
-	temps, err := s.grid.SteadyState(s.powerMap)
-	if err != nil {
+	if err := s.grid.Settle(s.powerMap); err != nil {
 		return err
 	}
-	s.temps = temps
-	for i, t := range temps {
+	s.temps = s.grid.TemperaturesInto(s.temps)
+	for i, t := range s.temps {
 		s.lastTemps[i] = t.C()
 	}
 	return nil

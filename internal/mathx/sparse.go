@@ -91,79 +91,19 @@ type CGOptions struct {
 // SolveCG solves M·x = b for a symmetric positive-definite M using Jacobi-
 // preconditioned conjugate gradients. x0 may be nil for a zero start.
 // It returns the solution and the achieved relative residual.
+//
+// Each call builds a throwaway CGSolver; callers solving repeatedly against
+// the same matrix should hold a CGSolver to reuse the preconditioner and
+// iteration scratch.
 func (m *CSR) SolveCG(b, x0 []float64, opt CGOptions) ([]float64, float64, error) {
-	n := m.n
-	if len(b) != n {
-		return nil, 0, fmt.Errorf("mathx: SolveCG rhs length %d, want %d", len(b), n)
+	if len(b) != m.n {
+		return nil, 0, fmt.Errorf("mathx: SolveCG rhs length %d, want %d", len(b), m.n)
 	}
-	maxIter := opt.MaxIter
-	if maxIter <= 0 {
-		maxIter = 10 * n
+	s, err := NewCGSolver(m)
+	if err != nil {
+		return nil, 0, err
 	}
-	tol := opt.Tol
-	if tol <= 0 {
-		tol = 1e-10
-	}
-	x := make([]float64, n)
-	if x0 != nil {
-		copy(x, x0)
-	}
-	// Jacobi preconditioner from the diagonal.
-	inv := make([]float64, n)
-	for i := 0; i < n; i++ {
-		d := 0.0
-		if k := m.diagIdx[i]; k >= 0 {
-			d = m.values[k]
-		}
-		if d == 0 {
-			return nil, 0, ErrSingular
-		}
-		inv[i] = 1 / d
-	}
-	r := make([]float64, n)
-	m.MulVec(x, r)
-	for i := range r {
-		r[i] = b[i] - r[i]
-	}
-	normB := Norm2(b)
-	if normB == 0 {
-		return x, 0, nil
-	}
-	z := make([]float64, n)
-	p := make([]float64, n)
-	for i := range z {
-		z[i] = inv[i] * r[i]
-	}
-	copy(p, z)
-	rz := Dot(r, z)
-	ap := make([]float64, n)
-	res := Norm2(r) / normB
-	for iter := 0; iter < maxIter && res > tol; iter++ {
-		m.MulVec(p, ap)
-		den := Dot(p, ap)
-		if den == 0 {
-			break
-		}
-		alpha := rz / den
-		for i := range x {
-			x[i] += alpha * p[i]
-			r[i] -= alpha * ap[i]
-		}
-		for i := range z {
-			z[i] = inv[i] * r[i]
-		}
-		rzNew := Dot(r, z)
-		beta := rzNew / rz
-		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
-		res = Norm2(r) / normB
-	}
-	if math.IsNaN(res) || res > math.Sqrt(tol) {
-		return x, res, fmt.Errorf("mathx: CG did not converge (residual %.3g)", res)
-	}
-	return x, res, nil
+	return s.Solve(b, x0, opt)
 }
 
 // Dot returns the inner product of two equal-length vectors.

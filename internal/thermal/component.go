@@ -19,8 +19,7 @@ func (g *Grid) StepUnder(c engine.Condition) error {
 	if c.Seconds > 0 {
 		return g.Step(c.Power, c.Seconds)
 	}
-	_, err := g.SteadyState(c.Power)
-	return err
+	return g.Settle(c.Power)
 }
 
 // gridSnapshot is the serialised form of a thermal grid's mutable state.

@@ -51,11 +51,28 @@ func (c Config) Validate() error {
 }
 
 // Grid is a rows×cols tile thermal network.
+//
+// The solve operators depend only on (cfg, dt), so they are assembled once
+// and cached: the conductance matrix G for steady states at construction,
+// and the backward-Euler operator (G + C/dt·I) lazily per dt. Each cached
+// operator keeps a mathx.CGSolver so the Jacobi preconditioner and the CG
+// iteration scratch are reused across steps; the per-solve rhs/rise buffers
+// are preallocated. A warm-started solve therefore allocates nothing.
 type Grid struct {
 	rows, cols int
 	cfg        Config
+	ambientK   float64   // cfg.Ambient.K(), hoisted out of the hot loops
 	temps      []float64 // kelvin
-	mat        *mathx.CSR
+
+	mat    *mathx.CSR      // conductance G (steady-state operator)
+	steady *mathx.CGSolver // reusable CG state for mat
+
+	stepDt  float64         // dt of the cached transient operator, 0 = none
+	stepMat *mathx.CSR      // (G + C/dt·I) for stepDt
+	stepSol *mathx.CGSolver // reusable CG state for stepMat
+
+	rhs, rise []float64     // per-solve scratch
+	coords    []mathx.Coord // operator-assembly scratch
 }
 
 // NewGrid builds a grid at ambient temperature.
@@ -67,11 +84,22 @@ func NewGrid(rows, cols int, cfg Config) (*Grid, error) {
 		return nil, err
 	}
 	n := rows * cols
-	g := &Grid{rows: rows, cols: cols, cfg: cfg, temps: make([]float64, n)}
-	for i := range g.temps {
-		g.temps[i] = cfg.Ambient.K()
+	g := &Grid{
+		rows: rows, cols: cols, cfg: cfg,
+		ambientK: cfg.Ambient.K(),
+		temps:    make([]float64, n),
+		rhs:      make([]float64, n),
+		rise:     make([]float64, n),
 	}
-	g.mat = g.conductance()
+	for i := range g.temps {
+		g.temps[i] = g.ambientK
+	}
+	g.mat = g.operator(0)
+	steady, err := mathx.NewCGSolver(g.mat)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: %w", err)
+	}
+	g.steady = steady
 	return g, nil
 }
 
@@ -100,23 +128,37 @@ func (g *Grid) Temperature(i int) units.Temperature {
 
 // Temperatures returns a copy of all tile temperatures.
 func (g *Grid) Temperatures() []units.Temperature {
-	out := make([]units.Temperature, len(g.temps))
-	for i, k := range g.temps {
-		out[i] = units.Kelvin(k)
-	}
-	return out
+	return g.TemperaturesInto(nil)
 }
 
-// conductance assembles the (SPD) thermal conductance matrix.
-func (g *Grid) conductance() *mathx.CSR {
+// TemperaturesInto fills dst with all tile temperatures, growing it only if
+// its capacity is too small, and returns it. Observation loops that sample
+// the field every step should retain the returned slice to avoid a per-step
+// allocation.
+func (g *Grid) TemperaturesInto(dst []units.Temperature) []units.Temperature {
+	if cap(dst) < len(g.temps) {
+		dst = make([]units.Temperature, len(g.temps))
+	}
+	dst = dst[:len(g.temps)]
+	for i, k := range g.temps {
+		dst[i] = units.Kelvin(k)
+	}
+	return dst
+}
+
+// operator assembles the (SPD) thermal operator G + extraDiag·I: the
+// conductance matrix for steady states (extraDiag = 0), the backward-Euler
+// operator with extraDiag = C/dt. The coordinate scratch is reused across
+// assemblies; mathx.NewCSR copies it.
+func (g *Grid) operator(extraDiag float64) *mathx.CSR {
 	n := g.rows * g.cols
 	gl := 1 / g.cfg.RLateral
 	gv := 1 / g.cfg.RVertical
-	var entries []mathx.Coord
+	entries := g.coords[:0]
 	for r := 0; r < g.rows; r++ {
 		for c := 0; c < g.cols; c++ {
 			i := g.Index(r, c)
-			diag := gv
+			diag := gv + extraDiag
 			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
 				nr, nc := r+d[0], c+d[1]
 				if nr < 0 || nr >= g.rows || nc < 0 || nc >= g.cols {
@@ -129,36 +171,50 @@ func (g *Grid) conductance() *mathx.CSR {
 			entries = append(entries, mathx.Coord{Row: i, Col: i, Val: diag})
 		}
 	}
+	g.coords = entries
 	return mathx.NewCSR(n, entries)
 }
 
 // SteadyState solves the equilibrium temperatures for the given per-tile
-// power map (watts) and adopts them as the grid state.
+// power map (watts), adopts them as the grid state and returns a fresh
+// copy. Callers on a hot path should prefer Settle plus TemperaturesInto.
 func (g *Grid) SteadyState(power []float64) ([]units.Temperature, error) {
-	n := g.rows * g.cols
-	if len(power) != n {
-		return nil, fmt.Errorf("thermal: power map has %d tiles, want %d", len(power), n)
-	}
-	// G·(T - Tamb·1) = P with the vertical path referenced to ambient:
-	// solve for the rise above ambient.
-	rhs := make([]float64, n)
-	copy(rhs, power)
-	x0 := make([]float64, n)
-	for i := range x0 {
-		x0[i] = g.temps[i] - g.cfg.Ambient.K()
-	}
-	rise, _, err := g.mat.SolveCG(rhs, x0, mathx.CGOptions{})
-	if err != nil {
-		return nil, fmt.Errorf("thermal: steady state: %w", err)
-	}
-	for i := range g.temps {
-		g.temps[i] = g.cfg.Ambient.K() + rise[i]
+	if err := g.Settle(power); err != nil {
+		return nil, err
 	}
 	return g.Temperatures(), nil
 }
 
+// Settle is SteadyState without materialising the temperature copy: it
+// solves the equilibrium for the power map and adopts it as the grid state,
+// allocating nothing on the warm path.
+func (g *Grid) Settle(power []float64) error {
+	n := g.rows * g.cols
+	if len(power) != n {
+		return fmt.Errorf("thermal: power map has %d tiles, want %d", len(power), n)
+	}
+	// G·(T - Tamb·1) = P with the vertical path referenced to ambient:
+	// solve for the rise above ambient, warm-started from the current field.
+	rhs := g.rhs
+	copy(rhs, power)
+	x0 := g.rise
+	for i := range x0 {
+		x0[i] = g.temps[i] - g.ambientK
+	}
+	rise, _, err := g.steady.Solve(rhs, x0, mathx.CGOptions{})
+	if err != nil {
+		return fmt.Errorf("thermal: steady state: %w", err)
+	}
+	for i := range g.temps {
+		g.temps[i] = g.ambientK + rise[i]
+	}
+	return nil
+}
+
 // Step advances the transient by dt seconds under the given power map using
-// backward Euler: (C/dt + G)·ΔT' = P + C/dt·ΔT.
+// backward Euler: (C/dt + G)·ΔT' = P + C/dt·ΔT. The operator depends only
+// on (cfg, dt), so it is assembled once per distinct dt and reused — fixed-
+// quantum simulations never reassemble it.
 func (g *Grid) Step(power []float64, dt float64) error {
 	n := g.rows * g.cols
 	if len(power) != n {
@@ -168,38 +224,26 @@ func (g *Grid) Step(power []float64, dt float64) error {
 		return errors.New("thermal: step must be positive")
 	}
 	cdt := g.cfg.HeatCapacity / dt
-	// Assemble (G + C/dt·I) once per step; the grid is small.
-	var entries []mathx.Coord
-	gl := 1 / g.cfg.RLateral
-	gv := 1 / g.cfg.RVertical
-	for r := 0; r < g.rows; r++ {
-		for c := 0; c < g.cols; c++ {
-			i := g.Index(r, c)
-			diag := gv + cdt
-			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
-				nr, nc := r+d[0], c+d[1]
-				if nr < 0 || nr >= g.rows || nc < 0 || nc >= g.cols {
-					continue
-				}
-				entries = append(entries, mathx.Coord{Row: i, Col: g.Index(nr, nc), Val: -gl})
-				diag += gl
-			}
-			entries = append(entries, mathx.Coord{Row: i, Col: i, Val: diag})
+	if g.stepMat == nil || g.stepDt != dt {
+		g.stepMat = g.operator(cdt)
+		sol, err := mathx.NewCGSolver(g.stepMat)
+		if err != nil {
+			return fmt.Errorf("thermal: transient step: %w", err)
 		}
+		g.stepSol = sol
+		g.stepDt = dt
 	}
-	m := mathx.NewCSR(n, entries)
-	rhs := make([]float64, n)
-	rise := make([]float64, n)
+	rhs, rise := g.rhs, g.rise
 	for i := range rhs {
-		rise[i] = g.temps[i] - g.cfg.Ambient.K()
+		rise[i] = g.temps[i] - g.ambientK
 		rhs[i] = power[i] + cdt*rise[i]
 	}
-	sol, _, err := m.SolveCG(rhs, rise, mathx.CGOptions{})
+	sol, _, err := g.stepSol.Solve(rhs, rise, mathx.CGOptions{})
 	if err != nil {
 		return fmt.Errorf("thermal: transient step: %w", err)
 	}
 	for i := range g.temps {
-		g.temps[i] = g.cfg.Ambient.K() + sol[i]
+		g.temps[i] = g.ambientK + sol[i]
 	}
 	return nil
 }
@@ -219,5 +263,5 @@ func (g *Grid) Hottest() (int, units.Temperature) {
 // surroundings — the recyclable heat the paper proposes to exploit for
 // accelerating recovery of dark (idle) tiles.
 func (g *Grid) NeighbourHeat(i int) float64 {
-	return g.temps[i] - g.cfg.Ambient.K()
+	return g.temps[i] - g.ambientK
 }

@@ -1,0 +1,42 @@
+// Command benchrun records the tracked benchmark trajectory without the
+// deepheal CLI: it runs the default benchmark set and writes the JSON
+// report, optionally gating against a baseline given as the first argument.
+//
+//	go run ./internal/tools/benchrun [baseline.json]
+package main
+
+import (
+	"log"
+	"os"
+
+	"deepheal/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchrun: ")
+	rep, err := bench.Run(bench.Options{Stdout: os.Stderr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const out = "BENCH_PR2.json"
+	if err := rep.WriteFile(out); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d benchmarks to %s", len(rep.Results), out)
+	if len(os.Args) < 2 {
+		return
+	}
+	base, err := bench.ReadFile(os.Args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	regs, compared := bench.Compare(base, rep, 2, bench.MinGateNs)
+	log.Printf("compared %d benchmarks against %s", compared, os.Args[1])
+	for _, r := range regs {
+		log.Println("REGRESSION", r)
+	}
+	if len(regs) > 0 {
+		os.Exit(1)
+	}
+}
