@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"deepheal/internal/bench"
+	"deepheal/internal/obs"
 )
 
 // runBench executes the tracked benchmark set and writes the trajectory
@@ -22,6 +23,8 @@ func runBench(args []string) error {
 	pattern := fs.String("bench", ".", "benchmark name pattern (go test -bench)")
 	benchtime := fs.String("benchtime", "1000x", "per-benchmark time or iteration count (go test -benchtime)")
 	verbose := fs.Bool("v", false, "stream raw go test output while running")
+	strict := fs.Bool("strict", false, "fail when baseline benchmarks are missing from the current run")
+	metricsOut := fs.String("metrics-out", "", "write a JSON snapshot of harness metrics here")
 	prof := profileFlags{}
 	fs.StringVar(&prof.cpu, "cpuprofile", "", "pass -cpuprofile to go test (requires exactly one package)")
 	fs.StringVar(&prof.mem, "memprofile", "", "pass -memprofile to go test (requires exactly one package)")
@@ -40,6 +43,10 @@ func runBench(args []string) error {
 	if *verbose {
 		sink = os.Stderr
 	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
 	rep, err := bench.Run(bench.Options{
 		Packages:   fs.Args(),
 		Pattern:    *pattern,
@@ -47,6 +54,7 @@ func runBench(args []string) error {
 		Stdout:     sink,
 		CPUProfile: prof.cpu,
 		MemProfile: prof.mem,
+		Metrics:    reg,
 	})
 	if err != nil {
 		return err
@@ -65,19 +73,49 @@ func runBench(args []string) error {
 	}
 
 	if *baseline == "" {
-		return nil
+		return writeBenchMetrics(reg, *metricsOut)
 	}
 	base, err := bench.ReadFile(*baseline)
 	if err != nil {
 		return err
 	}
-	regs, compared := bench.Compare(base, rep, *factor, *minNs)
-	fmt.Printf("compared %d benchmarks against %s (factor %.2gx, floor %.0f ns)\n", compared, *baseline, *factor, *minNs)
-	if len(regs) == 0 {
-		return nil
+	regs, stats := bench.Compare(base, rep, *factor, *minNs)
+	fmt.Printf("compared %d benchmarks against %s (factor %.2gx, floor %.0f ns; %d below floor, not gated)\n",
+		stats.Compared, *baseline, *factor, *minNs, stats.SkippedBelowFloor)
+	for _, key := range stats.Missing {
+		fmt.Fprintf(os.Stderr, "WARNING: baseline benchmark %s missing from current run\n", key)
+	}
+	if reg != nil {
+		reg.Counter("deepheal_bench_compared_total", "baseline benchmarks matched in the current run").Add(uint64(stats.Compared))
+		reg.Counter("deepheal_bench_below_floor_total", "matched benchmarks under the noise floor (not gated)").Add(uint64(stats.SkippedBelowFloor))
+		reg.Counter("deepheal_bench_missing_total", "baseline benchmarks missing from the current run").Add(uint64(len(stats.Missing)))
+		reg.Counter("deepheal_bench_regressions_total", "benchmarks past the allowed growth factor").Add(uint64(len(regs)))
+	}
+	if err := writeBenchMetrics(reg, *metricsOut); err != nil {
+		return err
 	}
 	for _, r := range regs {
 		fmt.Fprintln(os.Stderr, "REGRESSION", r)
 	}
-	return fmt.Errorf("bench: %d benchmark(s) regressed more than %.2gx", len(regs), *factor)
+	if *strict && len(stats.Missing) > 0 {
+		return fmt.Errorf("bench: %d baseline benchmark(s) missing from current run (-strict)", len(stats.Missing))
+	}
+	if len(regs) > 0 {
+		return fmt.Errorf("bench: %d benchmark(s) regressed more than %.2gx", len(regs), *factor)
+	}
+	return nil
+}
+
+// writeBenchMetrics dumps the harness registry as a JSON snapshot. A nil
+// registry (no -metrics-out) is a no-op.
+func writeBenchMetrics(reg *obs.Registry, path string) error {
+	if reg == nil || path == "" {
+		return nil
+	}
+	snap := reg.Snapshot()
+	if err := snap.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote harness metrics to %s\n", path)
+	return nil
 }

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"deepheal/internal/core"
+	"deepheal/internal/obs"
+)
+
+// scrapeMetric fetches url and returns the value of the named series, or an
+// error when the series is absent.
+func scrapeMetric(url, name string) (float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		return strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 64)
+	}
+	return 0, fmt.Errorf("series %s not in scrape:\n%s", name, body)
+}
+
+// TestSimLiveMetrics proves the live-observability loop end to end: while a
+// simulation steps, counters scraped over HTTP move, and the kernel-cache
+// and CG-solver series from the instrumented internals are visible.
+func TestSimLiveMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	core.EnableMetrics(reg)
+	defer core.EnableMetrics(nil)
+
+	ts := httptest.NewServer(reg.Handler())
+	defer ts.Close()
+
+	cfg := core.DefaultConfig()
+	cfg.Steps = 10
+	sim, err := core.NewSimulator(cfg, core.DefaultDeepHealing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunSteps(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	mid, err := scrapeMetric(ts.URL+"/metrics", "deepheal_sim_steps_total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid != 4 {
+		t.Errorf("after 4 steps, scraped steps_total = %v, want 4", mid)
+	}
+	if err := sim.RunSteps(context.Background(), 6); err != nil {
+		t.Fatal(err)
+	}
+	final, err := scrapeMetric(ts.URL+"/metrics", "deepheal_sim_steps_total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 10 {
+		t.Errorf("after 10 steps, scraped steps_total = %v, want 10", final)
+	}
+
+	// The internals wired through EnableMetrics show up in the same scrape:
+	// every step consults the kernel cache and settles the thermal grid.
+	solves, err := scrapeMetric(ts.URL+"/metrics", "deepheal_cg_solves_total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solves <= 0 {
+		t.Errorf("cg solves = %v, want > 0", solves)
+	}
+	hits, errH := scrapeMetric(ts.URL+"/metrics", "deepheal_bti_kernel_hits_total")
+	misses, errM := scrapeMetric(ts.URL+"/metrics", "deepheal_bti_kernel_misses_total")
+	if errH != nil || errM != nil {
+		t.Fatalf("kernel series missing: %v / %v", errH, errM)
+	}
+	if hits+misses <= 0 {
+		t.Errorf("kernel lookups = %v, want > 0", hits+misses)
+	}
+}
+
+// TestRunSimMetricsOut runs the CLI with -metrics-out and checks the JSON
+// snapshot carries the kernel-cache and CG-solver series.
+func TestRunSimMetricsOut(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "metrics.json")
+	if err := run([]string{"sim", "-steps", "8", "-metrics-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := obs.ReadSnapshotFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["deepheal_sim_steps_total"]; got != 8 {
+		t.Errorf("steps_total = %d, want 8", got)
+	}
+	for _, name := range []string{
+		"deepheal_bti_kernel_hits_total",
+		"deepheal_bti_kernel_misses_total",
+		"deepheal_cg_solves_total",
+		"deepheal_cg_iterations_total",
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("snapshot missing counter %s", name)
+		}
+	}
+	if _, ok := snap.Gauges["deepheal_bti_kernel_resident_floats"]; !ok {
+		t.Error("snapshot missing gauge deepheal_bti_kernel_resident_floats")
+	}
+	if h, ok := snap.Histograms["deepheal_sim_step_seconds"]; !ok {
+		t.Error("snapshot missing histogram deepheal_sim_step_seconds")
+	} else if h.Count != 8 {
+		t.Errorf("step histogram count = %d, want 8", h.Count)
+	}
+}
+
+// TestRunSimMetricsAddr exercises the -metrics-addr flag path: the server
+// must bind, serve for the duration of the run and shut down cleanly.
+func TestRunSimMetricsAddr(t *testing.T) {
+	if err := run([]string{"sim", "-steps", "5", "-metrics-addr", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"sim", "-steps", "5", "-metrics-addr", "not-an-address"}); err == nil {
+		t.Error("unbindable metrics address accepted")
+	}
+}

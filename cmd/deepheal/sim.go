@@ -11,6 +11,7 @@ import (
 
 	"deepheal/internal/core"
 	"deepheal/internal/engine"
+	"deepheal/internal/obs"
 )
 
 // policyFactories maps CLI policy names to fresh policy instances. Factories,
@@ -45,6 +46,8 @@ func runSim(args []string) error {
 	progress := fs.Bool("progress", false, "print step progress while running")
 	checkpoint := fs.String("checkpoint", "", "checkpoint file: resume from it if present, save into it while running")
 	checkpointEvery := fs.Int("checkpoint-every", 100, "steps between checkpoint saves (with -checkpoint)")
+	metricsAddr := fs.String("metrics-addr", "", "serve live metrics over HTTP on this address (e.g. :9090)")
+	metricsOut := fs.String("metrics-out", "", "write a final JSON metrics snapshot to this file")
 	prof := profileFlags{}
 	fs.StringVar(&prof.cpu, "cpuprofile", "", "write a CPU profile of the run to this file")
 	fs.StringVar(&prof.mem, "memprofile", "", "write a heap profile at the end of the run to this file")
@@ -73,6 +76,23 @@ func runSim(args []string) error {
 		return fmt.Errorf("sim: %w", err)
 	}
 	defer stopProfiles()
+
+	// Metrics come on before the simulator is built so every kernel build,
+	// CG solve and pipeline stage of this run is counted from step zero.
+	var reg *obs.Registry
+	if *metricsAddr != "" || *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	core.EnableMetrics(reg)
+	defer core.EnableMetrics(nil)
+	if *metricsAddr != "" {
+		srv, err := reg.StartServer(*metricsAddr)
+		if err != nil {
+			return fmt.Errorf("sim: metrics server: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", srv.Addr())
+	}
 
 	cfg := core.DefaultConfig()
 	if *rows > 0 || *cols > 0 {
@@ -139,6 +159,13 @@ func runSim(args []string) error {
 	rep, err := sim.RunContext(ctx)
 	if err != nil {
 		return err
+	}
+	if *metricsOut != "" {
+		snap := reg.Snapshot()
+		if err := snap.WriteFile(*metricsOut); err != nil {
+			return fmt.Errorf("sim: metrics snapshot: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", *metricsOut)
 	}
 	if *checkpoint != "" {
 		// The horizon is done; a stale checkpoint would only re-run the end.

@@ -17,6 +17,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"deepheal/internal/obs"
 )
 
 // Result is one benchmark measurement, as parsed from `go test -bench`
@@ -24,7 +27,7 @@ import (
 // the three universal series are tracked.
 type Result struct {
 	Package     string  `json:"package"`
-	Name        string  `json:"name"` // GOMAXPROCS suffix stripped
+	Name        string  `json:"name"` // appended GOMAXPROCS suffix stripped (see Run)
 	Iters       int64   `json:"iters"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -70,6 +73,10 @@ type Options struct {
 	// written per package, so setting either requires exactly one package.
 	CPUProfile string
 	MemProfile string
+	// Metrics, when non-nil, records harness telemetry (packages run,
+	// results parsed, per-package wall time) into the registry — the bench
+	// run's machine-readable manifest alongside the report.
+	Metrics *obs.Registry
 }
 
 // Run executes `go test -bench` over the configured packages and parses the
@@ -97,6 +104,15 @@ func Run(opt Options) (*Report, error) {
 		GOARCH:    runtime.GOARCH,
 		Benchtime: benchtime,
 	}
+	// The `go test` child inherits this process's environment, so its
+	// effective GOMAXPROCS — the -N it appends to benchmark names — matches
+	// ours. At GOMAXPROCS=1 the testing package appends no suffix at all,
+	// which is why stripping must be driven by the actual value instead of
+	// pattern-matching any trailing digits (see trimProcs).
+	procs := runtime.GOMAXPROCS(0)
+	metPackages := opt.Metrics.Counter("deepheal_bench_packages_total", "benchmark packages executed")
+	metResults := opt.Metrics.Counter("deepheal_bench_results_total", "benchmark result lines parsed")
+	metPkgSeconds := opt.Metrics.Histogram("deepheal_bench_package_seconds", "wall time of one package's benchmark run", nil)
 	for _, pkg := range pkgs {
 		args := []string{"test", "-run=^$", "-bench=" + pattern, "-benchtime=" + benchtime, "-benchmem"}
 		if opt.CPUProfile != "" {
@@ -106,17 +122,21 @@ func Run(opt Options) (*Report, error) {
 			args = append(args, "-memprofile="+opt.MemProfile)
 		}
 		args = append(args, pkg)
+		start := time.Now()
 		out, err := runGoTest(args, opt.Stdout)
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s: %w", pkg, err)
 		}
-		results, importPath := parseOutput(out)
+		metPackages.Inc()
+		metPkgSeconds.Observe(time.Since(start).Seconds())
+		results, importPath := parseOutput(out, procs)
 		if importPath == "" {
 			importPath = pkg
 		}
 		for i := range results {
 			results[i].Package = importPath
 		}
+		metResults.Add(uint64(len(results)))
 		rep.Results = append(rep.Results, results...)
 	}
 	sort.Slice(rep.Results, func(i, j int) bool { return rep.Results[i].Key() < rep.Results[j].Key() })
@@ -142,8 +162,9 @@ func runGoTest(args []string, sink io.Writer) (string, error) {
 }
 
 // parseOutput extracts benchmark lines and the package import path from
-// `go test -bench` output.
-func parseOutput(out string) ([]Result, string) {
+// `go test -bench` output. procs is the effective GOMAXPROCS of the run,
+// used to strip exactly the name suffix the testing package appended.
+func parseOutput(out string, procs int) ([]Result, string) {
 	var results []Result
 	var importPath string
 	sc := bufio.NewScanner(strings.NewReader(out))
@@ -155,6 +176,7 @@ func parseOutput(out string) ([]Result, string) {
 			continue
 		}
 		if r, ok := ParseLine(line); ok {
+			r.Name = trimProcs(r.Name, procs)
 			results = append(results, r)
 		}
 	}
@@ -165,6 +187,9 @@ func parseOutput(out string) ([]Result, string) {
 //
 //	BenchmarkName-8   1234   5678 ns/op   90 B/op   1 allocs/op
 //
+// The name is reported verbatim, including any -GOMAXPROCS suffix the
+// testing package appended — whether one was appended at all depends on the
+// run's GOMAXPROCS, so key normalisation happens in Run, which knows it.
 // Value/unit pairs beyond the iteration count are matched by unit, so extra
 // custom metrics inserted by b.ReportMetric are tolerated and skipped.
 func ParseLine(line string) (Result, bool) {
@@ -176,7 +201,7 @@ func ParseLine(line string) (Result, bool) {
 	if err != nil {
 		return Result{}, false
 	}
-	r := Result{Name: trimProcs(f[0]), Iters: iters}
+	r := Result{Name: f[0], Iters: iters}
 	seen := false
 	for i := 2; i+1 < len(f); i += 2 {
 		val, unit := f[i], f[i+1]
@@ -200,16 +225,18 @@ func ParseLine(line string) (Result, bool) {
 }
 
 // trimProcs drops the trailing -GOMAXPROCS suffix from a benchmark name so
-// keys stay stable across machines: "BenchmarkX/sub-8" → "BenchmarkX/sub".
-func trimProcs(name string) string {
-	i := strings.LastIndex(name, "-")
-	if i < 0 {
-		return name
+// keys stay stable across machines: "BenchmarkX/sub-8" at GOMAXPROCS=8 →
+// "BenchmarkX/sub". The testing package appends the suffix only when
+// GOMAXPROCS != 1, and always the actual value — so the strip is keyed to
+// the run's procs rather than any trailing digits. Stripping blindly broke
+// baseline comparison two ways: at GOMAXPROCS=1 a benchmark whose own name
+// ends in digits ("BenchmarkX/n-16") lost part of its name, and keys
+// recorded on a GOMAXPROCS=1 machine never matched ones recorded elsewhere.
+func trimProcs(name string, procs int) string {
+	if procs <= 1 {
+		return name // no suffix was appended
 	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
-	}
-	return name[:i]
+	return strings.TrimSuffix(name, "-"+strconv.Itoa(procs))
 }
 
 // WriteFile saves the report as indented JSON.
@@ -251,30 +278,54 @@ func (r Regression) String() string {
 // runners, so they are reported but never gated.
 const MinGateNs = 1000
 
+// CompareStats summarises what a Compare actually gated, so a shrinking
+// comparison is visible instead of silent.
+type CompareStats struct {
+	// Compared counts baseline benchmarks matched in the current run
+	// (including ones below the noise floor).
+	Compared int
+	// SkippedBelowFloor counts matched benchmarks whose baseline is under
+	// minNs: reported, never gated (timer noise dominates them).
+	SkippedBelowFloor int
+	// Missing lists baseline keys absent from the current run, sorted. A
+	// deleted or renamed benchmark lands here — before this existed, it
+	// silently shrank the regression gate.
+	Missing []string
+}
+
 // Compare matches current against baseline by key and returns the
-// benchmarks whose ns/op grew by more than factor. Baselines below minNs
-// are skipped (timer noise dominates); benchmarks present on only one side
-// are ignored — the trajectory gate guards speed, not coverage.
-func Compare(baseline, current *Report, factor, minNs float64) (regressions []Regression, compared int) {
-	base := make(map[string]Result, len(baseline.Results))
-	for _, r := range baseline.Results {
-		base[r.Key()] = r
+// benchmarks whose ns/op grew by more than factor, plus the comparison
+// stats. Baselines below minNs are matched but not gated; baseline keys
+// absent from the current run are reported in stats.Missing so the caller
+// can warn or fail — the gate guards speed, and the stats guard coverage.
+// Benchmarks new in the current run are ignored (they have no baseline to
+// regress from).
+func Compare(baseline, current *Report, factor, minNs float64) (regressions []Regression, stats CompareStats) {
+	cur := make(map[string]Result, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Key()] = r
 	}
-	for _, cur := range current.Results {
-		b, ok := base[cur.Key()]
-		if !ok || b.NsPerOp <= 0 {
+	for _, b := range baseline.Results {
+		c, ok := cur[b.Key()]
+		if !ok {
+			stats.Missing = append(stats.Missing, b.Key())
 			continue
 		}
-		compared++
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		stats.Compared++
 		if b.NsPerOp < minNs {
+			stats.SkippedBelowFloor++
 			continue
 		}
-		if ratio := cur.NsPerOp / b.NsPerOp; ratio > factor {
+		if ratio := c.NsPerOp / b.NsPerOp; ratio > factor {
 			regressions = append(regressions, Regression{
-				Key: cur.Key(), BaselineNs: b.NsPerOp, CurrentNs: cur.NsPerOp, Ratio: ratio,
+				Key: b.Key(), BaselineNs: b.NsPerOp, CurrentNs: c.NsPerOp, Ratio: ratio,
 			})
 		}
 	}
+	sort.Strings(stats.Missing)
 	sort.Slice(regressions, func(i, j int) bool { return regressions[i].Ratio > regressions[j].Ratio })
-	return regressions, compared
+	return regressions, stats
 }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -13,26 +14,51 @@ func TestParseLine(t *testing.T) {
 	}{
 		{
 			line: "BenchmarkEvolveHour-8   \t  176449\t      6695 ns/op\t       0 B/op\t       0 allocs/op",
-			want: Result{Name: "BenchmarkEvolveHour", Iters: 176449, NsPerOp: 6695},
+			want: Result{Name: "BenchmarkEvolveHour-8", Iters: 176449, NsPerOp: 6695},
 			ok:   true,
 		},
 		{
 			line: "BenchmarkSimulatorStep/8x8/serial-4 \t 300\t 543398 ns/op\t 91833 B/op\t 103 allocs/op",
-			want: Result{Name: "BenchmarkSimulatorStep/8x8/serial", Iters: 300, NsPerOp: 543398, BytesPerOp: 91833, AllocsPerOp: 103},
+			want: Result{Name: "BenchmarkSimulatorStep/8x8/serial-4", Iters: 300, NsPerOp: 543398, BytesPerOp: 91833, AllocsPerOp: 103},
+			ok:   true,
+		},
+		{
+			// At GOMAXPROCS=1 the testing package appends no suffix; the
+			// verbatim name must survive parsing untouched.
+			line: "BenchmarkEvolveHour \t 176449\t 6695 ns/op\t 0 B/op\t 0 allocs/op",
+			want: Result{Name: "BenchmarkEvolveHour", Iters: 176449, NsPerOp: 6695},
 			ok:   true,
 		},
 		{
 			// Custom ReportMetric pairs interleave with the standard units and
 			// must be skipped, not mis-parsed.
 			line: "BenchmarkFig5EMRecovery-8 \t 1\t 123456789 ns/op\t 0.8420 recovery_frac\t 2048 B/op\t 12 allocs/op",
-			want: Result{Name: "BenchmarkFig5EMRecovery", Iters: 1, NsPerOp: 123456789, BytesPerOp: 2048, AllocsPerOp: 12},
+			want: Result{Name: "BenchmarkFig5EMRecovery-8", Iters: 1, NsPerOp: 123456789, BytesPerOp: 2048, AllocsPerOp: 12},
 			ok:   true,
 		},
 		{
-			// Sub-benchmark names containing dashes keep everything except the
-			// numeric GOMAXPROCS suffix.
+			// ReportMetric pairs ahead of the allocation stats, and more than
+			// one of them.
+			line: "BenchmarkTable2-8 \t 5\t 200 ns/op\t 3.14 waves/op\t 0.5 duty_frac\t 64 B/op\t 2 allocs/op",
+			want: Result{Name: "BenchmarkTable2-8", Iters: 5, NsPerOp: 200, BytesPerOp: 64, AllocsPerOp: 2},
+			ok:   true,
+		},
+		{
+			// ns/op may come after a custom metric; the line is still valid.
+			line: "BenchmarkOdd-8 \t 7\t 1.5 items/op\t 42 ns/op",
+			want: Result{Name: "BenchmarkOdd-8", Iters: 7, NsPerOp: 42},
+			ok:   true,
+		},
+		{
+			// No ns/op pair at all → not a benchmark result.
+			line: "BenchmarkNoNs-8 \t 7\t 1.5 items/op\t 3 widgets/op",
+			ok:   false,
+		},
+		{
+			// Sub-benchmark names containing dashes are reported verbatim —
+			// normalisation is Run's job, not the parser's.
 			line: "BenchmarkRun/deep-healing-16 \t 10\t 99 ns/op\t 0 B/op\t 0 allocs/op",
-			want: Result{Name: "BenchmarkRun/deep-healing", Iters: 10, NsPerOp: 99},
+			want: Result{Name: "BenchmarkRun/deep-healing-16", Iters: 10, NsPerOp: 99},
 			ok:   true,
 		},
 		{line: "pkg: deepheal/internal/bti", ok: false},
@@ -53,12 +79,43 @@ func TestParseLine(t *testing.T) {
 	}
 }
 
+func TestTrimProcs(t *testing.T) {
+	cases := []struct {
+		name  string
+		procs int
+		want  string
+	}{
+		// GOMAXPROCS>1: exactly the appended suffix is stripped.
+		{"BenchmarkEvolveHour-8", 8, "BenchmarkEvolveHour"},
+		{"BenchmarkSimulatorStep/8x8/serial-4", 4, "BenchmarkSimulatorStep/8x8/serial"},
+		{"BenchmarkRun/deep-healing-16", 16, "BenchmarkRun/deep-healing"},
+		// GOMAXPROCS=1: go test appends no suffix, so nothing may be
+		// stripped — even when the benchmark's own name ends in -digits.
+		// Stripping here was the bug: "BenchmarkX/n-16" lost its "-16".
+		{"BenchmarkEvolveHour", 1, "BenchmarkEvolveHour"},
+		{"BenchmarkSweep/n-16", 1, "BenchmarkSweep/n-16"},
+		{"BenchmarkGrid/8x8-1", 1, "BenchmarkGrid/8x8-1"},
+		// A trailing -digits that is part of the name and does not match the
+		// run's GOMAXPROCS stays (go test would have appended its own suffix
+		// after it, which trimProcs removed first in parseOutput).
+		{"BenchmarkSweep/n-16", 8, "BenchmarkSweep/n-16"},
+		// Only one strip: a name that (after the real suffix) still ends in
+		// the same -N is not stripped twice by parseOutput's single call.
+		{"BenchmarkSweep/n-8", 8, "BenchmarkSweep/n"},
+	}
+	for _, tc := range cases {
+		if got := trimProcs(tc.name, tc.procs); got != tc.want {
+			t.Errorf("trimProcs(%q, %d) = %q, want %q", tc.name, tc.procs, got, tc.want)
+		}
+	}
+}
+
 func TestParseOutput(t *testing.T) {
 	out := "goos: linux\ngoarch: amd64\npkg: deepheal/internal/bti\n" +
 		"BenchmarkEvolveHour-8 \t 100\t 6695 ns/op\t 0 B/op\t 0 allocs/op\n" +
 		"BenchmarkRecoveryFraction-8 \t 100\t 5113 ns/op\t 10240 B/op\t 1 allocs/op\n" +
 		"PASS\nok  \tdeepheal/internal/bti\t0.1s\n"
-	results, pkg := parseOutput(out)
+	results, pkg := parseOutput(out, 8)
 	if pkg != "deepheal/internal/bti" {
 		t.Errorf("package = %q", pkg)
 	}
@@ -67,6 +124,25 @@ func TestParseOutput(t *testing.T) {
 	}
 	if results[1].Name != "BenchmarkRecoveryFraction" || results[1].AllocsPerOp != 1 {
 		t.Errorf("second result = %+v", results[1])
+	}
+}
+
+func TestParseOutputSingleProc(t *testing.T) {
+	// GOMAXPROCS=1 output carries no suffix; names ending in digits must
+	// come through intact.
+	out := "pkg: deepheal/internal/bti\n" +
+		"BenchmarkEvolveHour \t 100\t 6695 ns/op\t 0 B/op\t 0 allocs/op\n" +
+		"BenchmarkSweep/n-16 \t 100\t 5113 ns/op\t 0 B/op\t 0 allocs/op\n" +
+		"PASS\n"
+	results, _ := parseOutput(out, 1)
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	if results[0].Name != "BenchmarkEvolveHour" {
+		t.Errorf("first name = %q, want BenchmarkEvolveHour", results[0].Name)
+	}
+	if results[1].Name != "BenchmarkSweep/n-16" {
+		t.Errorf("second name = %q, want BenchmarkSweep/n-16 (digit-ending name mangled)", results[1].Name)
 	}
 }
 
@@ -96,6 +172,7 @@ func TestCompare(t *testing.T) {
 		{Package: "p", Name: "BenchmarkStable", NsPerOp: 10000}, // within factor
 		{Package: "p", Name: "BenchmarkSlow", NsPerOp: 10000},   // regresses
 		{Package: "p", Name: "BenchmarkGone", NsPerOp: 10000},   // missing from current
+		{Package: "q", Name: "BenchmarkAlsoGone", NsPerOp: 10},  // missing, below floor — still reported
 	}}
 	current := &Report{Results: []Result{
 		{Package: "p", Name: "BenchmarkFast", NsPerOp: 5000}, // 10x but < minNs baseline
@@ -103,14 +180,32 @@ func TestCompare(t *testing.T) {
 		{Package: "p", Name: "BenchmarkSlow", NsPerOp: 25000},
 		{Package: "p", Name: "BenchmarkNew", NsPerOp: 1}, // missing from baseline
 	}}
-	regs, compared := Compare(baseline, current, 2, MinGateNs)
-	if compared != 3 {
-		t.Errorf("compared = %d, want 3", compared)
+	regs, stats := Compare(baseline, current, 2, MinGateNs)
+	if stats.Compared != 3 {
+		t.Errorf("compared = %d, want 3", stats.Compared)
+	}
+	if stats.SkippedBelowFloor != 1 {
+		t.Errorf("skipped below floor = %d, want 1", stats.SkippedBelowFloor)
+	}
+	wantMissing := []string{"p.BenchmarkGone", "q.BenchmarkAlsoGone"}
+	if !reflect.DeepEqual(stats.Missing, wantMissing) {
+		t.Errorf("missing = %v, want %v", stats.Missing, wantMissing)
 	}
 	if len(regs) != 1 || regs[0].Key != "p.BenchmarkSlow" {
 		t.Fatalf("regressions = %+v, want just p.BenchmarkSlow", regs)
 	}
 	if regs[0].Ratio != 2.5 {
 		t.Errorf("ratio = %v, want 2.5", regs[0].Ratio)
+	}
+}
+
+func TestCompareNoMissing(t *testing.T) {
+	rep := &Report{Results: []Result{{Package: "p", Name: "BenchmarkA", NsPerOp: 5000}}}
+	_, stats := Compare(rep, rep, 2, MinGateNs)
+	if len(stats.Missing) != 0 {
+		t.Errorf("missing = %v, want none", stats.Missing)
+	}
+	if stats.Compared != 1 || stats.SkippedBelowFloor != 0 {
+		t.Errorf("stats = %+v, want Compared=1 SkippedBelowFloor=0", stats)
 	}
 }

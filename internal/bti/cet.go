@@ -26,6 +26,11 @@ type cetGrid struct {
 	seen         map[condKey]uint64 // key → phase that first requested it
 	phase        atomic.Uint64      // Apply-phase token source (see kernel.go)
 	scratch      sync.Pool          // *axisScratch for the direct separable sweep
+
+	// testBuildHook, when non-nil, runs between buildKernel and the
+	// re-acquisition of mu in kernel() — tests use it to interleave a racing
+	// builder deterministically. Always nil outside tests.
+	testBuildHook func()
 }
 
 // newCETGrid discretises the bivariate-lognormal trap density onto a

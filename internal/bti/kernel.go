@@ -85,14 +85,17 @@ func (g *cetGrid) kernel(captureAF, emitAF, dt float64, phase uint64) *evolveKer
 	k := g.kernels[key]
 	g.mu.RUnlock()
 	if k != nil {
+		metKernelHits.Inc()
 		return k
 	}
 	g.mu.Lock()
 	if k = g.kernels[key]; k != nil { // raced with another promoter
 		g.mu.Unlock()
+		metKernelHits.Inc()
 		return k
 	}
-	if first, ok := g.seen[key]; !ok || first == phase {
+	first, ok := g.seen[key]
+	if !ok || first == phase {
 		if !ok {
 			if g.seen == nil || len(g.seen) >= maxSeenKeys {
 				g.seen = make(map[condKey]uint64, 64)
@@ -100,23 +103,44 @@ func (g *cetGrid) kernel(captureAF, emitAF, dt float64, phase uint64) *evolveKer
 			g.seen[key] = phase
 		}
 		g.mu.Unlock()
+		metKernelMisses.Inc()
 		return nil
 	}
 	if g.kernelFloats+2*g.nc*g.ne > maxKernelFloats {
 		g.mu.Unlock() // cache full: keep the resident set, sweep separably
+		metKernelRefusals.Inc()
+		metKernelMisses.Inc()
 		return nil
 	}
 	delete(g.seen, key)
 	g.mu.Unlock()
 
 	k = g.buildKernel(captureAF, emitAF, dt) // outside the lock: O(nc·ne)
+	metKernelBuilds.Inc()
+	if g.testBuildHook != nil {
+		g.testBuildHook()
+	}
 	g.mu.Lock()
 	if g.kernels == nil {
 		g.kernels = make(map[condKey]*evolveKernel, 16)
 	}
-	if g.kernelFloats+k.floats() <= maxKernelFloats { // racing builders may have filled it
+	if g.kernelFloats+k.floats() <= maxKernelFloats {
 		g.kernels[key] = k
 		g.kernelFloats += k.floats()
+		metKernelResident.Add(float64(k.floats()))
+	} else {
+		// Racing builders filled the float budget while we built. The fresh
+		// kernel still serves this substep, but it cannot be admitted — so
+		// put the promotion credit back. Without the restore the key would
+		// have to re-earn promotion across two fresh phases even though it
+		// already proved it recurs; with it, the key retries as soon as it
+		// is requested again and is refused only while the budget stays
+		// full.
+		if g.seen == nil || len(g.seen) >= maxSeenKeys {
+			g.seen = make(map[condKey]uint64, 64)
+		}
+		g.seen[key] = first
+		metKernelRefusals.Inc()
 	}
 	g.mu.Unlock()
 	return k
@@ -179,6 +203,7 @@ type axisScratch struct {
 // the capture axis is folded in per row. Bit-identical to a kernel built
 // for the same key.
 func (g *cetGrid) evolveSeparable(occ []float64, captureAF, emitAF, dt float64) {
+	metSeparableSweep.Inc()
 	sc, _ := g.scratch.Get().(*axisScratch)
 	if sc == nil || len(sc.re) != g.ne {
 		sc = &axisScratch{re: make([]float64, g.ne), decayE: make([]float64, g.ne)}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"deepheal/internal/obs"
 	"deepheal/internal/rngx"
 )
 
@@ -270,5 +271,92 @@ func TestConcurrentEvolveSharedGrid(t *testing.T) {
 	close(errs)
 	if msg, ok := <-errs; ok {
 		t.Fatal(msg)
+	}
+}
+
+// TestFailedAdmissionKeepsPromotion is the regression test for a lost-seen
+// bug: kernel() deleted the key's seen entry before the unlocked build, so
+// when a racing builder filled the float budget first the built kernel was
+// discarded AND the promotion credit was gone — the key had to re-earn
+// promotion across two fresh phases. The fix restores the seen entry on a
+// failed admission (the test-only build hook stands in for the racing
+// builder, deterministically).
+func TestFailedAdmissionKeepsPromotion(t *testing.T) {
+	p := DefaultParams().Coarse()
+	g := newCETGrid(p)
+	key := condKey{1, 1, 900}
+
+	if k := g.kernel(1, 1, 900, 1); k != nil {
+		t.Fatal("unseen key returned a kernel")
+	}
+
+	// Second phase: promotion proceeds, but the budget fills while the
+	// kernel is built outside the lock.
+	g.testBuildHook = func() {
+		g.mu.Lock()
+		g.kernelFloats = maxKernelFloats
+		g.mu.Unlock()
+	}
+	k := g.kernel(1, 1, 900, 2)
+	g.testBuildHook = nil
+	if k == nil {
+		t.Fatal("promotion phase returned no kernel (the built kernel should still serve this substep)")
+	}
+	g.mu.RLock()
+	_, cached := g.kernels[key]
+	first, seen := g.seen[key]
+	g.mu.RUnlock()
+	if cached {
+		t.Fatal("kernel admitted past a full float budget")
+	}
+	if !seen || first != 1 {
+		t.Fatalf("failed admission lost the promotion credit: seen=%v first=%d, want seen at phase 1", seen, first)
+	}
+
+	// With budget available again the key must promote on the very next
+	// request from a new phase, not re-earn two fresh phases.
+	g.mu.Lock()
+	g.kernelFloats = 0
+	g.mu.Unlock()
+	if k := g.kernel(1, 1, 900, 3); k == nil {
+		t.Fatal("key had to re-earn promotion after a failed admission")
+	}
+	g.mu.RLock()
+	_, cached = g.kernels[key]
+	g.mu.RUnlock()
+	if !cached {
+		t.Fatal("kernel not cached after the retried promotion")
+	}
+}
+
+// TestKernelCacheMetrics checks the obs wiring: the cache paths move the
+// right counters and the resident-floats gauge tracks admissions.
+func TestKernelCacheMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableMetrics(reg)
+	defer EnableMetrics(nil)
+
+	p := DefaultParams().Coarse()
+	g := newCETGrid(p)
+	occ := make([]float64, g.nc*g.ne)
+	g.evolve(occ, 1, 1, 900, 1) // first sight: miss, separable sweep
+	g.evolve(occ, 1, 1, 900, 2) // second phase: promotion build
+	g.evolve(occ, 1, 1, 900, 3) // cached: hit
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["deepheal_bti_kernel_builds_total"]; got != 1 {
+		t.Errorf("builds = %d, want 1", got)
+	}
+	if got := snap.Counters["deepheal_bti_kernel_hits_total"]; got != 1 {
+		t.Errorf("hits = %d, want 1", got)
+	}
+	if got := snap.Counters["deepheal_bti_kernel_misses_total"]; got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+	if got := snap.Counters["deepheal_bti_separable_sweeps_total"]; got != 1 {
+		t.Errorf("separable sweeps = %d, want 1", got)
+	}
+	if got := snap.Gauges["deepheal_bti_kernel_resident_floats"]; got != float64(2*g.nc*g.ne) {
+		t.Errorf("resident floats = %g, want %d", got, 2*g.nc*g.ne)
 	}
 }

@@ -1,0 +1,35 @@
+package bti
+
+import "deepheal/internal/obs"
+
+// Package-level instruments for the condition-keyed kernel cache. They are
+// nil (free no-ops) until EnableMetrics installs live ones; the hot paths in
+// kernel.go and cet.go call them unconditionally.
+var (
+	metKernelHits     *obs.Counter
+	metKernelMisses   *obs.Counter
+	metKernelBuilds   *obs.Counter
+	metKernelRefusals *obs.Counter
+	metKernelResident *obs.Gauge
+	metSeparableSweep *obs.Counter
+)
+
+// EnableMetrics registers the package's instruments in r and routes the
+// kernel-cache hot paths through them. Pass nil to disable again. Call it
+// before devices start stepping — installation is not synchronised with
+// concurrent sweeps. The resident-floats gauge aggregates across every
+// shared grid in the process.
+func EnableMetrics(r *obs.Registry) {
+	metKernelHits = r.Counter("deepheal_bti_kernel_hits_total",
+		"evolution substeps served by a cached condition-keyed kernel")
+	metKernelMisses = r.Counter("deepheal_bti_kernel_misses_total",
+		"kernel lookups that found no cached kernel for the condition key")
+	metKernelBuilds = r.Counter("deepheal_bti_kernel_builds_total",
+		"evolution kernels materialised (O(nc*ne) builds)")
+	metKernelRefusals = r.Counter("deepheal_bti_kernel_admission_refusals_total",
+		"kernel promotions refused because the float budget was full")
+	metKernelResident = r.Gauge("deepheal_bti_kernel_resident_floats",
+		"float64 words held by cached kernels across all grids")
+	metSeparableSweep = r.Counter("deepheal_bti_separable_sweeps_total",
+		"evolution substeps served by the direct separable sweep fallback")
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"testing"
+
+	"deepheal/internal/obs"
 )
 
 // BenchmarkSimulatorStep measures one pipeline step at growing die sizes,
@@ -32,4 +34,29 @@ func BenchmarkSimulatorStep(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkSimulatorStepMetrics is BenchmarkSimulatorStep's 8x8 serial case
+// with the full observability stack live. Comparing it against the plain
+// benchmark bounds the enabled-metrics overhead (the acceptance budget is
+// 5%); the instruments are a handful of uncontended atomic adds per step, so
+// the two should be within noise of each other.
+func BenchmarkSimulatorStepMetrics(b *testing.B) {
+	EnableMetrics(obs.NewRegistry())
+	defer EnableMetrics(nil)
+	b.Run("8x8/serial", func(b *testing.B) {
+		cfg := ConfigForGrid(8, 8)
+		cfg.Steps = 1 << 30
+		sim, err := NewSimulator(cfg, DefaultDeepHealing(), WithWorkers(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sim.RunSteps(ctx, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"time"
 
 	"deepheal/internal/engine"
 )
@@ -59,6 +60,10 @@ func snapSegment(k int) string  { return fmt.Sprintf("em/seg/%d", k) }
 // state and the report accumulators — into one versioned blob. It must be
 // taken on a step boundary (never from inside a hook).
 func (s *Simulator) Snapshot() ([]byte, error) {
+	var start time.Time
+	if metCkptSaveSeconds != nil {
+		start = time.Now()
+	}
 	snap := engine.NewSystemSnapshot(s.step)
 	for i, dev := range s.cores {
 		if err := snap.Add(snapCore(i), dev); err != nil {
@@ -117,13 +122,27 @@ func (s *Simulator) Snapshot() ([]byte, error) {
 	if err := snap.AddBytes(snapSim, buf.Bytes()); err != nil {
 		return nil, err
 	}
-	return snap.Encode()
+	blob, err := snap.Encode()
+	if err != nil {
+		return nil, err
+	}
+	metCkptSaves.Inc()
+	metCkptLastBytes.Set(float64(len(blob)))
+	metCkptBytesWritten.Add(uint64(len(blob)))
+	if metCkptSaveSeconds != nil {
+		metCkptSaveSeconds.Observe(time.Since(start).Seconds())
+	}
+	return blob, nil
 }
 
 // Restore rewinds a freshly built simulator (same Config, same policy kind)
 // to a Snapshot. A subsequent Run continues the interrupted lifetime and
 // produces a Report bit-identical to an uninterrupted run.
 func (s *Simulator) Restore(data []byte) error {
+	var start time.Time
+	if metCkptRestSeconds != nil {
+		start = time.Now()
+	}
 	snap, err := engine.DecodeSystemSnapshot(data)
 	if err != nil {
 		return err
@@ -195,5 +214,9 @@ func (s *Simulator) Restore(data []byte) error {
 	s.guardband = state.Guardband
 	s.emNucleated = state.EMNucleated
 	s.emFailedStep = state.EMFailedStep
+	metCkptRestores.Inc()
+	if metCkptRestSeconds != nil {
+		metCkptRestSeconds.Observe(time.Since(start).Seconds())
+	}
 	return nil
 }

@@ -248,10 +248,18 @@ func (s *Simulator) RunContext(ctx context.Context) (*Report, error) {
 // stepping; RunContext finalises the report once the horizon is reached.
 func (s *Simulator) RunSteps(ctx context.Context, n int) error {
 	for i := 0; i < n && s.step < s.cfg.Steps; i++ {
+		var start time.Time
+		if metStepSeconds != nil {
+			start = time.Now()
+		}
 		if err := s.pipe.Step(ctx, s.step, s.cfg.Steps); err != nil {
 			return err
 		}
 		s.step++
+		if metStepSeconds != nil {
+			metStepSeconds.Observe(time.Since(start).Seconds())
+		}
+		metStepsTotal.Inc()
 	}
 	return nil
 }

@@ -76,6 +76,7 @@ func (p *Pipeline) Step(ctx context.Context, step, total int) error {
 		}
 		d := time.Since(start)
 		p.totals[st.Name] += d
+		metStageSeconds[st.Name].Observe(d.Seconds())
 		if p.hooks.StageTime != nil {
 			p.hooks.StageTime(st.Name, d)
 		}

@@ -38,12 +38,15 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	if w > n {
 		w = n
 	}
+	metPoolItems.Add(uint64(n))
 	if w <= 1 {
+		metPoolSerialRuns.Inc()
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
+	metPoolParallelRuns.Inc()
 	chunk := (n + w - 1) / w
 	var wg sync.WaitGroup
 	for start := 0; start < n; start += chunk {
@@ -74,12 +77,15 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 	if w > n {
 		w = n
 	}
+	metPoolItems.Add(uint64(n))
 	errs := make([]error, n)
 	if w <= 1 {
+		metPoolSerialRuns.Inc()
 		for i := 0; i < n; i++ {
 			errs[i] = fn(i)
 		}
 	} else {
+		metPoolParallelRuns.Inc()
 		idx := make(chan int)
 		var wg sync.WaitGroup
 		for k := 0; k < w; k++ {

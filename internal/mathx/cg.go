@@ -84,7 +84,8 @@ func (s *CGSolver) Solve(b, x0 []float64, opt CGOptions) ([]float64, float64, er
 	copy(p, z)
 	rz := Dot(r, z)
 	res := Norm2(r) / normB
-	for iter := 0; iter < maxIter && res > tol; iter++ {
+	iters := 0
+	for ; iters < maxIter && res > tol; iters++ {
 		s.m.MulVec(p, ap)
 		den := Dot(p, ap)
 		if den == 0 {
@@ -106,7 +107,10 @@ func (s *CGSolver) Solve(b, x0 []float64, opt CGOptions) ([]float64, float64, er
 		}
 		res = Norm2(r) / normB
 	}
+	metCGSolves.Inc()
+	metCGIters.Add(uint64(iters))
 	if math.IsNaN(res) || res > math.Sqrt(tol) {
+		metCGFailures.Inc()
 		return x, res, fmt.Errorf("mathx: CG did not converge (residual %.3g)", res)
 	}
 	return x, res, nil

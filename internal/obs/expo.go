@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// This file is the exposition side of the registry: the Prometheus text
+// format for live scraping, a JSON snapshot for per-run manifests, and a
+// small HTTP server glueing them to `deepheal sim -metrics-addr`.
+
+// formatFloat renders a value the way the Prometheus text format expects.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// series is one exposition line: a full instrument name (base + labels) and
+// its rendered value.
+type series struct {
+	full, value string
+}
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4), sorted by metric family and
+// series name. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	families := make(map[string][]series)
+	hists := make(map[string]*Histogram, len(r.hists))
+	for full, c := range r.counters {
+		base, _ := splitName(full)
+		families[base] = append(families[base], series{full, strconv.FormatUint(c.Value(), 10)})
+	}
+	for full, g := range r.gauges {
+		base, _ := splitName(full)
+		families[base] = append(families[base], series{full, formatFloat(g.Value())})
+	}
+	for full, h := range r.hists {
+		hists[full] = h
+	}
+	kinds := make(map[string]string, len(r.kinds))
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.kinds {
+		kinds[k] = v
+	}
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	// Histogram samples render as cumulative _bucket series plus _sum/_count.
+	for full, h := range hists {
+		base, labels := splitName(full)
+		var cum uint64
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			families[base] = append(families[base],
+				series{histSeries(base+"_bucket", labels, `le="`+formatFloat(b)+`"`), strconv.FormatUint(cum, 10)})
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		families[base] = append(families[base],
+			series{histSeries(base+"_bucket", labels, `le="+Inf"`), strconv.FormatUint(cum, 10)})
+		families[base] = append(families[base],
+			series{histSeries(base+"_sum", labels, ""), formatFloat(h.Sum())})
+		families[base] = append(families[base],
+			series{histSeries(base+"_count", labels, ""), strconv.FormatUint(h.Count(), 10)})
+	}
+
+	bases := make([]string, 0, len(families))
+	for base := range families {
+		bases = append(bases, base)
+	}
+	sort.Strings(bases)
+	bw := bufio.NewWriter(w)
+	for _, base := range bases {
+		if h := help[base]; h != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", base, h)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", base, kinds[base])
+		ss := families[base]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].full < ss[j].full })
+		for _, s := range ss {
+			fmt.Fprintf(bw, "%s %s\n", s.full, s.value)
+		}
+	}
+	return bw.Flush()
+}
+
+// histSeries assembles a histogram sample name from the family suffix, the
+// instrument's fixed labels and the le bucket label.
+func histSeries(name, labels, le string) string {
+	switch {
+	case labels == "" && le == "":
+		return name
+	case labels == "":
+		return name + "{" + le + "}"
+	case le == "":
+		return name + "{" + labels + "}"
+	default:
+		return name + "{" + labels + "," + le + "}"
+	}
+}
+
+// HistSnapshot is the JSON form of one histogram: finite bucket upper
+// bounds plus len(Bounds)+1 counts, the last being the +Inf overflow.
+type HistSnapshot struct {
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+}
+
+// Snapshot is a point-in-time copy of every instrument, designed to
+// round-trip through JSON (see WriteFile/ReadSnapshotFile). It is the
+// machine-readable run manifest a sim or bench run leaves behind with
+// -metrics-out.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every instrument. A nil registry
+// yields an empty (but usable) snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for full, c := range r.counters {
+		snap.Counters[full] = c.Value()
+	}
+	for full, g := range r.gauges {
+		snap.Gauges[full] = g.Value()
+	}
+	for full, h := range r.hists {
+		hs := HistSnapshot{
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		snap.Histograms[full] = hs
+	}
+	return snap
+}
+
+// WriteFile saves the snapshot as indented JSON.
+func (s *Snapshot) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadSnapshotFile loads a snapshot written by WriteFile.
+func ReadSnapshotFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("obs: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Handler serves the registry over HTTP: the Prometheus text format on
+// every path, or the JSON snapshot on /metrics.json (or ?format=json). A
+// nil registry serves 404s.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "metrics disabled", http.StatusNotFound)
+			return
+		}
+		if req.URL.Path == "/metrics.json" || req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(r.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Server is a live metrics endpoint bound to a TCP address.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer binds addr (host:port; port 0 picks a free one) and serves
+// the registry until Close. It returns once the listener is bound, so
+// Addr() is immediately valid.
+func (r *Registry) StartServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics server: %w", err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go srv.Serve(ln) // returns ErrServerClosed after Close
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr reports the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("test_ops_total", "ops"); again != c {
+		t.Error("re-registration did not return the existing counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_depth", "depth")
+	g.Set(2.5)
+	g.Add(1.5)
+	g.Add(-1)
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge = %g, want 3", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 106.05; got != want {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	want := []uint64{1, 2, 1, 1} // per-bucket, last is +Inf overflow
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestNilInstrumentsAreNoops pins the disabled-mode guarantee: a nil
+// registry hands out nil instruments and every method on them is safe.
+func TestNilInstrumentsAreNoops(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_seconds", "", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry handed out live instruments")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments reported non-zero values")
+	}
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Errorf("nil WritePrometheus: %v", err)
+	}
+	if snap := r.Snapshot(); len(snap.Counters) != 0 {
+		t.Error("nil snapshot not empty")
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a gauge over a counter did not panic")
+		}
+	}()
+	r.Gauge("clash", "")
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	h := r.Histogram("conc_seconds", "", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(1e-4)
+				r.Counter("conc_total", "") // concurrent idempotent registration
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Errorf("counter = %d, histogram count = %d, want 8000 each", c.Value(), h.Count())
+	}
+}
+
+// parsePrometheus is a strict-enough parser for the text format: it checks
+// every non-comment line is `name{labels} value` with a numeric value, and
+// returns the sample map.
+func parsePrometheus(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		name, val := line[:i], line[i+1:]
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil && val != "+Inf" {
+			t.Fatalf("non-numeric value in line %q: %v", line, err)
+		}
+		samples[name] = v
+	}
+	return samples
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_ops_total", "operations").Add(7)
+	r.Gauge(`app_resident{kind="floats"}`, "resident floats").Set(42)
+	h := r.Histogram(`app_stage_seconds{stage="plan"}`, "stage latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	samples := parsePrometheus(t, text)
+
+	checks := map[string]float64{
+		"app_ops_total":                                    7,
+		`app_resident{kind="floats"}`:                      42,
+		`app_stage_seconds_bucket{stage="plan",le="0.1"}`:  1,
+		`app_stage_seconds_bucket{stage="plan",le="1"}`:    2,
+		`app_stage_seconds_bucket{stage="plan",le="+Inf"}`: 3,
+		`app_stage_seconds_count{stage="plan"}`:            3,
+	}
+	for name, want := range checks {
+		if got, ok := samples[name]; !ok || got != want {
+			t.Errorf("sample %s = %v (present=%v), want %v\nfull exposition:\n%s", name, got, ok, want, text)
+		}
+	}
+	for _, comment := range []string{
+		"# TYPE app_ops_total counter",
+		"# TYPE app_resident gauge",
+		"# TYPE app_stage_seconds histogram",
+		"# HELP app_ops_total operations",
+	} {
+		if !strings.Contains(text, comment) {
+			t.Errorf("exposition missing %q", comment)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("snap_ops_total", "").Add(11)
+	r.Gauge("snap_level", "").Set(-2.5)
+	h := r.Histogram("snap_seconds", "", []float64{0.5})
+	h.Observe(0.1)
+	h.Observe(3)
+
+	snap := r.Snapshot()
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters["snap_ops_total"] != 11 {
+		t.Errorf("counter round-trip = %d", got.Counters["snap_ops_total"])
+	}
+	if got.Gauges["snap_level"] != -2.5 {
+		t.Errorf("gauge round-trip = %g", got.Gauges["snap_level"])
+	}
+	hs := got.Histograms["snap_seconds"]
+	if hs.Count != 2 || hs.Sum != 3.1 || len(hs.Bounds) != 1 || len(hs.Counts) != 2 {
+		t.Errorf("histogram round-trip = %+v", hs)
+	}
+	if hs.Counts[0] != 1 || hs.Counts[1] != 1 {
+		t.Errorf("histogram counts = %v", hs.Counts)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("http_ops_total", "").Add(3)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	samples := parsePrometheus(t, string(body))
+	if samples["http_ops_total"] != 3 {
+		t.Errorf("scraped http_ops_total = %v", samples["http_ops_total"])
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json content type = %q", ct)
+	}
+}
+
+func TestStartServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("live_total", "").Inc()
+	s, err := r.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "live_total 1") {
+		t.Errorf("live endpoint body:\n%s", body)
+	}
+}

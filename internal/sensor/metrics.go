@@ -1,0 +1,23 @@
+package sensor
+
+import "deepheal/internal/obs"
+
+// Package-level instruments for the wearout sensors. Nil (free no-ops)
+// until EnableMetrics installs live ones.
+var (
+	metROReads  *obs.Counter
+	metEMReads  *obs.Counter
+	metEMErrors *obs.Counter
+)
+
+// EnableMetrics registers the package's instruments in r. Pass nil to
+// disable again. Call before sensors start sampling; installation is not
+// synchronised with concurrent reads.
+func EnableMetrics(r *obs.Registry) {
+	metROReads = r.Counter("deepheal_sensor_ro_reads_total",
+		"ring-oscillator BTI sensor samples")
+	metEMReads = r.Counter("deepheal_sensor_em_reads_total",
+		"resistance-ratio EM sensor samples")
+	metEMErrors = r.Counter("deepheal_sensor_em_read_errors_total",
+		"EM sensor reads rejected for non-physical inputs")
+}

@@ -80,6 +80,7 @@ type Reading struct {
 // Read samples the sensor given the true threshold shift of the monitored
 // block.
 func (s *ROSensor) Read(trueShiftV float64) Reading {
+	metROReads.Inc()
 	f := s.cfg.FreshHz * (1 - s.cfg.SensPerV*trueShiftV)
 	f += s.rng.Normal(0, s.cfg.NoiseSigmaHz)
 	if s.cfg.CounterHz > 0 {
@@ -142,7 +143,9 @@ type EMReading struct {
 
 // Read samples the sensor given the true monitored resistance.
 func (s *EMSensor) Read(trueOhm float64) (EMReading, error) {
+	metEMReads.Inc()
 	if trueOhm <= 0 {
+		metEMErrors.Inc()
 		return EMReading{}, fmt.Errorf("sensor: non-physical resistance %g", trueOhm)
 	}
 	ratio := trueOhm/s.cfg.RefOhm + s.rng.Normal(0, s.cfg.NoiseSigmaFrac)

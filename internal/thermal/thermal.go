@@ -151,6 +151,7 @@ func (g *Grid) TemperaturesInto(dst []units.Temperature) []units.Temperature {
 // operator with extraDiag = C/dt. The coordinate scratch is reused across
 // assemblies; mathx.NewCSR copies it.
 func (g *Grid) operator(extraDiag float64) *mathx.CSR {
+	metOperatorBuilds.Inc()
 	n := g.rows * g.cols
 	gl := 1 / g.cfg.RLateral
 	gv := 1 / g.cfg.RVertical
@@ -189,6 +190,7 @@ func (g *Grid) SteadyState(power []float64) ([]units.Temperature, error) {
 // solves the equilibrium for the power map and adopts it as the grid state,
 // allocating nothing on the warm path.
 func (g *Grid) Settle(power []float64) error {
+	metSettles.Inc()
 	n := g.rows * g.cols
 	if len(power) != n {
 		return fmt.Errorf("thermal: power map has %d tiles, want %d", len(power), n)
@@ -216,6 +218,7 @@ func (g *Grid) Settle(power []float64) error {
 // on (cfg, dt), so it is assembled once per distinct dt and reused — fixed-
 // quantum simulations never reassemble it.
 func (g *Grid) Step(power []float64, dt float64) error {
+	metSteps.Inc()
 	n := g.rows * g.cols
 	if len(power) != n {
 		return fmt.Errorf("thermal: power map has %d tiles, want %d", len(power), n)

@@ -31,8 +31,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	regs, compared := bench.Compare(base, rep, 2, bench.MinGateNs)
-	log.Printf("compared %d benchmarks against %s", compared, os.Args[1])
+	regs, stats := bench.Compare(base, rep, 2, bench.MinGateNs)
+	log.Printf("compared %d benchmarks against %s (%d below floor)", stats.Compared, os.Args[1], stats.SkippedBelowFloor)
+	for _, key := range stats.Missing {
+		log.Printf("WARNING: baseline benchmark %s missing from current run", key)
+	}
 	for _, r := range regs {
 		log.Println("REGRESSION", r)
 	}
