@@ -1,6 +1,7 @@
 package deepheal_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -17,7 +18,7 @@ import (
 func BenchmarkTable1BTIRecovery(b *testing.B) {
 	var last *experiments.Table1Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunTable1()
+		res, err := experiments.RunTable1(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -32,7 +33,7 @@ func BenchmarkTable1BTIRecovery(b *testing.B) {
 func BenchmarkFig4PermanentBTI(b *testing.B) {
 	var last *experiments.Fig4Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFig4()
+		res, err := experiments.RunFig4(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -47,7 +48,7 @@ func BenchmarkFig4PermanentBTI(b *testing.B) {
 func BenchmarkFig5EMRecovery(b *testing.B) {
 	var last *experiments.Fig5Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFig5()
+		res, err := experiments.RunFig5(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -63,7 +64,7 @@ func BenchmarkFig5EMRecovery(b *testing.B) {
 func BenchmarkFig6EMFullRecovery(b *testing.B) {
 	var last *experiments.Fig6Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFig6()
+		res, err := experiments.RunFig6(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +78,7 @@ func BenchmarkFig6EMFullRecovery(b *testing.B) {
 func BenchmarkFig7ScheduledEM(b *testing.B) {
 	var last *experiments.Fig7Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFig7()
+		res, err := experiments.RunFig7(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -91,7 +92,7 @@ func BenchmarkFig7ScheduledEM(b *testing.B) {
 func BenchmarkFig9AssistCircuit(b *testing.B) {
 	var last *experiments.Fig9Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFig9()
+		res, err := experiments.RunFig9(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func BenchmarkFig9AssistCircuit(b *testing.B) {
 func BenchmarkFig10LoadSizing(b *testing.B) {
 	var last *experiments.Fig10Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFig10()
+		res, err := experiments.RunFig10(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,7 +122,7 @@ func BenchmarkFig10LoadSizing(b *testing.B) {
 func BenchmarkFig12SystemSchedule(b *testing.B) {
 	var last *experiments.Fig12Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFig12()
+		res, err := experiments.RunFig12(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func BenchmarkFig12SystemSchedule(b *testing.B) {
 func BenchmarkAblationEMFrequency(b *testing.B) {
 	var last *experiments.EMFreqResult
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunAblationEMFrequency()
+		res, err := experiments.RunAblationEMFrequency(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,7 +151,7 @@ func BenchmarkAblationEMFrequency(b *testing.B) {
 func BenchmarkAblationBTIConditions(b *testing.B) {
 	var last *experiments.BTICondResult
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunAblationBTIConditions()
+		res, err := experiments.RunAblationBTIConditions(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,7 +164,7 @@ func BenchmarkAblationBTIConditions(b *testing.B) {
 func BenchmarkAblationScheduleGranularity(b *testing.B) {
 	var last *experiments.ScheduleResult
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunAblationSchedule()
+		res, err := experiments.RunAblationSchedule(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -182,7 +183,7 @@ func BenchmarkAblationScheduleGranularity(b *testing.B) {
 func BenchmarkAblationPolicyZoo(b *testing.B) {
 	var last *experiments.PolicyZooResult
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunPolicyZoo()
+		res, err := experiments.RunPolicyZoo(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -196,7 +197,7 @@ func BenchmarkAblationPolicyZoo(b *testing.B) {
 func BenchmarkAblationRebalance(b *testing.B) {
 	var last *experiments.RebalanceResult
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunAblationRebalance()
+		res, err := experiments.RunAblationRebalance(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -210,7 +211,7 @@ func BenchmarkAblationRebalance(b *testing.B) {
 func BenchmarkVariationStudy(b *testing.B) {
 	var last *experiments.VariationResult
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunVariation()
+		res, err := experiments.RunVariation(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -274,3 +275,22 @@ func BenchmarkSystemStep(b *testing.B) {
 		}
 	}
 }
+
+// benchCampaign runs the full registered experiment suite through the
+// campaign engine at the given worker count, so the serial/parallel pair
+// below measures the wall-clock effect of fanning points across cores
+// (identical output is asserted by TestCampaignParallelMatchesSerial).
+func benchCampaign(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		if _, err := deepheal.RunCampaign(context.Background(), nil, deepheal.CampaignOptions{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignAllSerial is the whole suite on one worker.
+func BenchmarkCampaignAllSerial(b *testing.B) { benchCampaign(b, 1) }
+
+// BenchmarkCampaignAllParallel is the whole suite on one worker per CPU;
+// the ratio to BenchmarkCampaignAllSerial is the multi-core speedup.
+func BenchmarkCampaignAllParallel(b *testing.B) { benchCampaign(b, 0) }

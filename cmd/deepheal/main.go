@@ -3,11 +3,24 @@
 //
 // Usage:
 //
-//	deepheal list              # show available experiment ids
-//	deepheal all               # run every experiment
-//	deepheal table1 fig5 ...   # run specific experiments
-//	deepheal sim [flags]       # run one policy simulation directly
-//	deepheal bench [flags]     # run tracked benchmarks, emit/compare JSON
+//	deepheal list                  # show available experiment ids
+//	deepheal all                   # run every experiment
+//	deepheal table1 fig5 ...       # run specific experiments
+//	deepheal all -parallel 4       # fan experiment points across 4 workers
+//	deepheal all -resume out/camp  # checkpoint/resume at point granularity
+//	deepheal sim [flags]           # run one policy simulation directly
+//	deepheal bench [flags]         # run tracked benchmarks, emit/compare JSON
+//
+// Experiments execute on the campaign engine: every experiment declares its
+// independent simulation points, the engine fans them across a bounded
+// worker pool (-parallel), deduplicates identical points across experiments
+// by content hash, and — with -resume — journals completed points so a
+// killed run picks up where it left off. Output is byte-identical for every
+// worker count. Flags may appear before or after the experiment ids.
+//
+// SIGINT/SIGTERM cancel the campaign: experiments that already completed
+// have had their output printed and written (-o), the journal keeps every
+// completed point, and the process exits non-zero.
 //
 // Each experiment prints its paper-style table or series followed by a
 // summary comparing the simulated result against the paper's anchors.
@@ -18,79 +31,166 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
-	"time"
+	"syscall"
 
+	"deepheal/internal/campaign"
 	"deepheal/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := run(ctx, os.Args[1:])
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "deepheal:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// parseInterspersed parses fs flags wherever they appear among args,
+// collecting the positional arguments — so `deepheal all -q` works like
+// `deepheal -q all`. The sim and bench verbs keep their remaining
+// arguments raw: they own their own flag sets.
+func parseInterspersed(fs *flag.FlagSet, args []string) ([]string, error) {
+	var pos []string
+	for {
+		if err := fs.Parse(args); err != nil {
+			return nil, err
+		}
+		args = fs.Args()
+		if len(args) == 0 {
+			return pos, nil
+		}
+		pos = append(pos, args[0])
+		args = args[1:]
+		if len(pos) == 1 && (pos[0] == "sim" || pos[0] == "bench") {
+			return append(pos, args...), nil
+		}
+	}
+}
+
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("deepheal", flag.ContinueOnError)
 	quiet := fs.Bool("q", false, "print only experiment summaries, not full series")
 	outDir := fs.String("o", "", "also write <id>.txt (and <id>_<series>.tsv where available) into this directory")
+	parallel := fs.Int("parallel", 1, "campaign worker pool size (0 = all CPUs); output is byte-identical for every setting")
+	resume := fs.String("resume", "", "campaign directory: restore completed points from its journal, append new ones")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: deepheal [-q] [-o dir] list | all | sim | bench | <experiment>...\n\nexperiments:\n")
+		fmt.Fprintf(fs.Output(), "usage: deepheal [-q] [-o dir] [-parallel n] [-resume dir] list | all | sim | bench | <experiment>...\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
 			fmt.Fprintf(fs.Output(), "  %s\n", id)
 		}
 		fs.PrintDefaults()
 	}
-	if err := fs.Parse(args); err != nil {
+	pos, err := parseInterspersed(fs, args)
+	if err != nil {
 		return err
 	}
-	if fs.NArg() == 0 {
+	if len(pos) == 0 {
 		fs.Usage()
 		return fmt.Errorf("no experiment selected")
 	}
 
 	var ids []string
-	switch fs.Arg(0) {
+	switch pos[0] {
 	case "sim":
-		return runSim(fs.Args()[1:])
+		return runSim(ctx, pos[1:])
 	case "bench":
-		return runBench(fs.Args()[1:])
+		return runBench(pos[1:])
 	case "list":
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
 		return nil
 	case "all":
-		ids = experiments.IDs()
+		if len(pos) > 1 {
+			return fmt.Errorf("unexpected argument %q after \"all\"", pos[1])
+		}
+		ids = nil // every registered experiment
 	default:
-		ids = fs.Args()
+		ids = pos
 	}
+	return runCampaign(ctx, ids, *quiet, *outDir, *parallel, *resume)
+}
 
-	if *outDir != "" {
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+// runCampaign executes the selected experiments on the campaign engine,
+// printing and flushing each experiment's output as soon as it (and its
+// predecessors, to keep registry order) completes.
+func runCampaign(ctx context.Context, ids []string, quiet bool, outDir string, workers int, resumeDir string) error {
+	tasks, err := experiments.Plans(ids...)
+	if err != nil {
+		return err
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			return err
 		}
 	}
-	for _, id := range ids {
-		start := time.Now()
-		res, err := experiments.Run(id)
+
+	opts := campaign.Options{Workers: workers}
+	if resumeDir != "" {
+		journal, err := campaign.OpenJournal(resumeDir)
 		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+			return err
 		}
-		fmt.Printf("=== %s — %s (%.1fs)\n\n", res.ID(), res.Title(), time.Since(start).Seconds())
-		if !*quiet {
+		defer journal.Close()
+		if n := journal.Restorable(); n > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d completed points in %s\n", n, resumeDir)
+		}
+		opts.Journal = journal
+	}
+
+	var outErr error
+	opts.OnTask = func(o campaign.Outcome) {
+		res, ok := o.Value.(experiments.Result)
+		if !ok {
+			return
+		}
+		fmt.Printf("=== %s — %s (%.1fs)\n\n", res.ID(), res.Title(), o.Elapsed.Seconds())
+		if !quiet {
 			fmt.Println(res.Format())
 		}
-		if *outDir != "" {
-			if err := writeOutputs(*outDir, res); err != nil {
-				return fmt.Errorf("%s: %w", id, err)
+		if outDir != "" && outErr == nil {
+			if err := writeOutputs(outDir, res); err != nil {
+				outErr = fmt.Errorf("%s: %w", res.ID(), err)
 			}
 		}
 	}
+
+	outcomes, runErr := campaign.Run(ctx, tasks, opts)
+	if resumeDir != "" && len(outcomes) > 0 {
+		if err := campaign.WriteStats(filepath.Join(resumeDir, "points.json"), outcomes); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if outErr != nil {
+		return outErr
+	}
+
+	var ran, memoised, restored int
+	for _, o := range outcomes {
+		for _, p := range o.Points {
+			switch p.Source {
+			case "run":
+				ran++
+			case "memo":
+				memoised++
+			case "journal":
+				restored++
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "campaign: %d points computed, %d memoised, %d restored from journal\n",
+		ran, memoised, restored)
 	return nil
 }
 

@@ -97,7 +97,7 @@ func TestSimLiveMetrics(t *testing.T) {
 // snapshot carries the kernel-cache and CG-solver series.
 func TestRunSimMetricsOut(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "metrics.json")
-	if err := run([]string{"sim", "-steps", "8", "-metrics-out", out}); err != nil {
+	if err := run(context.Background(), []string{"sim", "-steps", "8", "-metrics-out", out}); err != nil {
 		t.Fatal(err)
 	}
 	snap, err := obs.ReadSnapshotFile(out)
@@ -130,10 +130,10 @@ func TestRunSimMetricsOut(t *testing.T) {
 // TestRunSimMetricsAddr exercises the -metrics-addr flag path: the server
 // must bind, serve for the duration of the run and shut down cleanly.
 func TestRunSimMetricsAddr(t *testing.T) {
-	if err := run([]string{"sim", "-steps", "5", "-metrics-addr", "127.0.0.1:0"}); err != nil {
+	if err := run(context.Background(), []string{"sim", "-steps", "5", "-metrics-addr", "127.0.0.1:0"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"sim", "-steps", "5", "-metrics-addr", "not-an-address"}); err == nil {
+	if err := run(context.Background(), []string{"sim", "-steps", "5", "-metrics-addr", "not-an-address"}); err == nil {
 		t.Error("unbindable metrics address accepted")
 	}
 }

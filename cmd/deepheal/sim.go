@@ -36,7 +36,7 @@ func policyNames() []string {
 
 // runSim executes a single engine-driven lifetime simulation with optional
 // progress reporting and checkpoint/resume.
-func runSim(args []string) error {
+func runSim(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("deepheal sim", flag.ContinueOnError)
 	policy := fs.String("policy", "deep-healing", "scheduling policy to run")
 	rows := fs.Int("rows", 0, "die rows (0 = default config)")
@@ -140,7 +140,6 @@ func runSim(args []string) error {
 		}
 	}
 
-	ctx := context.Background()
 	start := time.Now()
 	for sim.Step() < cfg.Steps {
 		n := cfg.Steps - sim.Step()

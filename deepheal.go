@@ -31,6 +31,7 @@ import (
 
 	"deepheal/internal/assist"
 	"deepheal/internal/bti"
+	"deepheal/internal/campaign"
 	"deepheal/internal/core"
 	"deepheal/internal/em"
 	"deepheal/internal/engine"
@@ -253,6 +254,11 @@ func TuneDeepHealing(cfg SystemConfig, opts TuneOptions) (*TuneResult, error) {
 	return core.Tune(cfg, opts)
 }
 
+// TuneDeepHealingContext is TuneDeepHealing with cancellation.
+func TuneDeepHealingContext(ctx context.Context, cfg SystemConfig, opts TuneOptions) (*TuneResult, error) {
+	return core.TuneContext(ctx, cfg, opts)
+}
+
 // Reliability mathematics.
 type (
 	// Margin quantifies a wearout guardband.
@@ -295,15 +301,54 @@ type (
 	// ExperimentResult is a completed experiment with a paper-style
 	// formatter.
 	ExperimentResult = experiments.Result
+	// ExperimentEntry is one registered experiment: its id and campaign
+	// plan.
+	ExperimentEntry = experiments.Entry
 )
 
 // RunExperiment executes one of the registered paper experiments
-// ("table1", "fig4", ..., "fig12", "ablation-...").
-func RunExperiment(id string) (ExperimentResult, error) { return experiments.Run(id) }
+// ("table1", "fig4", ..., "fig12", "ablation-...") serially under ctx.
+func RunExperiment(ctx context.Context, id string) (ExperimentResult, error) {
+	return experiments.Run(ctx, id)
+}
 
 // ExperimentIDs lists the registered experiment identifiers in
 // presentation order.
 func ExperimentIDs() []string { return experiments.IDs() }
+
+// Experiments returns the experiment registry in presentation order.
+func Experiments() []ExperimentEntry { return experiments.Registry() }
+
+// Campaign execution: run many experiments on one bounded worker pool with
+// cross-experiment memoisation and point-granular checkpoint/resume.
+type (
+	// CampaignTask is one experiment's declared point set.
+	CampaignTask = campaign.Task
+	// CampaignOptions tunes a campaign run (workers, journal, delivery).
+	CampaignOptions = campaign.Options
+	// CampaignOutcome is one task's completed execution with per-point
+	// statistics.
+	CampaignOutcome = campaign.Outcome
+	// CampaignJournal persists completed points for checkpoint/resume.
+	CampaignJournal = campaign.Journal
+)
+
+// OpenCampaignJournal opens (creating if needed) a campaign journal
+// directory for checkpoint/resume at point granularity.
+func OpenCampaignJournal(dir string) (*CampaignJournal, error) {
+	return campaign.OpenJournal(dir)
+}
+
+// RunCampaign executes the given experiments (all of them when ids is
+// empty) on one bounded worker pool. Outcomes are returned — and delivered
+// to opts.OnTask — in registry order, byte-identical to a serial run.
+func RunCampaign(ctx context.Context, ids []string, opts CampaignOptions) ([]CampaignOutcome, error) {
+	tasks, err := experiments.Plans(ids...)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.Run(ctx, tasks, opts)
+}
 
 // Sensors and workloads used by the system simulations.
 type (

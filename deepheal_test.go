@@ -141,14 +141,14 @@ func TestExperimentFacade(t *testing.T) {
 	if len(ids) == 0 {
 		t.Fatal("no experiments registered")
 	}
-	res, err := deepheal.RunExperiment("table1")
+	res, err := deepheal.RunExperiment(context.Background(), "table1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.ID() != "table1" || res.Format() == "" {
 		t.Error("experiment facade broken")
 	}
-	if _, err := deepheal.RunExperiment("bogus"); err == nil {
+	if _, err := deepheal.RunExperiment(context.Background(), "bogus"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package deepheal_test
 
 import (
+	"context"
 	"fmt"
 
 	"deepheal"
@@ -54,7 +55,7 @@ func ExampleWire() {
 // ExampleRunExperiment regenerates a paper artefact through the experiment
 // registry.
 func ExampleRunExperiment() {
-	res, err := deepheal.RunExperiment("table1")
+	res, err := deepheal.RunExperiment(context.Background(), "table1")
 	if err != nil {
 		fmt.Println(err)
 		return

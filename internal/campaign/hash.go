@@ -1,0 +1,48 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Hash derives a point content hash from an ordered list of parts. Each
+// part is canonicalised through encoding/json (struct field order is
+// declaration order, map keys are sorted, float64 uses the shortest exact
+// representation), so two points hash equal iff their declared inputs are
+// semantically equal. Parts that fail to marshal poison the hash with their
+// error string rather than panicking — such points simply never collide.
+func Hash(parts ...any) string {
+	h := sha256.New()
+	for _, p := range parts {
+		data, err := json.Marshal(p)
+		if err != nil {
+			data = []byte(fmt.Sprintf("!unhashable:%T:%v", p, err))
+		}
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(data)))
+		h.Write(n[:]) // length-prefix so part boundaries cannot collide
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SampledSeries hashes a deterministic scalar series by sampling fn over
+// [0, n): the semantic digest used for inputs (like workload profiles)
+// whose Go values do not serialise, but whose observable behaviour is
+// exactly what the simulation consumes.
+func SampledSeries(name string, n int, fn func(i int) float64) string {
+	h := sha256.New()
+	h.Write([]byte(name))
+	var buf [8]byte
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(buf[:], uint64(i))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(fn(i)))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

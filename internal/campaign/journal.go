@@ -1,0 +1,179 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// journalName is the on-disk journal file inside a campaign directory.
+const journalName = "journal.jsonl"
+
+// record is one completed point, one JSON object per line. The result
+// payload is gob-encoded (base64 in the JSON envelope): gob round-trips
+// float64 bit-exactly and handles the ±Inf values some wearout traces
+// legitimately contain, which plain JSON cannot encode.
+type record struct {
+	Key    string  `json:"key"`
+	Hash   string  `json:"hash"`
+	WallMS float64 `json:"wall_ms"`
+	Gob    string  `json:"gob"`
+}
+
+// Journal persists completed campaign points in a directory, append-only,
+// keyed by content hash. A half-written trailing line (a killed campaign)
+// is ignored on reload, so a journal is always safe to resume from.
+type Journal struct {
+	dir string
+
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]*record // hash → persisted record
+}
+
+// OpenJournal opens (creating if needed) the campaign journal in dir and
+// indexes any points a previous run completed.
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: journal dir: %w", err)
+	}
+	j := &Journal{dir: dir, entries: make(map[string]*record)}
+	path := filepath.Join(dir, journalName)
+	if data, err := os.ReadFile(path); err == nil {
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var rec record
+			if err := json.Unmarshal(line, &rec); err != nil {
+				// Torn tail from a killed run — everything before it is good.
+				continue
+			}
+			if rec.Hash != "" {
+				rc := rec
+				j.entries[rec.Hash] = &rc
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("campaign: journal read: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: journal open: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Restorable returns how many completed points the journal currently holds.
+func (j *Journal) Restorable() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Close releases the journal file handle.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// lookup decodes the persisted result for hash into a value allocated by
+// newFn. ok is false when the hash is absent; a decode failure returns the
+// error (the caller falls back to recomputing).
+func (j *Journal) lookup(hash string, newFn func() any) (value any, ok bool, err error) {
+	j.mu.Lock()
+	rec := j.entries[hash]
+	j.mu.Unlock()
+	if rec == nil {
+		return nil, false, nil
+	}
+	raw, err := base64.StdEncoding.DecodeString(rec.Gob)
+	if err != nil {
+		return nil, false, fmt.Errorf("campaign: journal %s: %w", rec.Key, err)
+	}
+	v := newFn()
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(v); err != nil {
+		return nil, false, fmt.Errorf("campaign: journal %s: %w", rec.Key, err)
+	}
+	return v, true, nil
+}
+
+// record appends a completed point. It reports whether the result was
+// actually persisted: results gob cannot encode are skipped (the point
+// simply re-runs on resume) rather than failing the campaign.
+func (j *Journal) record(key, hash string, value any, wall time.Duration) bool {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(value); err != nil {
+		return false
+	}
+	rec := record{
+		Key:    key,
+		Hash:   hash,
+		WallMS: float64(wall) / float64(time.Millisecond),
+		Gob:    base64.StdEncoding.EncodeToString(payload.Bytes()),
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return false
+	}
+	w := bufio.NewWriter(j.f)
+	w.Write(line)
+	w.WriteByte('\n')
+	if err := w.Flush(); err != nil {
+		return false
+	}
+	j.entries[hash] = &rec
+	metPointsJournaled.Inc()
+	return true
+}
+
+// WriteStats saves the per-point execution statistics of a finished (or
+// interrupted) campaign as JSON — the machine-readable artefact CI uploads
+// next to the journal.
+func WriteStats(path string, outcomes []Outcome) error {
+	type taskStats struct {
+		Task      string      `json:"task"`
+		Err       string      `json:"err,omitempty"`
+		ElapsedMS float64     `json:"elapsed_ms"`
+		Points    []PointStat `json:"points"`
+	}
+	all := make([]taskStats, 0, len(outcomes))
+	for _, o := range outcomes {
+		ts := taskStats{
+			Task:      o.Task,
+			ElapsedMS: float64(o.Elapsed) / float64(time.Millisecond),
+			Points:    o.Points,
+		}
+		if o.Err != nil {
+			ts.Err = o.Err.Error()
+		}
+		all = append(all, ts)
+	}
+	data, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

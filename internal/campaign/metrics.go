@@ -1,0 +1,38 @@
+package campaign
+
+import "deepheal/internal/obs"
+
+// Package-level instruments. Nil (free no-ops) until EnableMetrics installs
+// live ones, matching the convention of the other instrumented packages.
+var (
+	metPointsRun       *obs.Counter
+	metPointsMemo      *obs.Counter
+	metPointsJournal   *obs.Counter
+	metPointsJournaled *obs.Counter
+	metPointErrors     *obs.Counter
+	metPointSeconds    *obs.Histogram
+	metTasksTotal      *obs.Counter
+	metTaskErrors      *obs.Counter
+)
+
+// EnableMetrics wires the campaign engine into r: how points were satisfied
+// (computed, memo-deduplicated, journal-restored), per-point wall time and
+// task completions. Pass nil to disable again.
+func EnableMetrics(r *obs.Registry) {
+	metPointsRun = r.Counter("deepheal_campaign_points_run_total",
+		"campaign points computed in-process")
+	metPointsMemo = r.Counter("deepheal_campaign_points_memo_total",
+		"campaign points satisfied by content-hash memoisation")
+	metPointsJournal = r.Counter("deepheal_campaign_points_resumed_total",
+		"campaign points restored from an on-disk journal")
+	metPointsJournaled = r.Counter("deepheal_campaign_points_journaled_total",
+		"campaign point results persisted to the journal")
+	metPointErrors = r.Counter("deepheal_campaign_point_errors_total",
+		"campaign points that returned an error (including cancellation)")
+	metPointSeconds = r.Histogram("deepheal_campaign_point_seconds",
+		"wall time of one computed campaign point", nil)
+	metTasksTotal = r.Counter("deepheal_campaign_tasks_total",
+		"campaign tasks (experiments) completed, with or without error")
+	metTaskErrors = r.Counter("deepheal_campaign_task_errors_total",
+		"campaign tasks that finished with an error")
+}

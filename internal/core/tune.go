@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -45,6 +46,12 @@ func (o TuneOptions) withDefaults() TuneOptions {
 // guardband among those meeting the availability floor — active recovery as
 // a design knob, per the paper's conclusion.
 func Tune(cfg Config, opts TuneOptions) (*TuneResult, error) {
+	return TuneContext(context.Background(), cfg, opts)
+}
+
+// TuneContext is Tune with cancellation: candidates already running finish
+// their current step before observing it.
+func TuneContext(ctx context.Context, cfg Config, opts TuneOptions) (*TuneResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -68,7 +75,7 @@ func Tune(cfg Config, opts TuneOptions) (*TuneResult, error) {
 	for i, c := range candidates {
 		policies[i] = c
 	}
-	reports, err := RunPolicies(cfg, policies...)
+	reports, err := RunPoliciesContext(ctx, cfg, 0, policies...)
 	if err != nil {
 		return nil, err
 	}

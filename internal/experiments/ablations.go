@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"deepheal/internal/bti"
+	"deepheal/internal/campaign"
 	"deepheal/internal/core"
 	"deepheal/internal/em"
 	"deepheal/internal/units"
@@ -50,39 +52,61 @@ func (r *EMFreqResult) Format() string {
 	return t.String() + "\nshorter reversal periods (higher frequency) extend lifetime by orders of magnitude\n"
 }
 
-// RunAblationEMFrequency sweeps the bipolar switching period.
-func RunAblationEMFrequency() (*EMFreqResult, error) {
+// emBipolarPoint stresses a wire with bipolar current at one half-period
+// until failure or the horizon.
+func emBipolarPoint(key string, halfMin, horizonHours float64) campaign.Point {
 	p := em.DefaultParams()
-	res := &EMFreqResult{}
-	base, err := em.NewWire(p)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: ablation-em-freq: %w", err)
-	}
-	dc, err := base.TimeToFailure(emJ, emTemp, units.Hours(48))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: ablation-em-freq: DC TTF: %w", err)
-	}
-	res.DCTTFMin = units.SecondsToMinutes(dc)
-
-	horizon := units.Hours(96)
-	for _, halfMin := range []float64{960, 720, 480, 240, 120, 60} {
+	hash := campaign.Hash("em/bipolar-ttf", p, emJ, emTemp, halfMin, horizonHours)
+	return campaign.NewPoint(key, hash, func(ctx context.Context) (*EMFreqPoint, error) {
 		w, err := em.NewWire(p)
 		if err != nil {
 			return nil, err
 		}
+		horizon := units.Hours(horizonHours)
 		elapsed, sign := 0.0, 1.0
 		for elapsed < horizon && !w.Broken() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			w.Run(units.CurrentDensity(sign)*emJ, emTemp, units.Minutes(halfMin), 0)
 			elapsed = w.Time()
 			sign = -sign
 		}
-		res.Points = append(res.Points, EMFreqPoint{
+		return &EMFreqPoint{
 			PeriodMin: halfMin,
 			TTFMin:    units.SecondsToMinutes(elapsed),
 			Immortal:  !w.Broken(),
-		})
+		}, nil
+	})
+}
+
+// PlanAblationEMFrequency declares the bipolar switching-period sweep: the
+// shared DC failure baseline plus one point per half-period.
+func PlanAblationEMFrequency() campaign.Task {
+	halfPeriods := []float64{960, 720, 480, 240, 120, 60}
+	t := campaign.Task{ID: "ablation-em-freq"}
+	t.Points = append(t.Points, emDCTTFPoint("ablation-em-freq/dc", 48))
+	for _, halfMin := range halfPeriods {
+		t.Points = append(t.Points, emBipolarPoint(
+			fmt.Sprintf("ablation-em-freq/half-%.0fmin", halfMin), halfMin, 96))
 	}
-	return res, nil
+	t.Assemble = func(results []any) (any, error) {
+		res := &EMFreqResult{DCTTFMin: *results[0].(*float64)}
+		for i := range halfPeriods {
+			res.Points = append(res.Points, *results[i+1].(*EMFreqPoint))
+		}
+		return res, nil
+	}
+	return t
+}
+
+// RunAblationEMFrequency sweeps the bipolar switching period.
+func RunAblationEMFrequency(ctx context.Context) (*EMFreqResult, error) {
+	v, err := campaign.RunTask(ctx, PlanAblationEMFrequency())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return v.(*EMFreqResult), nil
 }
 
 // BTICondPoint is one (voltage, temperature) recovery condition.
@@ -125,26 +149,42 @@ func (r *BTICondResult) Format() string {
 	return t.String() + "\ntemperature and reverse bias interact super-multiplicatively — the paper's \"deep healing\" knob\n"
 }
 
-// RunAblationBTIConditions sweeps the recovery condition grid.
-func RunAblationBTIConditions() (*BTICondResult, error) {
-	dev, err := bti.NewDevice(bti.DefaultParams())
-	if err != nil {
-		return nil, fmt.Errorf("experiments: ablation-bti-cond: %w", err)
-	}
-	dev.Apply(bti.StressAccel, units.Hours(24))
-	res := &BTICondResult{
-		Volts:  []float64{0, -0.1, -0.2, -0.3, -0.4},
-		TempsC: []float64{20, 50, 80, 110, 140},
-	}
-	for _, tc := range res.TempsC {
-		row := make([]float64, len(res.Volts))
-		for j, v := range res.Volts {
+// PlanAblationBTIConditions declares the recovery condition grid: one
+// recovery-fraction point per (voltage, temperature) cell. The cells that
+// coincide with the Table I conditions share those points' hashes, so a
+// full campaign computes them once.
+func PlanAblationBTIConditions() campaign.Task {
+	volts := []float64{0, -0.1, -0.2, -0.3, -0.4}
+	tempsC := []float64{20, 50, 80, 110, 140}
+	t := campaign.Task{ID: "ablation-bti-cond"}
+	for _, tc := range tempsC {
+		for _, v := range volts {
 			cond := bti.Condition{GateVoltage: v, Temp: units.Celsius(tc)}
-			row[j] = dev.RecoveryFraction(cond, units.Hours(6))
+			t.Points = append(t.Points, btiRecoveryFractionPoint(
+				fmt.Sprintf("ablation-bti-cond/%+.1fV-%.0fC", v, tc), cond, 24, 6))
 		}
-		res.Grid = append(res.Grid, row)
 	}
-	return res, nil
+	t.Assemble = func(results []any) (any, error) {
+		res := &BTICondResult{Volts: volts, TempsC: tempsC}
+		for i := range tempsC {
+			row := make([]float64, len(volts))
+			for j := range volts {
+				row[j] = *results[i*len(volts)+j].(*float64)
+			}
+			res.Grid = append(res.Grid, row)
+		}
+		return res, nil
+	}
+	return t
+}
+
+// RunAblationBTIConditions sweeps the recovery condition grid.
+func RunAblationBTIConditions(ctx context.Context) (*BTICondResult, error) {
+	v, err := campaign.RunTask(ctx, PlanAblationBTIConditions())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return v.(*BTICondResult), nil
 }
 
 // SchedulePoint is one recovery-interval setting of the A3 ablation.
@@ -187,43 +227,57 @@ func (r *ScheduleResult) Format() string {
 	return t.String()
 }
 
-// RunAblationSchedule sweeps recovery interval length and concurrency.
-func RunAblationSchedule() (*ScheduleResult, error) {
+// PlanAblationSchedule declares the scheduling-granularity sweep: the
+// no-recovery baseline plus one simulation point per (interval,
+// concurrency) setting, each owning its own deterministic state.
+func PlanAblationSchedule() campaign.Task {
 	cfg := core.DefaultConfig()
 	cfg.Steps = 900
 	wl, err := Fig12Workloads(cfg.NumCores(), cfg.Seed)
 	if err != nil {
-		return nil, err
+		return errorTask("ablation-schedule", fmt.Errorf("experiments: ablation-schedule: %w", err))
 	}
 	cfg.Workloads = wl
 
 	settings := []struct{ steps, conc int }{
 		{1, 2}, {1, 4}, {2, 2}, {2, 4}, {4, 4}, {2, 6},
 	}
-	// One bounded batch: the baseline plus every sweep point runs on the
-	// engine pool, each simulation owning its own deterministic state.
-	policies := make([]core.Policy, 0, len(settings)+1)
-	policies = append(policies, &core.NoRecovery{})
+	t := campaign.Task{ID: "ablation-schedule"}
+	t.Points = append(t.Points, simPoint("ablation-schedule/baseline", cfg,
+		func() core.Policy { return &core.NoRecovery{} }))
 	for _, setting := range settings {
-		pol := core.DefaultDeepHealing()
-		pol.RecoverySteps = setting.steps
-		pol.MaxConcurrent = setting.conc
-		policies = append(policies, pol)
+		setting := setting
+		t.Points = append(t.Points, simPoint(
+			fmt.Sprintf("ablation-schedule/r%d-c%d", setting.steps, setting.conc), cfg,
+			func() core.Policy {
+				pol := core.DefaultDeepHealing()
+				pol.RecoverySteps = setting.steps
+				pol.MaxConcurrent = setting.conc
+				return pol
+			}))
 	}
-	reports, err := core.RunPolicies(cfg, policies...)
+	t.Assemble = func(results []any) (any, error) {
+		res := &ScheduleResult{Baseline: results[0].(*core.Report).GuardbandFrac}
+		for i, setting := range settings {
+			rep := results[i+1].(*core.Report)
+			res.Points = append(res.Points, SchedulePoint{
+				RecoverySteps: setting.steps,
+				MaxConcurrent: setting.conc,
+				Guardband:     rep.GuardbandFrac,
+				Overhead:      rep.RecoveryOverhead,
+				Availability:  rep.Availability,
+			})
+		}
+		return res, nil
+	}
+	return t
+}
+
+// RunAblationSchedule sweeps recovery interval length and concurrency.
+func RunAblationSchedule(ctx context.Context) (*ScheduleResult, error) {
+	v, err := campaign.RunTask(ctx, PlanAblationSchedule())
 	if err != nil {
-		return nil, fmt.Errorf("experiments: ablation-schedule: %w", err)
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	res := &ScheduleResult{Baseline: reports[0].GuardbandFrac}
-	for i, setting := range settings {
-		rep := reports[i+1]
-		res.Points = append(res.Points, SchedulePoint{
-			RecoverySteps: setting.steps,
-			MaxConcurrent: setting.conc,
-			Guardband:     rep.GuardbandFrac,
-			Overhead:      rep.RecoveryOverhead,
-			Availability:  rep.Availability,
-		})
-	}
-	return res, nil
+	return v.(*ScheduleResult), nil
 }

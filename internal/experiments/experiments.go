@@ -1,16 +1,21 @@
 // Package experiments contains one runner per table and figure of the
 // paper's evaluation, plus the ablations called out in DESIGN.md. Each
-// runner builds the relevant simulators from their calibrated defaults,
-// executes the experiment protocol, and returns a typed result that can be
-// rendered as the paper-style table/series. The CLI (cmd/deepheal), the
-// benchmark harness (bench_test.go) and the integration tests all consume
-// these runners, so the numbers recorded in EXPERIMENTS.md are produced by
-// exactly one code path.
+// experiment declares a campaign task: the set of independent simulation
+// points it needs, plus an assemble step that combines them into a typed
+// result rendered as the paper-style table/series. The CLI (cmd/deepheal)
+// executes the plans on one shared campaign engine (parallel, memoised,
+// resumable); the benchmark harness (bench_test.go) and the integration
+// tests call the typed runners, which execute the same plans serially — so
+// the numbers recorded in EXPERIMENTS.md are produced by exactly one code
+// path either way.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
+
+	"deepheal/internal/campaign"
 )
 
 // Result is a completed experiment.
@@ -24,53 +29,104 @@ type Result interface {
 }
 
 // Runner executes one experiment.
-type Runner func() (Result, error)
+type Runner func(ctx context.Context) (Result, error)
 
-// Registry maps experiment ids to runners, in presentation order.
-func Registry() []struct {
-	ID     string
-	Runner Runner
-} {
-	return []struct {
-		ID     string
-		Runner Runner
-	}{
-		{"table1", func() (Result, error) { return RunTable1() }},
-		{"fig4", func() (Result, error) { return RunFig4() }},
-		{"fig5", func() (Result, error) { return RunFig5() }},
-		{"fig6", func() (Result, error) { return RunFig6() }},
-		{"fig7", func() (Result, error) { return RunFig7() }},
-		{"fig9", func() (Result, error) { return RunFig9() }},
-		{"fig10", func() (Result, error) { return RunFig10() }},
-		{"fig12", func() (Result, error) { return RunFig12() }},
-		{"ablation-em-freq", func() (Result, error) { return RunAblationEMFrequency() }},
-		{"ablation-bti-cond", func() (Result, error) { return RunAblationBTIConditions() }},
-		{"ablation-schedule", func() (Result, error) { return RunAblationSchedule() }},
-		{"ablation-policies", func() (Result, error) { return RunPolicyZoo() }},
-		{"ablation-rebalance", func() (Result, error) { return RunAblationRebalance() }},
-		{"ablation-sizing", func() (Result, error) { return RunSizingStudy() }},
-		{"variation", func() (Result, error) { return RunVariation() }},
+// Entry is one registered experiment: a stable identifier plus the campaign
+// plan that computes it.
+type Entry struct {
+	ID string
+	// Plan declares the experiment's campaign task. Calling it is cheap and
+	// side-effect free; the physics happens when the points run.
+	Plan func() campaign.Task
+}
+
+// Run executes the entry's plan serially (no pool, no memo, no journal).
+func (e Entry) Run(ctx context.Context) (Result, error) {
+	v, err := campaign.RunTask(ctx, e.Plan())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
+	r, ok := v.(Result)
+	if !ok {
+		return nil, fmt.Errorf("experiments: %s assembled a %T, not a Result", e.ID, v)
+	}
+	return r, nil
+}
+
+// Runner adapts the entry to the Runner function type.
+func (e Entry) Runner() Runner {
+	return func(ctx context.Context) (Result, error) { return e.Run(ctx) }
+}
+
+// registry is the package-level experiment table, in presentation order.
+var registry = []Entry{
+	{"table1", PlanTable1},
+	{"fig4", PlanFig4},
+	{"fig5", PlanFig5},
+	{"fig6", PlanFig6},
+	{"fig7", PlanFig7},
+	{"fig9", PlanFig9},
+	{"fig10", PlanFig10},
+	{"fig12", PlanFig12},
+	{"ablation-em-freq", PlanAblationEMFrequency},
+	{"ablation-bti-cond", PlanAblationBTIConditions},
+	{"ablation-schedule", PlanAblationSchedule},
+	{"ablation-policies", PlanPolicyZoo},
+	{"ablation-rebalance", PlanAblationRebalance},
+	{"ablation-sizing", PlanSizingStudy},
+	{"variation", PlanVariation},
+}
+
+// Registry returns the experiment table, in presentation order.
+func Registry() []Entry {
+	return append([]Entry(nil), registry...)
+}
+
+// Lookup finds a registered experiment by id.
+func Lookup(id string) (Entry, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Entry{}, false
 }
 
 // Run executes the experiment with the given id.
-func Run(id string) (Result, error) {
-	for _, e := range Registry() {
-		if e.ID == id {
-			return e.Runner()
-		}
+func Run(ctx context.Context, id string) (Result, error) {
+	e, ok := Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (available: %s)",
+			id, strings.Join(IDs(), ", "))
 	}
-	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	return e.Run(ctx)
 }
 
 // IDs lists the registered experiment identifiers.
 func IDs() []string {
-	reg := Registry()
-	out := make([]string, len(reg))
-	for i, e := range reg {
+	out := make([]string, len(registry))
+	for i, e := range registry {
 		out[i] = e.ID
 	}
 	return out
+}
+
+// Plans expands experiment ids (all of them when none are given) into
+// campaign tasks, ready for campaign.Run.
+func Plans(ids ...string) ([]campaign.Task, error) {
+	if len(ids) == 0 {
+		ids = IDs()
+	}
+	tasks := make([]campaign.Task, 0, len(ids))
+	for _, id := range ids {
+		e, ok := Lookup(id)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (available: %s)",
+				id, strings.Join(IDs(), ", "))
+		}
+		tasks = append(tasks, e.Plan())
+	}
+	return tasks, nil
 }
 
 // table is a small text-table builder shared by the result formatters.

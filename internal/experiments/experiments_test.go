@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -10,8 +11,10 @@ func TestRegistryRunsEverything(t *testing.T) {
 	if len(IDs()) < 11 {
 		t.Fatalf("registry too small: %v", IDs())
 	}
-	if _, err := Run("nope"); err == nil {
+	if _, err := Run(context.Background(), "nope"); err == nil {
 		t.Error("unknown experiment accepted")
+	} else if !strings.Contains(err.Error(), "table1") {
+		t.Errorf("unknown-id error should list available ids, got: %v", err)
 	}
 }
 
@@ -19,7 +22,7 @@ func TestAllResultsFormat(t *testing.T) {
 	for _, id := range IDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			res, err := Run(id)
+			res, err := Run(context.Background(), id)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -41,7 +44,7 @@ func TestAllResultsFormat(t *testing.T) {
 }
 
 func TestTable1MatchesPaperModel(t *testing.T) {
-	res, err := RunTable1()
+	res, err := RunTable1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +66,7 @@ func TestTable1MatchesPaperModel(t *testing.T) {
 }
 
 func TestFig4BalancedPatternStaysFlat(t *testing.T) {
-	res, err := RunFig4()
+	res, err := RunFig4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +101,7 @@ func TestFig4BalancedPatternStaysFlat(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
-	res, err := RunFig5()
+	res, err := RunFig5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +130,7 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
-	res, err := RunFig6()
+	res, err := RunFig6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +146,7 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	res, err := RunFig7()
+	res, err := RunFig7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +160,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
-	res, err := RunFig9()
+	res, err := RunFig9(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +184,7 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
-	res, err := RunFig10()
+	res, err := RunFig10(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +204,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestFig12Shape(t *testing.T) {
-	res, err := RunFig12()
+	res, err := RunFig12(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +228,7 @@ func TestFig12Shape(t *testing.T) {
 }
 
 func TestAblationEMFrequency(t *testing.T) {
-	res, err := RunAblationEMFrequency()
+	res, err := RunAblationEMFrequency(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +253,7 @@ func TestAblationEMFrequency(t *testing.T) {
 }
 
 func TestAblationBTIConditions(t *testing.T) {
-	res, err := RunAblationBTIConditions()
+	res, err := RunAblationBTIConditions(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +278,7 @@ func TestAblationBTIConditions(t *testing.T) {
 }
 
 func TestAblationSchedule(t *testing.T) {
-	res, err := RunAblationSchedule()
+	res, err := RunAblationSchedule(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,12 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestPolicyZooShape(t *testing.T) {
-	res, err := RunPolicyZoo()
+	res, err := RunPolicyZoo(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +48,7 @@ func TestPolicyZooShape(t *testing.T) {
 }
 
 func TestRebalanceAblationOrdering(t *testing.T) {
-	res, err := RunAblationRebalance()
+	res, err := RunAblationRebalance(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +75,7 @@ func TestRebalanceAblationOrdering(t *testing.T) {
 }
 
 func TestVariationStudy(t *testing.T) {
-	res, err := RunVariation()
+	res, err := RunVariation(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

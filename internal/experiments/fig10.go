@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"deepheal/internal/assist"
+	"deepheal/internal/campaign"
 )
 
 // Fig10Result reproduces Fig. 10: how the load size behind one fixed-size
@@ -40,11 +42,32 @@ func (r *Fig10Result) Format() string {
 	return out
 }
 
-// RunFig10 executes the load-size sweep.
-func RunFig10() (*Fig10Result, error) {
-	pts, err := assist.LoadSizeSweep(assist.DefaultConfig(), 5)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig10: %w", err)
+// PlanFig10 declares the load-size sweep.
+func PlanFig10() campaign.Task {
+	cfg := assist.DefaultConfig()
+	const maxLoads = 5
+	hash := campaign.Hash("assist/load-size-sweep", cfg, maxLoads)
+	return campaign.Task{
+		ID: "fig10",
+		Points: []campaign.Point{campaign.NewPoint("fig10/sweep", hash,
+			func(ctx context.Context) (*Fig10Result, error) {
+				pts, err := assist.LoadSizeSweep(cfg, maxLoads)
+				if err != nil {
+					return nil, err
+				}
+				return &Fig10Result{Points: pts}, nil
+			})},
+		Assemble: func(results []any) (any, error) {
+			return results[0].(*Fig10Result), nil
+		},
 	}
-	return &Fig10Result{Points: pts}, nil
+}
+
+// RunFig10 executes the load-size sweep.
+func RunFig10(ctx context.Context) (*Fig10Result, error) {
+	v, err := campaign.RunTask(ctx, PlanFig10())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return v.(*Fig10Result), nil
 }

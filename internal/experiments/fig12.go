@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"deepheal/internal/campaign"
 	"deepheal/internal/core"
 	"deepheal/internal/lifetime"
 	"deepheal/internal/rngx"
@@ -109,26 +111,41 @@ func Fig12Workloads(n int, seed int64) ([]workload.Profile, error) {
 	return out, nil
 }
 
-// RunFig12 executes the three scheduling policies over the default system.
-func RunFig12() (*Fig12Result, error) {
+// PlanFig12 declares one simulation point per scheduling policy over the
+// default system: independent simulations the engine can run concurrently.
+func PlanFig12() campaign.Task {
 	cfg := core.DefaultConfig()
 	wl, err := Fig12Workloads(cfg.NumCores(), cfg.Seed)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: fig12: %w", err)
+		return errorTask("fig12", fmt.Errorf("experiments: fig12: %w", err))
 	}
 	cfg.Workloads = wl
 
-	res := &Fig12Result{SampleEvery: 100}
-	reports, err := core.RunPolicies(cfg,
-		&core.NoRecovery{}, &core.PassiveRecovery{}, core.DefaultDeepHealing())
+	return campaign.Task{
+		ID: "fig12",
+		Points: []campaign.Point{
+			simPoint("fig12/no-recovery", cfg, func() core.Policy { return &core.NoRecovery{} }),
+			simPoint("fig12/passive", cfg, func() core.Policy { return &core.PassiveRecovery{} }),
+			simPoint("fig12/deep-healing", cfg, func() core.Policy { return core.DefaultDeepHealing() }),
+		},
+		Assemble: func(results []any) (any, error) {
+			res := &Fig12Result{SampleEvery: 100}
+			for _, r := range results {
+				res.Policies = append(res.Policies, Fig12Policy{Report: r.(*core.Report)})
+			}
+			worst := lifetime.Margin{FreshDelay: 1, WornDelay: 1 + res.Policies[0].Report.GuardbandFrac}
+			deep := lifetime.Margin{FreshDelay: 1, WornDelay: 1 + res.Policies[2].Report.GuardbandFrac}
+			res.MarginReduction = lifetime.Reduction(worst, deep)
+			return res, nil
+		},
+	}
+}
+
+// RunFig12 executes the three scheduling policies over the default system.
+func RunFig12(ctx context.Context) (*Fig12Result, error) {
+	v, err := campaign.RunTask(ctx, PlanFig12())
 	if err != nil {
-		return nil, fmt.Errorf("experiments: fig12: %w", err)
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	for _, rep := range reports {
-		res.Policies = append(res.Policies, Fig12Policy{Report: rep})
-	}
-	worst := lifetime.Margin{FreshDelay: 1, WornDelay: 1 + res.Policies[0].Report.GuardbandFrac}
-	deep := lifetime.Margin{FreshDelay: 1, WornDelay: 1 + res.Policies[2].Report.GuardbandFrac}
-	res.MarginReduction = lifetime.Reduction(worst, deep)
-	return res, nil
+	return v.(*Fig12Result), nil
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"deepheal/internal/bti"
+	"deepheal/internal/campaign"
 	"deepheal/internal/units"
 )
 
@@ -68,29 +70,51 @@ func (r *Fig4Result) Format() string {
 	return out
 }
 
-// RunFig4 executes the cyclic stress/deep-recovery experiment for the
-// 1:1, 2:1 and 4:1 duty patterns.
-func RunFig4() (*Fig4Result, error) {
-	const cycles = 12
-	res := &Fig4Result{Cycles: cycles}
-	for _, duty := range [][2]float64{{1, 1}, {2, 1}, {4, 1}} {
-		dev, err := bti.NewDevice(bti.DefaultParams())
+// fig4PatternPoint runs one duty pattern's cyclic stress/deep-recovery
+// schedule on a fresh device.
+func fig4PatternPoint(key string, stressH, recoverH float64, cycles int) campaign.Point {
+	params := bti.DefaultParams()
+	hash := campaign.Hash("bti/duty-residuals", params, bti.StressAccel, bti.RecoverDeep,
+		stressH, recoverH, cycles)
+	return campaign.NewPoint(key, hash, func(ctx context.Context) (*Fig4Pattern, error) {
+		dev, err := bti.NewDevice(params)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig4: %w", err)
+			return nil, err
 		}
 		residuals := dev.RunDutyCycles(bti.StressAccel, bti.RecoverDeep,
-			units.Hours(duty[0]), units.Hours(duty[1]), cycles)
-		res.Patterns = append(res.Patterns, Fig4Pattern{
-			StressHours:   duty[0],
-			RecoveryHours: duty[1],
-			Residuals:     residuals,
-		})
+			units.Hours(stressH), units.Hours(recoverH), cycles)
+		return &Fig4Pattern{StressHours: stressH, RecoveryHours: recoverH, Residuals: residuals}, nil
+	})
+}
+
+// PlanFig4 declares the cyclic stress/deep-recovery task for the 1:1, 2:1
+// and 4:1 duty patterns, plus the single 1 h stress reference shift.
+func PlanFig4() campaign.Task {
+	const cycles = 12
+	duties := [][2]float64{{1, 1}, {2, 1}, {4, 1}}
+	t := campaign.Task{ID: "fig4"}
+	for _, duty := range duties {
+		t.Points = append(t.Points, fig4PatternPoint(
+			fmt.Sprintf("fig4/duty-%gh-%gh", duty[0], duty[1]), duty[0], duty[1], cycles))
 	}
-	ref, err := bti.NewDevice(bti.DefaultParams())
+	t.Points = append(t.Points, btiShiftPoint("fig4/one-hour-ref", bti.StressAccel, 1))
+	t.Assemble = func(results []any) (any, error) {
+		res := &Fig4Result{Cycles: cycles}
+		for i := range duties {
+			res.Patterns = append(res.Patterns, *results[i].(*Fig4Pattern))
+		}
+		res.OneHourShiftV = *results[len(duties)].(*float64)
+		return res, nil
+	}
+	return t
+}
+
+// RunFig4 executes the cyclic stress/deep-recovery experiment for the
+// 1:1, 2:1 and 4:1 duty patterns.
+func RunFig4(ctx context.Context) (*Fig4Result, error) {
+	v, err := campaign.RunTask(ctx, PlanFig4())
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	ref.Apply(bti.StressAccel, units.Hours(1))
-	res.OneHourShiftV = ref.ShiftV()
-	return res, nil
+	return v.(*Fig4Result), nil
 }

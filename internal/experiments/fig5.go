@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"deepheal/internal/campaign"
 	"deepheal/internal/em"
 	"deepheal/internal/units"
 )
@@ -83,41 +85,67 @@ func (r *Fig5Result) Format() string {
 	return out
 }
 
-// RunFig5 executes the late-recovery EM experiment.
-func RunFig5() (*Fig5Result, error) {
+// fig5 protocol constants.
+const (
+	fig5StressMin  = 960
+	fig5RecoverMin = 192 // 1/5 of the stress time
+	fig5SampleMin  = 30
+)
+
+// fig5ProtocolPoint runs the stress phase and both recovery branches; the
+// nucleation baseline is a separate (shared) point.
+func fig5ProtocolPoint(key string) campaign.Point {
 	p := em.DefaultParams()
-	const (
-		stressMin  = 960
-		recoverMin = 192 // 1/5 of the stress time
-		sampleMin  = 30
-	)
-	res := &Fig5Result{
-		FreshOhm:          p.Resistance0(emTemp),
-		StressMinutes:     stressMin,
-		RecoveryMinutes:   recoverMin,
-		PaperActiveTarget: 0.75,
-	}
+	hash := campaign.Hash("em/fig5-protocol", p, emJ, emTemp,
+		fig5StressMin, fig5RecoverMin, fig5SampleMin)
+	return campaign.NewPoint(key, hash, func(ctx context.Context) (*Fig5Result, error) {
+		res := &Fig5Result{
+			FreshOhm:          p.Resistance0(emTemp),
+			StressMinutes:     fig5StressMin,
+			RecoveryMinutes:   fig5RecoverMin,
+			PaperActiveTarget: 0.75,
+		}
+		w, err := em.NewWire(p)
+		if err != nil {
+			return nil, err
+		}
+		res.StressTrace = w.Run(emJ, emTemp, units.Minutes(fig5StressMin), units.Minutes(fig5SampleMin))
+		res.PeakOhm = w.Resistance(emTemp)
 
-	w, err := em.NewWire(p)
+		passive := w.Clone()
+		res.ActiveTrace = w.Run(-emJ, emTemp, units.Minutes(fig5RecoverMin), units.Minutes(fig5SampleMin))
+		res.PassiveTrace = passive.Run(0, emTemp, units.Minutes(fig5RecoverMin), units.Minutes(fig5SampleMin))
+
+		rise := res.PeakOhm - res.FreshOhm
+		res.ActiveRecovered = (res.PeakOhm - w.Resistance(emTemp)) / rise
+		res.PassiveRecovered = (res.PeakOhm - passive.Resistance(emTemp)) / rise
+		res.PermanentOhm = w.Resistance(emTemp) - res.FreshOhm
+		return res, nil
+	})
+}
+
+// PlanFig5 declares the late-recovery EM task: the shared DC nucleation
+// baseline plus the stress/recovery protocol.
+func PlanFig5() campaign.Task {
+	return campaign.Task{
+		ID: "fig5",
+		Points: []campaign.Point{
+			emNucleationPoint("fig5/nucleation", 24),
+			fig5ProtocolPoint("fig5/protocol"),
+		},
+		Assemble: func(results []any) (any, error) {
+			res := *results[1].(*Fig5Result)
+			res.NucleationMin = *results[0].(*float64)
+			return &res, nil
+		},
+	}
+}
+
+// RunFig5 executes the late-recovery EM experiment.
+func RunFig5(ctx context.Context) (*Fig5Result, error) {
+	v, err := campaign.RunTask(ctx, PlanFig5())
 	if err != nil {
-		return nil, fmt.Errorf("experiments: fig5: %w", err)
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	tn, err := w.TimeToNucleation(emJ, emTemp, units.Hours(24))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig5: nucleation: %w", err)
-	}
-	res.NucleationMin = units.SecondsToMinutes(tn)
-
-	res.StressTrace = w.Run(emJ, emTemp, units.Minutes(stressMin), units.Minutes(sampleMin))
-	res.PeakOhm = w.Resistance(emTemp)
-
-	passive := w.Clone()
-	res.ActiveTrace = w.Run(-emJ, emTemp, units.Minutes(recoverMin), units.Minutes(sampleMin))
-	res.PassiveTrace = passive.Run(0, emTemp, units.Minutes(recoverMin), units.Minutes(sampleMin))
-
-	rise := res.PeakOhm - res.FreshOhm
-	res.ActiveRecovered = (res.PeakOhm - w.Resistance(emTemp)) / rise
-	res.PassiveRecovered = (res.PeakOhm - passive.Resistance(emTemp)) / rise
-	res.PermanentOhm = w.Resistance(emTemp) - res.FreshOhm
-	return res, nil
+	return v.(*Fig5Result), nil
 }

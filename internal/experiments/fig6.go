@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"deepheal/internal/campaign"
 	"deepheal/internal/em"
 	"deepheal/internal/units"
 )
@@ -53,18 +55,41 @@ func (r *Fig6Result) Format() string {
 	return out
 }
 
+// PlanFig6 declares the early-recovery EM experiment as one point: the
+// reverse phase's duration depends on the stress outcome, so the protocol
+// cannot be split further.
+func PlanFig6() campaign.Task {
+	p := em.DefaultParams()
+	hash := campaign.Hash("em/fig6-protocol", p, emJ, emTemp, 60, 30, 1.5)
+	return campaign.Task{
+		ID:     "fig6",
+		Points: []campaign.Point{campaign.NewPoint("fig6/protocol", hash, runFig6Protocol)},
+		Assemble: func(results []any) (any, error) {
+			return results[0].(*Fig6Result), nil
+		},
+	}
+}
+
 // RunFig6 executes the early-recovery EM experiment with a long reverse
 // phase to expose the reverse-EM hazard the paper points out.
-func RunFig6() (*Fig6Result, error) {
+func RunFig6(ctx context.Context) (*Fig6Result, error) {
+	v, err := campaign.RunTask(ctx, PlanFig6())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return v.(*Fig6Result), nil
+}
+
+func runFig6Protocol(ctx context.Context) (*Fig6Result, error) {
 	p := em.DefaultParams()
 	res := &Fig6Result{FreshOhm: p.Resistance0(emTemp)}
 	w, err := em.NewWire(p)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: fig6: %w", err)
+		return nil, err
 	}
 	tn, err := w.TimeToNucleation(emJ, emTemp, units.Hours(24))
 	if err != nil {
-		return nil, fmt.Errorf("experiments: fig6: nucleation: %w", err)
+		return nil, fmt.Errorf("nucleation: %w", err)
 	}
 	// Stress slightly into the void-growth phase, then reverse for a long
 	// time (sampled coarsely) to capture both the full recovery and the
@@ -79,6 +104,9 @@ func RunFig6() (*Fig6Result, error) {
 	// stopping before the reverse-EM damage breaks the wire.
 	minResidual := res.RiseOhm
 	for w.Time()-stressDur < units.Hours(30) && !w.Broken() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		offset := units.SecondsToMinutes(w.Time())
 		chunk := w.Run(-emJ, emTemp, units.Hours(1), units.Minutes(sampleMin))
 		for _, s := range chunk {

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"deepheal/internal/campaign"
 	"deepheal/internal/em"
 	"deepheal/internal/units"
 )
@@ -53,59 +55,93 @@ func (r *Fig7Result) Format() string {
 	return out
 }
 
-// RunFig7 executes the proactive periodic-recovery EM experiment.
-func RunFig7() (*Fig7Result, error) {
+// fig7Scheduled is the periodic-recovery branch of Fig. 7: the trace, the
+// delayed nucleation time and the extended failure time.
+type fig7Scheduled struct {
+	Trace         []em.Sample
+	NucleationMin float64
+	TTFMin        float64
+}
+
+// fig7ScheduledPoint runs periodic reverse intervals while the wire is
+// still void-free, then continuous stress until failure.
+func fig7ScheduledPoint(key string, stressIntMin, reverseIntMin float64) campaign.Point {
 	p := em.DefaultParams()
-	res := &Fig7Result{StressIntervalMin: 120, ReverseIntervalMin: 40}
-
-	base, err := em.NewWire(p)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig7: %w", err)
-	}
-	tn, err := base.TimeToNucleation(emJ, emTemp, units.Hours(24))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig7: baseline nucleation: %w", err)
-	}
-	res.BaselineNucleationMin = units.SecondsToMinutes(tn)
-	ttf, err := base.TimeToFailure(emJ, emTemp, units.Hours(48))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig7: baseline TTF: %w", err)
-	}
-	res.BaselineTTFMin = units.SecondsToMinutes(ttf)
-
-	// Periodic reverse intervals while the wire is still void-free.
-	w, err := em.NewWire(p)
-	if err != nil {
-		return nil, err
-	}
-	const sampleMin = 20
-	offset := 0.0
-	appendTrace := func(trace []em.Sample) {
-		for _, s := range trace {
-			s.TimeMin += offset
-			res.Trace = append(res.Trace, s)
+	hash := campaign.Hash("em/fig7-scheduled", p, emJ, emTemp, stressIntMin, reverseIntMin)
+	return campaign.NewPoint(key, hash, func(ctx context.Context) (*fig7Scheduled, error) {
+		w, err := em.NewWire(p)
+		if err != nil {
+			return nil, err
 		}
-	}
-	for !w.Nucleated(em.EndCathode) && !w.Nucleated(em.EndAnode) && w.Time() < units.Hours(72) {
-		tr := w.Run(emJ, emTemp, units.Minutes(res.StressIntervalMin), units.Minutes(sampleMin))
-		appendTrace(tr)
-		offset = units.SecondsToMinutes(w.Time())
-		if w.Nucleated(em.EndCathode) || w.Nucleated(em.EndAnode) {
-			break
+		sched := &fig7Scheduled{}
+		const sampleMin = 20
+		offset := 0.0
+		appendTrace := func(trace []em.Sample) {
+			for _, s := range trace {
+				s.TimeMin += offset
+				sched.Trace = append(sched.Trace, s)
+			}
 		}
-		tr = w.Run(-emJ, emTemp, units.Minutes(res.ReverseIntervalMin), units.Minutes(sampleMin))
-		appendTrace(tr)
-		offset = units.SecondsToMinutes(w.Time())
-	}
-	res.ScheduledNucleationMin = units.SecondsToMinutes(w.Time())
+		for !w.Nucleated(em.EndCathode) && !w.Nucleated(em.EndAnode) && w.Time() < units.Hours(72) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			tr := w.Run(emJ, emTemp, units.Minutes(stressIntMin), units.Minutes(sampleMin))
+			appendTrace(tr)
+			offset = units.SecondsToMinutes(w.Time())
+			if w.Nucleated(em.EndCathode) || w.Nucleated(em.EndAnode) {
+				break
+			}
+			tr = w.Run(-emJ, emTemp, units.Minutes(reverseIntMin), units.Minutes(sampleMin))
+			appendTrace(tr)
+			offset = units.SecondsToMinutes(w.Time())
+		}
+		sched.NucleationMin = units.SecondsToMinutes(w.Time())
 
-	// After nucleation the paper lets the (now inevitable) growth run:
-	// continuous stress until the metal breaks.
-	grow := w.Run(emJ, emTemp, units.Hours(48), units.Minutes(sampleMin))
-	appendTrace(grow)
-	if !w.Broken() {
-		return nil, fmt.Errorf("experiments: fig7: wire did not fail within the horizon")
+		// After nucleation the paper lets the (now inevitable) growth run:
+		// continuous stress until the metal breaks.
+		grow := w.Run(emJ, emTemp, units.Hours(48), units.Minutes(sampleMin))
+		appendTrace(grow)
+		if !w.Broken() {
+			return nil, fmt.Errorf("wire did not fail within the horizon")
+		}
+		sched.TTFMin = units.SecondsToMinutes(w.Time())
+		return sched, nil
+	})
+}
+
+// PlanFig7 declares the proactive periodic-recovery task. The DC baselines
+// are the shared nucleation/TTF points, so a campaign that also runs fig5
+// or ablation-em-freq computes each baseline once.
+func PlanFig7() campaign.Task {
+	const stressIntMin, reverseIntMin = 120, 40
+	return campaign.Task{
+		ID: "fig7",
+		Points: []campaign.Point{
+			emNucleationPoint("fig7/baseline-nucleation", 24),
+			emDCTTFPoint("fig7/baseline-ttf", 48),
+			fig7ScheduledPoint("fig7/scheduled", stressIntMin, reverseIntMin),
+		},
+		Assemble: func(results []any) (any, error) {
+			sched := results[2].(*fig7Scheduled)
+			return &Fig7Result{
+				Trace:                  sched.Trace,
+				BaselineNucleationMin:  *results[0].(*float64),
+				BaselineTTFMin:         *results[1].(*float64),
+				ScheduledNucleationMin: sched.NucleationMin,
+				ScheduledTTFMin:        sched.TTFMin,
+				StressIntervalMin:      stressIntMin,
+				ReverseIntervalMin:     reverseIntMin,
+			}, nil
+		},
 	}
-	res.ScheduledTTFMin = units.SecondsToMinutes(w.Time())
-	return res, nil
+}
+
+// RunFig7 executes the proactive periodic-recovery EM experiment.
+func RunFig7(ctx context.Context) (*Fig7Result, error) {
+	v, err := campaign.RunTask(ctx, PlanFig7())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return v.(*Fig7Result), nil
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"deepheal/internal/assist"
+	"deepheal/internal/campaign"
 )
 
 // Fig9Result reproduces Fig. 9: the functional simulation of the assist
@@ -50,11 +52,32 @@ func (r *Fig9Result) Format() string {
 	return out
 }
 
+// PlanFig9 declares the assist circuitry simulation as one point: the mode
+// sequence mutates one circuit instance, so it cannot be split.
+func PlanFig9() campaign.Task {
+	hash := campaign.Hash("assist/fig9", assist.DefaultConfig(), 10e-9)
+	return campaign.Task{
+		ID:     "fig9",
+		Points: []campaign.Point{campaign.NewPoint("fig9/modes", hash, runFig9Modes)},
+		Assemble: func(results []any) (any, error) {
+			return results[0].(*Fig9Result), nil
+		},
+	}
+}
+
 // RunFig9 executes the assist circuitry functional simulation.
-func RunFig9() (*Fig9Result, error) {
+func RunFig9(ctx context.Context) (*Fig9Result, error) {
+	v, err := campaign.RunTask(ctx, PlanFig9())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return v.(*Fig9Result), nil
+}
+
+func runFig9Modes(ctx context.Context) (*Fig9Result, error) {
 	a, err := assist.New(assist.DefaultConfig())
 	if err != nil {
-		return nil, fmt.Errorf("experiments: fig9: %w", err)
+		return nil, err
 	}
 	res := &Fig9Result{PaperLoadVSS: 0.816, PaperLoadVDD: 0.223}
 	for _, m := range []assist.Mode{assist.ModeNormal, assist.ModeEMRecovery, assist.ModeBTIRecovery} {

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"deepheal/internal/campaign"
 	"deepheal/internal/core"
 	"deepheal/internal/workload"
 )
@@ -64,12 +66,12 @@ func (r *PolicyZooResult) Format() string {
 	return out
 }
 
-// RunPolicyZoo executes every policy over an *asymmetric* system: half the
-// die runs hot sustained services while the other half is mostly dark.
-// This is where scheduling discipline matters — a blind rotation spends
-// half its recovery budget on cores that barely age, while the
-// sensor-driven schedulers focus on the busy half.
-func RunPolicyZoo() (*PolicyZooResult, error) {
+// PlanPolicyZoo declares one simulation point per library policy over an
+// *asymmetric* system: half the die runs hot sustained services while the
+// other half is mostly dark. This is where scheduling discipline matters —
+// a blind rotation spends half its recovery budget on cores that barely
+// age, while the sensor-driven schedulers focus on the busy half.
+func PlanPolicyZoo() campaign.Task {
 	cfg := core.DefaultConfig()
 	cfg.Steps = 1200
 	n := cfg.NumCores()
@@ -82,16 +84,36 @@ func RunPolicyZoo() (*PolicyZooResult, error) {
 		}
 	}
 
-	reports, err := core.RunPolicies(cfg,
-		&core.NoRecovery{},
-		&core.AdaptiveCompensation{},
-		&core.PassiveRecovery{},
-		core.DefaultRoundRobin(),
-		core.DefaultDeepHealing(),
-		core.DefaultHeatAware(),
-	)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: ablation-policies: %w", err)
+	zoo := []struct {
+		slug string
+		pol  func() core.Policy
+	}{
+		{"no-recovery", func() core.Policy { return &core.NoRecovery{} }},
+		{"adaptive-compensation", func() core.Policy { return &core.AdaptiveCompensation{} }},
+		{"passive", func() core.Policy { return &core.PassiveRecovery{} }},
+		{"round-robin", func() core.Policy { return core.DefaultRoundRobin() }},
+		{"deep-healing", func() core.Policy { return core.DefaultDeepHealing() }},
+		{"heat-aware", func() core.Policy { return core.DefaultHeatAware() }},
 	}
-	return &PolicyZooResult{Reports: reports}, nil
+	t := campaign.Task{ID: "ablation-policies"}
+	for _, z := range zoo {
+		t.Points = append(t.Points, simPoint("ablation-policies/"+z.slug, cfg, z.pol))
+	}
+	t.Assemble = func(results []any) (any, error) {
+		res := &PolicyZooResult{}
+		for _, r := range results {
+			res.Reports = append(res.Reports, r.(*core.Report))
+		}
+		return res, nil
+	}
+	return t
+}
+
+// RunPolicyZoo executes every policy over the asymmetric system.
+func RunPolicyZoo(ctx context.Context) (*PolicyZooResult, error) {
+	v, err := campaign.RunTask(ctx, PlanPolicyZoo())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return v.(*PolicyZooResult), nil
 }

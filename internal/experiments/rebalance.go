@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"deepheal/internal/bti"
+	"deepheal/internal/campaign"
 	"deepheal/internal/units"
 )
 
@@ -51,42 +53,80 @@ func (r *RebalanceResult) Format() string {
 	return out
 }
 
-// RunAblationRebalance executes the idle-time strategy comparison.
-func RunAblationRebalance() (*RebalanceResult, error) {
-	const (
-		windowHours = 48
-		duty        = 0.5
-		quantumH    = 1.0
-	)
-	res := &RebalanceResult{WindowHours: windowHours, Duty: duty}
-	strategies := []struct {
-		name string
-		idle bti.Condition
-	}{
-		{"none (idle stays biased)", bti.StressAccel},
-		{"signal rebalancing → passive idle", bti.Condition{GateVoltage: 0, Temp: bti.StressAccel.Temp}},
-		{"recovery boost → weak reverse bias", bti.Condition{GateVoltage: -0.1, Temp: bti.StressAccel.Temp}},
-		{"deep healing → active+accelerated idle", bti.RecoverDeep},
-	}
-	for _, s := range strategies {
-		dev, err := bti.NewDevice(bti.DefaultParams())
+// rebalance protocol constants.
+const (
+	rebalanceWindowHours = 48
+	rebalanceDuty        = 0.5
+	rebalanceQuantumH    = 1.0
+)
+
+// rebalanceStrategies are the idle-time disciplines under comparison.
+var rebalanceStrategies = []struct {
+	name string
+	idle bti.Condition
+}{
+	{"none (idle stays biased)", bti.StressAccel},
+	{"signal rebalancing → passive idle", bti.Condition{GateVoltage: 0, Temp: bti.StressAccel.Temp}},
+	{"recovery boost → weak reverse bias", bti.Condition{GateVoltage: -0.1, Temp: bti.StressAccel.Temp}},
+	{"deep healing → active+accelerated idle", bti.RecoverDeep},
+}
+
+// rebalanceShift is one strategy's end-of-window state.
+type rebalanceShift struct {
+	ShiftV     float64
+	PermanentV float64
+}
+
+// rebalancePoint runs one idle-time strategy over the shared window.
+func rebalancePoint(key string, idle bti.Condition) campaign.Point {
+	params := bti.DefaultParams()
+	hash := campaign.Hash("bti/rebalance", params, bti.StressAccel, idle,
+		rebalanceWindowHours, rebalanceDuty, rebalanceQuantumH)
+	return campaign.NewPoint(key, hash, func(ctx context.Context) (*rebalanceShift, error) {
+		dev, err := bti.NewDevice(params)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation-rebalance: %w", err)
-		}
-		if s.idle == bti.StressAccel {
-			// Idle stays biased: the device is effectively stressed for the
-			// whole window.
-			dev.Apply(bti.StressAccel, units.Hours(windowHours))
-		} else if err := dev.ApplyDuty(bti.StressAccel, s.idle,
-			units.Hours(windowHours), duty, units.Hours(quantumH)); err != nil {
 			return nil, err
 		}
-		res.Rows = append(res.Rows, RebalanceRow{
-			Strategy:   s.name,
-			IdleCond:   s.idle,
-			ShiftV:     dev.ShiftV(),
-			PermanentV: dev.PermanentV(),
-		})
+		if idle == bti.StressAccel {
+			// Idle stays biased: the device is effectively stressed for the
+			// whole window.
+			dev.Apply(bti.StressAccel, units.Hours(rebalanceWindowHours))
+		} else if err := dev.ApplyDuty(bti.StressAccel, idle,
+			units.Hours(rebalanceWindowHours), rebalanceDuty, units.Hours(rebalanceQuantumH)); err != nil {
+			return nil, err
+		}
+		return &rebalanceShift{ShiftV: dev.ShiftV(), PermanentV: dev.PermanentV()}, nil
+	})
+}
+
+// PlanAblationRebalance declares the idle-time strategy comparison.
+func PlanAblationRebalance() campaign.Task {
+	t := campaign.Task{ID: "ablation-rebalance"}
+	for i, s := range rebalanceStrategies {
+		t.Points = append(t.Points, rebalancePoint(
+			fmt.Sprintf("ablation-rebalance/s%d", i), s.idle))
 	}
-	return res, nil
+	t.Assemble = func(results []any) (any, error) {
+		res := &RebalanceResult{WindowHours: rebalanceWindowHours, Duty: rebalanceDuty}
+		for i, s := range rebalanceStrategies {
+			shift := results[i].(*rebalanceShift)
+			res.Rows = append(res.Rows, RebalanceRow{
+				Strategy:   s.name,
+				IdleCond:   s.idle,
+				ShiftV:     shift.ShiftV,
+				PermanentV: shift.PermanentV,
+			})
+		}
+		return res, nil
+	}
+	return t
+}
+
+// RunAblationRebalance executes the idle-time strategy comparison.
+func RunAblationRebalance(ctx context.Context) (*RebalanceResult, error) {
+	v, err := campaign.RunTask(ctx, PlanAblationRebalance())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return v.(*RebalanceResult), nil
 }

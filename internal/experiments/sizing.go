@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"deepheal/internal/assist"
+	"deepheal/internal/campaign"
 )
 
 // SizingStudyResult is the A6 ablation: the area the assist circuitry must
@@ -40,13 +42,34 @@ func (r *SizingStudyResult) Format() string {
 	return out
 }
 
+// PlanSizingStudy declares the assist upsizing sweep at a 15 % delay
+// budget.
+func PlanSizingStudy() campaign.Task {
+	cfg := assist.DefaultConfig()
+	const maxLoads, budget = 5, 1.15
+	hash := campaign.Hash("assist/upsize-sweep", cfg, maxLoads, budget)
+	return campaign.Task{
+		ID: "ablation-sizing",
+		Points: []campaign.Point{campaign.NewPoint("ablation-sizing/sweep", hash,
+			func(ctx context.Context) (*SizingStudyResult, error) {
+				rows, err := assist.UpsizeSweep(cfg, maxLoads, budget)
+				if err != nil {
+					return nil, err
+				}
+				return &SizingStudyResult{DelayBudget: budget, Rows: rows}, nil
+			})},
+		Assemble: func(results []any) (any, error) {
+			return results[0].(*SizingStudyResult), nil
+		},
+	}
+}
+
 // RunSizingStudy sizes the assist circuitry across load counts at a 15 %
 // delay budget.
-func RunSizingStudy() (*SizingStudyResult, error) {
-	const budget = 1.15
-	rows, err := assist.UpsizeSweep(assist.DefaultConfig(), 5, budget)
+func RunSizingStudy(ctx context.Context) (*SizingStudyResult, error) {
+	v, err := campaign.RunTask(ctx, PlanSizingStudy())
 	if err != nil {
-		return nil, fmt.Errorf("experiments: ablation-sizing: %w", err)
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	return &SizingStudyResult{DelayBudget: budget, Rows: rows}, nil
+	return v.(*SizingStudyResult), nil
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"deepheal/internal/bti"
+	"deepheal/internal/campaign"
 	"deepheal/internal/units"
 )
 
@@ -43,34 +45,50 @@ func (r *Table1Result) Format() string {
 	return t.String()
 }
 
-// RunTable1 executes the Table I protocol on the calibrated BTI model.
-func RunTable1() (*Table1Result, error) {
-	dev, err := bti.NewDevice(bti.DefaultParams())
-	if err != nil {
-		return nil, fmt.Errorf("experiments: table1: %w", err)
-	}
-	dev.Apply(bti.StressAccel, units.Hours(24))
+// table1Cases are the paper's four recovery conditions with their measured
+// and modelled anchors.
+var table1Cases = []struct {
+	name     string
+	cond     bti.Condition
+	measured float64
+	model    float64
+}{
+	{"No. 1", bti.RecoverPassive, 0.0066, 0.010},
+	{"No. 2", bti.RecoverActive, 0.167, 0.144},
+	{"No. 3", bti.RecoverAccelerated, 0.287, 0.292},
+	{"No. 4", bti.RecoverDeep, 0.724, 0.727},
+}
 
-	res := &Table1Result{StressHours: 24, RecoveryHours: 6}
-	cases := []struct {
-		name     string
-		cond     bti.Condition
-		measured float64
-		model    float64
-	}{
-		{"No. 1", bti.RecoverPassive, 0.0066, 0.010},
-		{"No. 2", bti.RecoverActive, 0.167, 0.144},
-		{"No. 3", bti.RecoverAccelerated, 0.287, 0.292},
-		{"No. 4", bti.RecoverDeep, 0.724, 0.727},
+// PlanTable1 declares the Table I campaign task: one recovery-fraction
+// point per paper condition. The same four conditions appear inside the
+// ablation-bti-cond grid, so a campaign running both computes them once.
+func PlanTable1() campaign.Task {
+	t := campaign.Task{ID: "table1"}
+	for i, c := range table1Cases {
+		t.Points = append(t.Points, btiRecoveryFractionPoint(
+			fmt.Sprintf("table1/no%d", i+1), c.cond, 24, 6))
 	}
-	for _, c := range cases {
-		res.Rows = append(res.Rows, Table1Row{
-			Case:          c.name,
-			Condition:     c.cond,
-			PaperMeasured: c.measured,
-			PaperModel:    c.model,
-			Simulated:     dev.RecoveryFraction(c.cond, units.Hours(6)),
-		})
+	t.Assemble = func(results []any) (any, error) {
+		res := &Table1Result{StressHours: 24, RecoveryHours: 6}
+		for i, c := range table1Cases {
+			res.Rows = append(res.Rows, Table1Row{
+				Case:          c.name,
+				Condition:     c.cond,
+				PaperMeasured: c.measured,
+				PaperModel:    c.model,
+				Simulated:     *results[i].(*float64),
+			})
+		}
+		return res, nil
 	}
-	return res, nil
+	return t
+}
+
+// RunTable1 executes the Table I protocol on the calibrated BTI model.
+func RunTable1(ctx context.Context) (*Table1Result, error) {
+	v, err := campaign.RunTask(ctx, PlanTable1())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return v.(*Table1Result), nil
 }

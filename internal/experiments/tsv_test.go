@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,7 @@ func TestTSVExporters(t *testing.T) {
 	for _, id := range exporters {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			res, err := Run(id)
+			res, err := Run(context.Background(), id)
 			if err != nil {
 				t.Fatal(err)
 			}

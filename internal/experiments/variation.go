@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"deepheal/internal/bti"
+	"deepheal/internal/campaign"
 	"deepheal/internal/rngx"
 	"deepheal/internal/units"
 )
@@ -46,34 +48,75 @@ func (r *VariationResult) Format() string {
 		r.TailReduction, r.PopulationSize)
 }
 
-// RunVariation executes the population study: the same 12 hours of
-// accelerated stress, delivered either continuously or interleaved 1:1 with
-// deep recovery, over a parameter-variable population.
-func RunVariation() (*VariationResult, error) {
-	const n = 60
-	nominal := bti.DefaultParams()
-	variation := bti.DefaultVariation()
+// variation study constants.
+const (
+	variationN    = 60
+	variationSeed = 2026
+)
 
-	stressed, err := bti.NewPopulation(nominal, variation, n, rngx.New(2026))
+// variationStressedPoint stresses the population continuously for 12 h.
+func variationStressedPoint(key string) campaign.Point {
+	nominal, varn := bti.DefaultParams(), bti.DefaultVariation()
+	hash := campaign.Hash("bti/population-stress", nominal, varn, variationN, variationSeed,
+		bti.StressAccel, 12.0)
+	return campaign.NewPoint(key, hash, func(ctx context.Context) (*bti.Stats, error) {
+		pop, err := bti.NewPopulation(nominal, varn, variationN, rngx.New(variationSeed))
+		if err != nil {
+			return nil, err
+		}
+		pop.Apply(bti.StressAccel, units.Hours(12))
+		s := pop.Stats()
+		return &s, nil
+	})
+}
+
+// variationHealedPoint interleaves the same 12 stress hours 1:1 with deep
+// recovery.
+func variationHealedPoint(key string) campaign.Point {
+	nominal, varn := bti.DefaultParams(), bti.DefaultVariation()
+	hash := campaign.Hash("bti/population-duty", nominal, varn, variationN, variationSeed,
+		bti.StressAccel, bti.RecoverDeep, 1.0, 1.0, 12)
+	return campaign.NewPoint(key, hash, func(ctx context.Context) (*bti.Stats, error) {
+		pop, err := bti.NewPopulation(nominal, varn, variationN, rngx.New(variationSeed))
+		if err != nil {
+			return nil, err
+		}
+		if err := pop.ApplySchedule(bti.DutyCycle(bti.StressAccel, bti.RecoverDeep,
+			units.Hours(1), units.Hours(1), 12)); err != nil {
+			return nil, err
+		}
+		s := pop.Stats()
+		return &s, nil
+	})
+}
+
+// PlanVariation declares the population study: the same 12 hours of
+// accelerated stress, delivered either continuously or interleaved 1:1
+// with deep recovery, over a parameter-variable population.
+func PlanVariation() campaign.Task {
+	return campaign.Task{
+		ID: "variation",
+		Points: []campaign.Point{
+			variationStressedPoint("variation/stress-only"),
+			variationHealedPoint("variation/deep-healed"),
+		},
+		Assemble: func(results []any) (any, error) {
+			res := &VariationResult{
+				PopulationSize: variationN,
+				StressOnly:     *results[0].(*bti.Stats),
+				DeepHealed:     *results[1].(*bti.Stats),
+			}
+			res.TailReduction = res.StressOnly.WorstV / res.DeepHealed.WorstV
+			return res, nil
+		},
+	}
+}
+
+// RunVariation executes the population study.
+func RunVariation(ctx context.Context) (*VariationResult, error) {
+	v, err := campaign.RunTask(ctx, PlanVariation())
 	if err != nil {
-		return nil, fmt.Errorf("experiments: variation: %w", err)
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	stressed.Apply(bti.StressAccel, units.Hours(12))
-
-	healed, err := bti.NewPopulation(nominal, variation, n, rngx.New(2026))
-	if err != nil {
-		return nil, err
-	}
-	if err := healed.ApplySchedule(bti.DutyCycle(bti.StressAccel, bti.RecoverDeep,
-		units.Hours(1), units.Hours(1), 12)); err != nil {
-		return nil, err
-	}
-
-	res := &VariationResult{
-		PopulationSize: n,
-		StressOnly:     stressed.Stats(),
-		DeepHealed:     healed.Stats(),
-	}
-	res.TailReduction = res.StressOnly.WorstV / res.DeepHealed.WorstV
-	return res, nil
+	return v.(*VariationResult), nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -9,9 +10,10 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	for _, id := range experiments.IDs() {
 		start := time.Now()
-		res, err := experiments.Run(id)
+		res, err := experiments.Run(ctx, id)
 		if err != nil {
 			log.Fatalf("%s: %v", id, err)
 		}
