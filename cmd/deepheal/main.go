@@ -32,25 +32,84 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
 	"syscall"
+	"time"
 
 	"deepheal/internal/campaign"
 	"deepheal/internal/experiments"
+	"deepheal/internal/faultinject"
+)
+
+// Exit codes: 0 success, 1 generic failure, 3 campaign completed but
+// quarantined points, 130 forced exit on a second interrupt.
+const (
+	exitOK         = 0
+	exitErr        = 1
+	exitQuarantine = 3
+	exitInterrupt  = 130
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := withSignalHandling(context.Background(), os.Exit)
 	err := run(ctx, os.Args[1:])
 	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "deepheal:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode maps a run error onto the process exit code.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, campaign.ErrQuarantined):
+		return exitQuarantine
+	default:
+		return exitErr
+	}
+}
+
+// withSignalHandling cancels the returned context on the first SIGINT or
+// SIGTERM — the graceful path: in-flight points finish, the journal keeps
+// every completed point — and calls exit(130) on a second signal, for when
+// the graceful shutdown is itself wedged. The returned stop function
+// releases the signal handler and the watcher goroutine.
+func withSignalHandling(parent context.Context, exit func(int)) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	quit := make(chan struct{})
+	var once sync.Once
+	go func() {
+		select {
+		case <-sigs:
+			fmt.Fprintln(os.Stderr, "deepheal: interrupted, finishing in-flight work (interrupt again to force exit)")
+			cancel()
+		case <-quit:
+			return
+		}
+		select {
+		case <-sigs:
+			fmt.Fprintln(os.Stderr, "deepheal: second interrupt, exiting immediately")
+			exit(exitInterrupt)
+		case <-quit:
+		}
+	}()
+	stop := func() {
+		signal.Stop(sigs)
+		once.Do(func() { close(quit) })
+		cancel()
+	}
+	return ctx, stop
 }
 
 // parseInterspersed parses fs flags wherever they appear among args,
@@ -81,8 +140,13 @@ func run(ctx context.Context, args []string) error {
 	outDir := fs.String("o", "", "also write <id>.txt (and <id>_<series>.tsv where available) into this directory")
 	parallel := fs.Int("parallel", 1, "campaign worker pool size (0 = all CPUs); output is byte-identical for every setting")
 	resume := fs.String("resume", "", "campaign directory: restore completed points from its journal, append new ones")
+	faults := fs.String("faults", "", "fault-injection spec for chaos runs, e.g. 'point-error:p=0.2;worker-panic:occ=2' (see internal/faultinject)")
+	faultSeed := fs.Uint64("fault-seed", 1, "seed for the deterministic fault injector (-faults)")
+	retries := fs.Int("retries", 1, "attempts per campaign point before it is quarantined")
+	pointTimeout := fs.Duration("point-timeout", 0, "deadline per point attempt; a miss is retried, then quarantined (0 = none)")
+	stallTimeout := fs.Duration("stall-timeout", 0, "log points still running after this long (0 = off)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: deepheal [-q] [-o dir] [-parallel n] [-resume dir] list | all | sim | bench | <experiment>...\n\nexperiments:\n")
+		fmt.Fprintf(fs.Output(), "usage: deepheal [-q] [-o dir] [-parallel n] [-resume dir] [-faults spec] list | all | sim | bench | <experiment>...\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
 			fmt.Fprintf(fs.Output(), "  %s\n", id)
 		}
@@ -95,6 +159,20 @@ func run(ctx context.Context, args []string) error {
 	if len(pos) == 0 {
 		fs.Usage()
 		return fmt.Errorf("no experiment selected")
+	}
+
+	if *faults != "" {
+		plan, err := faultinject.ParseSpec(*faults)
+		if err != nil {
+			return err
+		}
+		inj, err := faultinject.New(*faultSeed, plan)
+		if err != nil {
+			return err
+		}
+		faultinject.Enable(inj)
+		defer faultinject.Disable()
+		fmt.Fprintf(os.Stderr, "fault injection armed: %s (seed %d)\n", *faults, *faultSeed)
 	}
 
 	var ids []string
@@ -116,58 +194,108 @@ func run(ctx context.Context, args []string) error {
 	default:
 		ids = pos
 	}
-	return runCampaign(ctx, ids, *quiet, *outDir, *parallel, *resume)
+	return runCampaign(ctx, ids, campaignConfig{
+		Quiet:        *quiet,
+		OutDir:       *outDir,
+		Workers:      *parallel,
+		ResumeDir:    *resume,
+		Retries:      *retries,
+		PointTimeout: *pointTimeout,
+		StallTimeout: *stallTimeout,
+	})
+}
+
+// campaignConfig bundles the CLI knobs that shape a campaign run.
+type campaignConfig struct {
+	Quiet        bool
+	OutDir       string
+	Workers      int
+	ResumeDir    string
+	Retries      int
+	PointTimeout time.Duration
+	StallTimeout time.Duration
 }
 
 // runCampaign executes the selected experiments on the campaign engine,
 // printing and flushing each experiment's output as soon as it (and its
-// predecessors, to keep registry order) completes.
-func runCampaign(ctx context.Context, ids []string, quiet bool, outDir string, workers int, resumeDir string) error {
+// predecessors, to keep registry order) completes. Experiments whose points
+// were quarantined are reported on stderr and turn the overall run into an
+// ErrQuarantined failure — after every healthy experiment has still been
+// printed and written.
+func runCampaign(ctx context.Context, ids []string, cfg campaignConfig) error {
 	tasks, err := experiments.Plans(ids...)
 	if err != nil {
 		return err
 	}
-	if outDir != "" {
-		if err := os.MkdirAll(outDir, 0o755); err != nil {
+	if cfg.OutDir != "" {
+		if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
 			return err
 		}
 	}
 
-	opts := campaign.Options{Workers: workers}
-	if resumeDir != "" {
-		journal, err := campaign.OpenJournal(resumeDir)
+	opts := campaign.Options{
+		Workers:      cfg.Workers,
+		PointTimeout: cfg.PointTimeout,
+		StallTimeout: cfg.StallTimeout,
+		Retry: campaign.RetryPolicy{
+			MaxAttempts: cfg.Retries,
+			BaseDelay:   100 * time.Millisecond,
+			MaxDelay:    2 * time.Second,
+		},
+		OnStall: func(task, key string, running time.Duration) {
+			fmt.Fprintf(os.Stderr, "campaign: point %s (%s) still running after %s\n", key, task, running.Round(time.Second))
+		},
+	}
+	if cfg.ResumeDir != "" {
+		journal, err := campaign.OpenJournal(cfg.ResumeDir)
 		if err != nil {
 			return err
 		}
 		defer journal.Close()
+		if n := journal.Corrupted(); n > 0 {
+			fmt.Fprintf(os.Stderr, "journal: skipped %d corrupted record(s); those points will be recomputed\n", n)
+		}
 		if n := journal.Restorable(); n > 0 {
-			fmt.Fprintf(os.Stderr, "resuming: %d completed points in %s\n", n, resumeDir)
+			fmt.Fprintf(os.Stderr, "resuming: %d completed points in %s\n", n, cfg.ResumeDir)
 		}
 		opts.Journal = journal
 	}
 
 	var outErr error
 	opts.OnTask = func(o campaign.Outcome) {
+		if o.Err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: experiment %s failed: %v\n", o.Task, o.Err)
+			return
+		}
 		res, ok := o.Value.(experiments.Result)
 		if !ok {
 			return
 		}
 		fmt.Printf("=== %s — %s (%.1fs)\n\n", res.ID(), res.Title(), o.Elapsed.Seconds())
-		if !quiet {
+		if !cfg.Quiet {
 			fmt.Println(res.Format())
 		}
-		if outDir != "" && outErr == nil {
-			if err := writeOutputs(outDir, res); err != nil {
+		if cfg.OutDir != "" && outErr == nil {
+			if err := writeOutputs(cfg.OutDir, res); err != nil {
 				outErr = fmt.Errorf("%s: %w", res.ID(), err)
 			}
 		}
 	}
 
 	outcomes, runErr := campaign.Run(ctx, tasks, opts)
-	if resumeDir != "" && len(outcomes) > 0 {
-		if err := campaign.WriteStats(filepath.Join(resumeDir, "points.json"), outcomes); err != nil && runErr == nil {
+	if cfg.ResumeDir != "" && len(outcomes) > 0 {
+		if err := campaign.WriteStats(filepath.Join(cfg.ResumeDir, "points.json"), outcomes); err != nil && runErr == nil {
 			runErr = err
 		}
+	}
+	if runErr != nil && !errors.Is(runErr, campaign.ErrQuarantined) {
+		return runErr
+	}
+	if quarantined := campaign.QuarantinedPoints(outcomes); len(quarantined) > 0 {
+		for _, p := range quarantined {
+			fmt.Fprintf(os.Stderr, "campaign: quarantined %s after %d attempt(s)\n", p.Key, p.Attempts)
+		}
+		return fmt.Errorf("%d point(s) %w", len(quarantined), campaign.ErrQuarantined)
 	}
 	if runErr != nil {
 		return runErr

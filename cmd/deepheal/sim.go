@@ -11,6 +11,7 @@ import (
 
 	"deepheal/internal/core"
 	"deepheal/internal/engine"
+	"deepheal/internal/faultinject"
 	"deepheal/internal/obs"
 )
 
@@ -199,6 +200,9 @@ func saveCheckpoint(path string, sim *core.Simulator) error {
 	data, err := sim.Snapshot()
 	if err != nil {
 		return err
+	}
+	if faultinject.Hit(faultinject.SiteCheckpointTruncate, path) {
+		data = data[:len(data)/2] // simulate power loss mid-write
 	}
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {

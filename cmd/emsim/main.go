@@ -46,11 +46,19 @@ func run(args []string) error {
 	emit := func(phase string, offset float64, s em.Sample) {
 		fmt.Printf("%s\t%.0f\t%.3f\t%.3f\t%.4f\n", phase, offset+s.TimeMin, s.ResistanceOhm, s.MaxStress, s.VoidLenM*1e6)
 	}
-	for _, s := range w.Run(units.MAPerCm2(*jStress), temp, stressDur.Seconds(), sample.Seconds()) {
+	stress, err := w.Run(units.MAPerCm2(*jStress), temp, stressDur.Seconds(), sample.Seconds())
+	if err != nil {
+		return err
+	}
+	for _, s := range stress {
 		emit("stress", 0, s)
 	}
 	peak := w.Resistance(temp)
-	for _, s := range w.Run(units.MAPerCm2(*jRecover), temp, recoverDur.Seconds(), sample.Seconds()) {
+	recover, err := w.Run(units.MAPerCm2(*jRecover), temp, recoverDur.Seconds(), sample.Seconds())
+	if err != nil {
+		return err
+	}
+	for _, s := range recover {
 		emit("recover", units.SecondsToMinutes(stressDur.Seconds()), s)
 	}
 	if w.Broken() {

@@ -17,6 +17,7 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -71,9 +72,9 @@ type Task struct {
 
 // PointStat records how one point was satisfied.
 type PointStat struct {
-	Task string  `json:"task"`
-	Key  string  `json:"key"`
-	Hash string  `json:"hash,omitempty"`
+	Task string `json:"task"`
+	Key  string `json:"key"`
+	Hash string `json:"hash,omitempty"`
 	// Source is how the result was obtained: "run" (computed here),
 	// "memo" (deduplicated against an identical point this run) or
 	// "journal" (restored from a previous run's journal).
@@ -81,8 +82,14 @@ type PointStat struct {
 	WallMS float64 `json:"wall_ms"`
 	// Journaled reports whether the result is persisted in the journal
 	// (either restored from it or appended to it by this run).
-	Journaled bool   `json:"journaled"`
-	Err       string `json:"err,omitempty"`
+	Journaled bool `json:"journaled"`
+	// Attempts is how many times the point's Run was tried (0 for memo- or
+	// journal-satisfied points).
+	Attempts int `json:"attempts,omitempty"`
+	// Quarantined reports that the point failed on its own — a panic or an
+	// error that survived every retry — while the campaign stayed alive.
+	Quarantined bool   `json:"quarantined,omitempty"`
+	Err         string `json:"err,omitempty"`
 }
 
 // Outcome is one task's completed execution.
@@ -104,10 +111,25 @@ type Options struct {
 	// Journal, if non-nil, persists completed points and restores matching
 	// ones instead of re-running them.
 	Journal *Journal
-	// OnTask, if non-nil, is called with each task's outcome strictly in
-	// declaration order, as soon as the task and all its predecessors have
-	// completed. On cancellation only the completed prefix is delivered.
+	// OnTask, if non-nil, is called with each task's outcome — failed ones
+	// included — strictly in declaration order, as soon as the task and all
+	// its predecessors have completed. Check Outcome.Err before using the
+	// value; a quarantined point fails only its own task, never the stream.
 	OnTask func(Outcome)
+	// PointTimeout bounds each point attempt with a context deadline;
+	// 0 imposes none. A deadline miss counts as an ordinary point failure,
+	// so it is retried and ultimately quarantined, not fatal.
+	PointTimeout time.Duration
+	// Retry is the per-point retry policy for ordinary point errors. The
+	// zero policy runs each point once.
+	Retry RetryPolicy
+	// StallTimeout arms a watchdog that flags (but never kills) points
+	// still running after this long, via the stall metric and OnStall;
+	// 0 disables it.
+	StallTimeout time.Duration
+	// OnStall, if non-nil, is called once per flagged point from the
+	// watchdog goroutine.
+	OnStall func(task, key string, running time.Duration)
 }
 
 // Run executes every task's points on a bounded worker pool and returns the
@@ -135,6 +157,10 @@ func Run(ctx context.Context, tasks []Task, opts Options) ([]Outcome, error) {
 		pending:  make([]int, len(tasks)),
 		started:  make([]time.Time, len(tasks)),
 		outcomes: make([]Outcome, len(tasks)),
+	}
+	if opts.StallTimeout > 0 {
+		r.watch = newWatchdog(opts.StallTimeout, opts.OnStall)
+		defer r.watch.close()
 	}
 	total := 0
 	for i, t := range tasks {
@@ -251,6 +277,8 @@ type run struct {
 	opts  Options
 	memo  *memo
 
+	watch *watchdog
+
 	mu       sync.Mutex
 	results  [][]any
 	stats    [][]PointStat
@@ -278,6 +306,11 @@ func (r *run) execute(ti, pi int) {
 	var err error
 	start := time.Now()
 
+	var tracked *inflightPoint
+	if r.watch != nil {
+		tracked = r.watch.track(t.ID, p.Key)
+	}
+
 	switch {
 	case r.ctx.Err() != nil:
 		err = r.ctx.Err()
@@ -298,11 +331,18 @@ func (r *run) execute(ti, pi int) {
 		if !restored {
 			if p.Hash != "" {
 				var fresh bool
+				attempts := 0
+				// Panic recovery and retries happen inside runPoint, inside
+				// the memo leader's fn: a panicking leader still closes the
+				// entry, so followers sharing the hash never deadlock.
 				value, err, fresh = r.memo.do(p.Hash, func() (any, error) {
-					return p.Run(r.ctx)
+					v, n, rerr := r.runPoint(p)
+					attempts = n
+					return v, rerr
 				})
 				if fresh {
 					stat.Source = "run"
+					stat.Attempts = attempts
 					if err == nil && r.opts.Journal != nil {
 						stat.Journaled = r.opts.Journal.record(p.Key, p.Hash, value, time.Since(start))
 					}
@@ -311,16 +351,23 @@ func (r *run) execute(ti, pi int) {
 					metPointsMemo.Inc()
 				}
 			} else {
-				value, err = p.Run(r.ctx)
+				value, stat.Attempts, err = r.runPoint(p)
 				stat.Source = "run"
 			}
 		}
+	}
+	if tracked != nil {
+		r.watch.untrack(tracked)
 	}
 
 	stat.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 	if err != nil {
 		stat.Err = err.Error()
 		metPointErrors.Inc()
+		if errors.Is(err, ErrQuarantined) {
+			stat.Quarantined = true
+			metPointsQuarantined.Add(1)
+		}
 	}
 	if stat.Source == "run" && err == nil {
 		metPointsRun.Inc()
@@ -383,10 +430,12 @@ func (r *run) finishTask(ti int) {
 	r.deliver()
 }
 
-// deliver emits consecutive completed outcomes in declaration order.
-// Failed tasks end the ordered stream: their successors' outputs are
-// withheld from OnTask (never printed out of order) but remain in the
-// returned outcomes and, point-wise, in the journal.
+// deliver emits consecutive completed outcomes in declaration order, failed
+// tasks included — the caller checks Outcome.Err. A quarantined or otherwise
+// failed task therefore never withholds its successors' output: a chaos run
+// still prints every surviving experiment. Campaign cancellation is the
+// exception: once the context is dead, only the already-completed prefix is
+// delivered.
 func (r *run) deliver() {
 	if r.opts.OnTask == nil {
 		return
@@ -398,7 +447,7 @@ func (r *run) deliver() {
 			return
 		}
 		out := r.outcomes[r.next]
-		stop := out.Err != nil
+		stop := out.Err != nil && r.ctx.Err() != nil
 		r.next++
 		if stop {
 			r.next = len(r.tasks)

@@ -150,9 +150,13 @@ func TestPointErrorWinsByDeclarationOrder(t *testing.T) {
 	if len(outcomes) != 3 || outcomes[1].Err == nil {
 		t.Fatalf("outcomes broken: %+v", outcomes)
 	}
-	// The completed prefix is delivered; nothing after the failure is.
-	if strings.Join(delivered, " ") != "first" {
-		t.Errorf("delivered %v, want [first]", delivered)
+	// A failed point quarantines its task but never the stream: every
+	// outcome is delivered in order, the failed one included.
+	if !errors.Is(outcomes[1].Err, ErrQuarantined) {
+		t.Errorf("failed task error %v does not mark quarantine", outcomes[1].Err)
+	}
+	if strings.Join(delivered, " ") != "first bad after" {
+		t.Errorf("delivered %v, want [first bad after]", delivered)
 	}
 	// Tasks after the failed one still ran to completion.
 	if outcomes[2].Err != nil || fmt.Sprint(outcomes[2].Value) != "after=2" {

@@ -1,0 +1,371 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deepheal/internal/faultinject"
+	"deepheal/internal/obs"
+)
+
+func enableInjector(t *testing.T, seed uint64, plan map[faultinject.Site]faultinject.Schedule) {
+	t.Helper()
+	inj, err := faultinject.New(seed, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(inj)
+	t.Cleanup(faultinject.Disable)
+}
+
+func TestPanicQuarantinesPointNotCampaign(t *testing.T) {
+	boom := Task{
+		ID: "boom",
+		Points: []Point{
+			NewPoint("boom/ok", "", func(context.Context) (*float64, error) { v := 1.0; return &v, nil }),
+			NewPoint("boom/panic", "", func(context.Context) (*float64, error) { panic("kaboom") }),
+		},
+		Assemble: func([]any) (any, error) { return nil, errors.New("assemble must not run") },
+	}
+	var delivered []string
+	outcomes, err := Run(context.Background(), []Task{sumTask("a", 1), boom, sumTask("b", 2)},
+		Options{Workers: 4, OnTask: func(o Outcome) { delivered = append(delivered, o.Task) }})
+
+	if err == nil || !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("campaign error %v does not mark quarantine", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || fmt.Sprint(pe.Value) != "kaboom" {
+		t.Errorf("panic payload lost from error chain: %v", err)
+	}
+	if strings.Join(delivered, " ") != "a boom b" {
+		t.Errorf("delivered %v, want every task in order", delivered)
+	}
+	// The healthy neighbours completed; the panicking point is enumerated.
+	if outcomes[0].Err != nil || outcomes[2].Err != nil {
+		t.Errorf("healthy tasks failed: %v, %v", outcomes[0].Err, outcomes[2].Err)
+	}
+	qs := QuarantinedPoints(outcomes)
+	if len(qs) != 1 || qs[0].Key != "boom/panic" || !qs[0].Quarantined {
+		t.Errorf("quarantine list = %+v, want exactly boom/panic", qs)
+	}
+}
+
+func TestPanickingMemoLeaderDoesNotDeadlockFollowers(t *testing.T) {
+	point := func(key string) Point {
+		return NewPoint(key, "shared-panic-hash", func(context.Context) (*float64, error) {
+			panic("leader down")
+		})
+	}
+	tasks := []Task{
+		{ID: "x", Points: []Point{point("x/p")}, Assemble: func([]any) (any, error) { return nil, nil }},
+		{ID: "y", Points: []Point{point("y/p")}, Assemble: func([]any) (any, error) { return nil, nil }},
+	}
+	outcomes, err := Run(context.Background(), tasks, Options{Workers: 4})
+	if err == nil {
+		t.Fatal("campaign with a panicking shared point reported success")
+	}
+	for _, o := range outcomes {
+		if o.Err == nil || !errors.Is(o.Err, ErrQuarantined) {
+			t.Errorf("task %s: err = %v, want quarantined", o.Task, o.Err)
+		}
+	}
+}
+
+func TestRetryRecoversTransientFailure(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableMetrics(reg)
+	t.Cleanup(func() { EnableMetrics(nil) })
+
+	var calls atomic.Int64
+	flaky := Task{
+		ID: "flaky",
+		Points: []Point{NewPoint("flaky/p", "", func(context.Context) (*float64, error) {
+			if calls.Add(1) < 3 {
+				return nil, errors.New("transient")
+			}
+			v := 7.0
+			return &v, nil
+		})},
+		Assemble: func(results []any) (any, error) { return *results[0].(*float64), nil },
+	}
+	outcomes, err := Run(context.Background(), []Task{flaky}, Options{
+		Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcomes[0].Value != 7.0 {
+		t.Errorf("value = %v, want 7", outcomes[0].Value)
+	}
+	p := outcomes[0].Points[0]
+	if p.Attempts != 3 || p.Quarantined {
+		t.Errorf("stat = %+v, want 3 attempts and no quarantine", p)
+	}
+	if v := reg.Counter("deepheal_campaign_point_retries_total", "").Value(); v != 2 {
+		t.Errorf("retries counter = %d, want 2", v)
+	}
+}
+
+func TestRetryExhaustionQuarantines(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableMetrics(reg)
+	t.Cleanup(func() { EnableMetrics(nil) })
+
+	hopeless := Task{
+		ID: "hopeless",
+		Points: []Point{NewPoint("hopeless/p", "", func(context.Context) (*float64, error) {
+			return nil, errors.New("always broken")
+		})},
+		Assemble: func([]any) (any, error) { return nil, nil },
+	}
+	outcomes, err := Run(context.Background(), []Task{hopeless},
+		Options{Retry: RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond}})
+	if !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("err = %v, want quarantine", err)
+	}
+	p := outcomes[0].Points[0]
+	if p.Attempts != 2 || !p.Quarantined {
+		t.Errorf("stat = %+v, want 2 attempts and quarantine", p)
+	}
+	if !strings.Contains(p.Err, "after 2 attempts") {
+		t.Errorf("stat error %q does not mention the attempt budget", p.Err)
+	}
+	if v := reg.Gauge("deepheal_campaign_points_quarantined", "").Value(); v != 1 {
+		t.Errorf("quarantine gauge = %g, want 1", v)
+	}
+}
+
+func TestPointTimeoutQuarantinesStuckPoint(t *testing.T) {
+	stuck := Task{
+		ID: "stuck",
+		Points: []Point{NewPoint("stuck/p", "", func(ctx context.Context) (*float64, error) {
+			<-ctx.Done() // a well-behaved point observes its deadline
+			return nil, ctx.Err()
+		})},
+		Assemble: func([]any) (any, error) { return nil, nil },
+	}
+	outcomes, err := Run(context.Background(), []Task{stuck, sumTask("after", 5)},
+		Options{PointTimeout: 10 * time.Millisecond})
+	if !errors.Is(err, ErrQuarantined) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want quarantined deadline miss", err)
+	}
+	if outcomes[1].Err != nil {
+		t.Errorf("unrelated task failed: %v", outcomes[1].Err)
+	}
+}
+
+func TestCancellationIsNotQuarantine(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	victim := Task{
+		ID: "victim",
+		Points: []Point{NewPoint("victim/p", "", func(ctx context.Context) (*float64, error) {
+			cancel()
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})},
+		Assemble: func([]any) (any, error) { return nil, nil },
+	}
+	outcomes, err := Run(ctx, []Task{victim}, Options{Retry: RetryPolicy{MaxAttempts: 3}})
+	if err == nil {
+		t.Fatal("cancelled campaign reported success")
+	}
+	if errors.Is(err, ErrQuarantined) {
+		t.Errorf("cancellation was misclassified as quarantine: %v", err)
+	}
+	if qs := QuarantinedPoints(outcomes); len(qs) != 0 {
+		t.Errorf("quarantine list %+v for a cancelled run", qs)
+	}
+}
+
+func TestStallWatchdogFlagsSlowPoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableMetrics(reg)
+	t.Cleanup(func() { EnableMetrics(nil) })
+
+	type stallEvent struct {
+		task, key string
+	}
+	events := make(chan stallEvent, 8)
+	slow := Task{
+		ID: "slow",
+		Points: []Point{NewPoint("slow/p", "", func(context.Context) (*float64, error) {
+			time.Sleep(80 * time.Millisecond)
+			v := 1.0
+			return &v, nil
+		})},
+		Assemble: func(results []any) (any, error) { return *results[0].(*float64), nil },
+	}
+	outcomes, err := Run(context.Background(), []Task{slow}, Options{
+		StallTimeout: 15 * time.Millisecond,
+		OnStall:      func(task, key string, _ time.Duration) { events <- stallEvent{task, key} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcomes[0].Value != 1.0 {
+		t.Errorf("stalled-but-healthy point lost its value: %v", outcomes[0].Value)
+	}
+	select {
+	case e := <-events:
+		if e.task != "slow" || e.key != "slow/p" {
+			t.Errorf("stall event %+v", e)
+		}
+	default:
+		t.Fatal("watchdog never flagged the slow point")
+	}
+	// Flagged once, not once per sweep.
+	if extra := len(events); extra != 0 {
+		t.Errorf("point flagged %d extra times", extra+1)
+	}
+	if v := reg.Counter("deepheal_campaign_points_stalled_total", "").Value(); v != 1 {
+		t.Errorf("stalled counter = %d, want 1", v)
+	}
+}
+
+func TestInjectedPointStallTriggersDeadline(t *testing.T) {
+	enableInjector(t, 3, map[faultinject.Site]faultinject.Schedule{
+		faultinject.SitePointStall: {Prob: 1, Delay: time.Second},
+	})
+	fine := Task{
+		ID: "fine",
+		Points: []Point{NewPoint("fine/p", "", func(context.Context) (*float64, error) {
+			v := 2.0
+			return &v, nil
+		})},
+		Assemble: func(results []any) (any, error) { return *results[0].(*float64), nil },
+	}
+	start := time.Now()
+	_, err := Run(context.Background(), []Task{fine}, Options{PointTimeout: 10 * time.Millisecond})
+	if !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("err = %v, want quarantine from the stalled deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("deadline did not cut the injected stall short (took %v)", elapsed)
+	}
+}
+
+func TestInjectedCancelClearsOnRetry(t *testing.T) {
+	// point-cancel hands attempt 1 a dead context; the retry (attempt 2,
+	// different key) runs clean.
+	enableInjector(t, 3, map[faultinject.Site]faultinject.Schedule{
+		faultinject.SitePointCancel: {Occurrences: []uint64{1}},
+	})
+	polite := Task{
+		ID: "polite",
+		Points: []Point{NewPoint("polite/p", "", func(ctx context.Context) (*float64, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v := 3.0
+			return &v, nil
+		})},
+		Assemble: func(results []any) (any, error) { return *results[0].(*float64), nil },
+	}
+	outcomes, err := Run(context.Background(), []Task{polite},
+		Options{Retry: RetryPolicy{MaxAttempts: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := outcomes[0].Points[0]; p.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", p.Attempts)
+	}
+}
+
+// chaosCampaign builds a deterministic multi-task campaign for the
+// worker-count invariance tests.
+func chaosCampaign() []Task {
+	var tasks []Task
+	for ti := 0; ti < 4; ti++ {
+		id := fmt.Sprintf("t%d", ti)
+		task := Task{ID: id}
+		for pi := 0; pi < 4; pi++ {
+			v := float64(ti*10 + pi)
+			task.Points = append(task.Points, NewPoint(
+				fmt.Sprintf("%s/p%d", id, pi),
+				Hash("chaos", ti, pi),
+				func(context.Context) (*float64, error) { out := v; return &out, nil },
+			))
+		}
+		task.Assemble = func(results []any) (any, error) {
+			sum := 0.0
+			for _, r := range results {
+				sum += *r.(*float64)
+			}
+			return fmt.Sprintf("%s=%g", id, sum), nil
+		}
+		tasks = append(tasks, task)
+	}
+	return tasks
+}
+
+func runChaos(t *testing.T, workers int, seed uint64) (values map[string]string, quarantined []string) {
+	t.Helper()
+	inj, err := faultinject.New(seed, map[faultinject.Site]faultinject.Schedule{
+		faultinject.SitePointError:  {Prob: 0.4},
+		faultinject.SiteWorkerPanic: {Prob: 0.15},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(inj)
+	defer faultinject.Disable()
+
+	outcomes, _ := Run(context.Background(), chaosCampaign(), Options{
+		Workers: workers,
+		Retry:   RetryPolicy{MaxAttempts: 2},
+	})
+	values = make(map[string]string)
+	for _, o := range outcomes {
+		if o.Err == nil {
+			values[o.Task] = fmt.Sprint(o.Value)
+		}
+	}
+	for _, q := range QuarantinedPoints(outcomes) {
+		quarantined = append(quarantined, q.Key)
+	}
+	sort.Strings(quarantined)
+	return values, quarantined
+}
+
+func TestChaosIsDeterministicAcrossWorkerCounts(t *testing.T) {
+	const seed = 42
+	refValues, refQuarantine := runChaos(t, 1, seed)
+	if len(refQuarantine) == 0 {
+		t.Fatal("chaos plan injected no faults; the test is vacuous")
+	}
+	if len(refValues) == 0 {
+		t.Fatal("chaos plan killed every task; the test is vacuous")
+	}
+	for _, workers := range []int{2, 8} {
+		values, quarantined := runChaos(t, workers, seed)
+		if strings.Join(quarantined, ",") != strings.Join(refQuarantine, ",") {
+			t.Errorf("workers=%d: quarantined %v, want %v", workers, quarantined, refQuarantine)
+		}
+		if len(values) != len(refValues) {
+			t.Errorf("workers=%d: %d surviving tasks, want %d", workers, len(values), len(refValues))
+		}
+		for task, v := range refValues {
+			if values[task] != v {
+				t.Errorf("workers=%d: task %s = %q, want %q", workers, task, values[task], v)
+			}
+		}
+	}
+	// A different seed must select a different fault set eventually; this
+	// guards against the injector ignoring the seed entirely.
+	for s := uint64(1); ; s++ {
+		if s > 64 {
+			t.Fatal("64 seeds produced identical quarantine sets")
+		}
+		_, q := runChaos(t, 1, s)
+		if strings.Join(q, ",") != strings.Join(refQuarantine, ",") {
+			break
+		}
+	}
+}

@@ -7,10 +7,13 @@ import (
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
+
+	"deepheal/internal/faultinject"
 )
 
 // journalName is the on-disk journal file inside a campaign directory.
@@ -19,23 +22,31 @@ const journalName = "journal.jsonl"
 // record is one completed point, one JSON object per line. The result
 // payload is gob-encoded (base64 in the JSON envelope): gob round-trips
 // float64 bit-exactly and handles the ±Inf values some wearout traces
-// legitimately contain, which plain JSON cannot encode.
+// legitimately contain, which plain JSON cannot encode. CRC is an IEEE
+// CRC-32 of the raw gob bytes; records written before the field existed
+// carry no crc and are accepted as-is.
 type record struct {
 	Key    string  `json:"key"`
 	Hash   string  `json:"hash"`
 	WallMS float64 `json:"wall_ms"`
 	Gob    string  `json:"gob"`
+	CRC    uint32  `json:"crc,omitempty"`
 }
 
 // Journal persists completed campaign points in a directory, append-only,
-// keyed by content hash. A half-written trailing line (a killed campaign)
-// is ignored on reload, so a journal is always safe to resume from.
+// keyed by content hash. Two corruption modes are distinguished on reload:
+// a half-written trailing line (a killed campaign tore the final append) is
+// expected and silently ignored, while a damaged record in the middle of the
+// file — an unparseable line or a CRC mismatch — is skipped, counted in
+// Corrupted and left for the caller to log. Either way the journal stays
+// safe to resume from: a skipped point simply recomputes.
 type Journal struct {
 	dir string
 
-	mu      sync.Mutex
-	f       *os.File
-	entries map[string]*record // hash → persisted record
+	mu        sync.Mutex
+	f         *os.File
+	entries   map[string]*record // hash → persisted record
+	corrupted int
 }
 
 // OpenJournal opens (creating if needed) the campaign journal in dir and
@@ -47,14 +58,27 @@ func OpenJournal(dir string) (*Journal, error) {
 	j := &Journal{dir: dir, entries: make(map[string]*record)}
 	path := filepath.Join(dir, journalName)
 	if data, err := os.ReadFile(path); err == nil {
-		for _, line := range bytes.Split(data, []byte("\n")) {
+		lines := bytes.Split(data, []byte("\n"))
+		for i, line := range lines {
 			if len(bytes.TrimSpace(line)) == 0 {
 				continue
 			}
 			var rec record
 			if err := json.Unmarshal(line, &rec); err != nil {
-				// Torn tail from a killed run — everything before it is good.
+				if i == len(lines)-1 {
+					// Torn tail: the file does not end in a newline, so the
+					// final append was cut short by a kill. Expected.
+					continue
+				}
+				j.corrupted++
 				continue
+			}
+			if rec.CRC != 0 {
+				raw, err := base64.StdEncoding.DecodeString(rec.Gob)
+				if err != nil || crc32.ChecksumIEEE(raw) != rec.CRC {
+					j.corrupted++
+					continue
+				}
 			}
 			if rec.Hash != "" {
 				rc := rec
@@ -70,6 +94,14 @@ func OpenJournal(dir string) (*Journal, error) {
 	}
 	j.f = f
 	return j, nil
+}
+
+// Corrupted reports how many damaged records (excluding an expected torn
+// tail) were skipped when the journal was opened.
+func (j *Journal) Corrupted() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.corrupted
 }
 
 // Dir returns the journal directory.
@@ -128,8 +160,18 @@ func (j *Journal) record(key, hash string, value any, wall time.Duration) bool {
 		Hash:   hash,
 		WallMS: float64(wall) / float64(time.Millisecond),
 		Gob:    base64.StdEncoding.EncodeToString(payload.Bytes()),
+		CRC:    crc32.ChecksumIEEE(payload.Bytes()),
 	}
-	line, err := json.Marshal(rec)
+	disk := rec
+	if faultinject.Hit(faultinject.SiteJournalCorrupt, key) {
+		// Damage only what reaches disk: this run keeps serving the good
+		// in-memory entry, so the corruption is discovered — and must be
+		// survived — by the next run's resume.
+		raw := append([]byte(nil), payload.Bytes()...)
+		raw[len(raw)/2] ^= 0xff
+		disk.Gob = base64.StdEncoding.EncodeToString(raw)
+	}
+	line, err := json.Marshal(disk)
 	if err != nil {
 		return false
 	}

@@ -1,0 +1,219 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"deepheal/internal/faultinject"
+)
+
+// threePointTask builds one task of three journalable points whose runs are
+// counted, for corruption-resume tests.
+func threePointTask(runs *atomic.Int64) []Task {
+	task := Task{ID: "t"}
+	for i := 0; i < 3; i++ {
+		i := i
+		task.Points = append(task.Points, NewPoint(
+			fmt.Sprintf("t/p%d", i), Hash("corrupt-test", i),
+			func(context.Context) (*float64, error) {
+				runs.Add(1)
+				v := float64(i) + 0.5
+				return &v, nil
+			}))
+	}
+	task.Assemble = func(results []any) (any, error) {
+		sum := 0.0
+		for _, r := range results {
+			sum += *r.(*float64)
+		}
+		return sum, nil
+	}
+	return []Task{task}
+}
+
+func TestResumeSkipsCorruptedMidJournalRecord(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(context.Background(), threePointTask(&runs), Options{Workers: 1, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if runs.Load() != 3 {
+		t.Fatalf("first run computed %d points, want 3", runs.Load())
+	}
+
+	// Damage the payload of the MIDDLE record — not the tail, which a torn
+	// append legitimately produces — keeping the line valid JSON so only
+	// the CRC can catch it.
+	path := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(data, "\n"), []byte("\n"))
+	if len(lines) != 3 {
+		t.Fatalf("journal has %d lines, want 3", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(lines[1], &rec); err != nil {
+		t.Fatal(err)
+	}
+	g := []byte(rec["gob"].(string))
+	// Flipping one bit either leaves valid base64 that decodes to different
+	// bytes (CRC catches it) or breaks the base64 itself — both count.
+	g[len(g)/2] ^= 0x01
+	rec["gob"] = string(g)
+	mutated, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines[1] = mutated
+	out := append(bytes.Join(lines, []byte("\n")), '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.Corrupted(); got != 1 {
+		t.Fatalf("Corrupted() = %d, want 1", got)
+	}
+	if got := j2.Restorable(); got != 2 {
+		t.Fatalf("Restorable() = %d, want 2", got)
+	}
+
+	second, err := Run(context.Background(), threePointTask(&runs), Options{Workers: 1, Journal: j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 4 {
+		t.Errorf("resume recomputed %d points, want exactly the corrupted one", runs.Load()-3)
+	}
+	if fmt.Sprint(second[0].Value) != fmt.Sprint(first[0].Value) {
+		t.Errorf("resumed value %v != fresh %v", second[0].Value, first[0].Value)
+	}
+	sources := map[string]string{}
+	for _, p := range second[0].Points {
+		sources[p.Key] = p.Source
+	}
+	if sources["t/p1"] != "run" {
+		t.Errorf("corrupted point source %q, want run", sources["t/p1"])
+	}
+	if sources["t/p0"] != "journal" || sources["t/p2"] != "journal" {
+		t.Errorf("intact points not restored: %v", sources)
+	}
+}
+
+func TestLegacyRecordsWithoutCRCStillRestore(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), threePointTask(&runs), Options{Workers: 1, Journal: j}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Strip the crc field from every record, as a journal written before
+	// the field existed would look.
+	path := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	for _, line := range bytes.Split(bytes.TrimRight(data, "\n"), []byte("\n")) {
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatal(err)
+		}
+		delete(rec, "crc")
+		stripped, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Write(stripped)
+		out.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Corrupted() != 0 || j2.Restorable() != 3 {
+		t.Fatalf("legacy journal: corrupted %d restorable %d, want 0/3", j2.Corrupted(), j2.Restorable())
+	}
+	if _, err := Run(context.Background(), threePointTask(&runs), Options{Workers: 1, Journal: j2}); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 3 {
+		t.Errorf("legacy journal forced %d recomputes", runs.Load()-3)
+	}
+}
+
+func TestInjectedJournalCorruptionSurvivesResume(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+
+	// Corrupt the second record as it is written. The writing run is
+	// unaffected (it serves the in-memory copy); the NEXT run must detect
+	// and recompute.
+	inj, err := faultinject.New(9, map[faultinject.Site]faultinject.Schedule{
+		faultinject.SiteJournalCorrupt: {Occurrences: []uint64{2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(inj)
+
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(context.Background(), threePointTask(&runs), Options{Workers: 1, Journal: j})
+	faultinject.Disable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Corrupted() != 1 || j2.Restorable() != 2 {
+		t.Fatalf("corrupted %d restorable %d, want 1/2", j2.Corrupted(), j2.Restorable())
+	}
+	second, err := Run(context.Background(), threePointTask(&runs), Options{Workers: 1, Journal: j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 4 {
+		t.Errorf("resume recomputed %d points, want 1", runs.Load()-3)
+	}
+	if fmt.Sprint(second[0].Value) != fmt.Sprint(first[0].Value) {
+		t.Errorf("resumed value %v != fresh %v", second[0].Value, first[0].Value)
+	}
+}

@@ -13,6 +13,10 @@ var (
 	metPointSeconds    *obs.Histogram
 	metTasksTotal      *obs.Counter
 	metTaskErrors      *obs.Counter
+
+	metPointRetries      *obs.Counter
+	metPointsQuarantined *obs.Gauge
+	metPointsStalled     *obs.Counter
 )
 
 // EnableMetrics wires the campaign engine into r: how points were satisfied
@@ -35,4 +39,10 @@ func EnableMetrics(r *obs.Registry) {
 		"campaign tasks (experiments) completed, with or without error")
 	metTaskErrors = r.Counter("deepheal_campaign_task_errors_total",
 		"campaign tasks that finished with an error")
+	metPointRetries = r.Counter("deepheal_campaign_point_retries_total",
+		"campaign point attempts repeated after a transient failure")
+	metPointsQuarantined = r.Gauge("deepheal_campaign_points_quarantined",
+		"campaign points quarantined (panicked or exhausted retries) by runs in this process")
+	metPointsStalled = r.Counter("deepheal_campaign_points_stalled_total",
+		"campaign points flagged by the stall watchdog")
 }

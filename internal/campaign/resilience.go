@@ -1,0 +1,278 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"deepheal/internal/faultinject"
+)
+
+// RetryPolicy bounds per-point retries. A point whose attempt fails with an
+// ordinary error (not a panic, not campaign cancellation) is retried up to
+// MaxAttempts total attempts, sleeping BaseDelay<<(attempt-1) capped at
+// MaxDelay between attempts. The zero policy disables retries.
+type RetryPolicy struct {
+	MaxAttempts int
+	BaseDelay   time.Duration
+	MaxDelay    time.Duration
+}
+
+// backoff returns the sleep before the attempt following attempt (1-based).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		return 0
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		return p.MaxDelay
+	}
+	return d
+}
+
+// ErrQuarantined marks a point that failed for its own reasons — a panic in
+// its Run, or an error that survived every retry — while the campaign was
+// still alive. Quarantined points are excluded from their task's assembly
+// but do not stop the campaign: every other task still runs, completes and
+// is delivered. Detect with errors.Is on a point, task or campaign error.
+var ErrQuarantined = errors.New("campaign: point quarantined")
+
+// quarantineError wraps a point failure so that errors.Is(err,
+// ErrQuarantined) holds while the cause chain stays inspectable.
+type quarantineError struct{ cause error }
+
+func (e *quarantineError) Error() string { return "quarantined: " + e.cause.Error() }
+
+func (e *quarantineError) Is(target error) bool { return target == ErrQuarantined }
+
+func (e *quarantineError) Unwrap() error { return e.cause }
+
+// PanicError is the error a recovered point panic surfaces as. The campaign
+// engine converts panics inside Point.Run into quarantined point failures so
+// one buggy experiment cannot take down a long campaign.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string { return fmt.Sprintf("point panicked: %v", e.Value) }
+
+// QuarantinedPoints collects the stats of every quarantined point across the
+// outcomes, in declaration order — the list the CLI reports and maps to its
+// distinct exit code.
+func QuarantinedPoints(outcomes []Outcome) []PointStat {
+	var qs []PointStat
+	for _, o := range outcomes {
+		for _, p := range o.Points {
+			if p.Quarantined {
+				qs = append(qs, p)
+			}
+		}
+	}
+	return qs
+}
+
+// runPoint executes one point with the configured deadline and retry policy
+// and classifies the failure: campaign cancellation passes through
+// untouched, panics quarantine immediately, and ordinary errors quarantine
+// once the retry budget is exhausted. It returns the number of attempts
+// made.
+func (r *run) runPoint(p Point) (any, int, error) {
+	max := r.opts.Retry.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	var lastErr error
+	for attempt := 1; attempt <= max; attempt++ {
+		if err := r.ctx.Err(); err != nil {
+			return nil, attempt - 1, err
+		}
+		v, err := r.attempt(p, attempt)
+		if err == nil {
+			return v, attempt, nil
+		}
+		lastErr = err
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			// A panic is a bug, not transience — retrying it would just
+			// crash the same way with less evidence.
+			return nil, attempt, &quarantineError{cause: err}
+		}
+		if r.ctx.Err() != nil {
+			// The campaign is being cancelled: the point did not fail, the
+			// run did. Not a quarantine.
+			return nil, attempt, r.ctx.Err()
+		}
+		if attempt < max {
+			metPointRetries.Inc()
+			if !sleepCtx(r.ctx, r.opts.Retry.backoff(attempt)) {
+				return nil, attempt, r.ctx.Err()
+			}
+		}
+	}
+	if max > 1 {
+		lastErr = fmt.Errorf("after %d attempts: %w", max, lastErr)
+	}
+	return nil, max, &quarantineError{cause: lastErr}
+}
+
+// attempt runs one attempt of a point under the per-point deadline,
+// converting panics into *PanicError. The fault-injection probes live here:
+// keys carry the attempt index so a keyed injected fault can clear on retry
+// while staying deterministic.
+func (r *run) attempt(p Point, attempt int) (v any, err error) {
+	ctx := r.ctx
+	if r.opts.PointTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.opts.PointTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &PanicError{Value: rec, Stack: debug.Stack()}
+		}
+	}()
+	if faultinject.Enabled() {
+		akey := fmt.Sprintf("%s#%d", p.Key, attempt)
+		if d := faultinject.StallDelay(faultinject.SitePointStall, akey); d > 0 {
+			if !sleepCtx(ctx, d) {
+				return nil, ctx.Err()
+			}
+		}
+		if faultinject.Hit(faultinject.SitePointCancel, akey) {
+			cctx, cancel := context.WithCancel(ctx)
+			cancel()
+			ctx = cctx
+		}
+		if faultinject.Hit(faultinject.SiteWorkerPanic, akey) {
+			panic(fmt.Sprintf("injected worker panic at %s", akey))
+		}
+		if ferr := faultinject.ErrorAt(faultinject.SitePointError, akey); ferr != nil {
+			return nil, ferr
+		}
+	}
+	return p.Run(ctx)
+}
+
+// sleepCtx sleeps for d unless ctx is cancelled first; it reports whether
+// the full sleep elapsed. A non-positive d returns true immediately.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// inflightPoint is one point currently executing, tracked for the stall
+// watchdog.
+type inflightPoint struct {
+	task, key string
+	start     time.Time
+	flagged   bool
+}
+
+// watchdog periodically sweeps the in-flight points and flags any running
+// longer than StallTimeout — once per point — via the stall metric and the
+// OnStall callback. It never kills work: a stalled point may be a long solve,
+// and the per-point deadline is the enforcement mechanism.
+type watchdog struct {
+	stall   time.Duration
+	onStall func(task, key string, running time.Duration)
+
+	mu       sync.Mutex
+	inflight map[*inflightPoint]struct{}
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func newWatchdog(stall time.Duration, onStall func(task, key string, running time.Duration)) *watchdog {
+	w := &watchdog{
+		stall:    stall,
+		onStall:  onStall,
+		inflight: make(map[*inflightPoint]struct{}),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+func (w *watchdog) track(task, key string) *inflightPoint {
+	p := &inflightPoint{task: task, key: key, start: time.Now()}
+	w.mu.Lock()
+	w.inflight[p] = struct{}{}
+	w.mu.Unlock()
+	return p
+}
+
+func (w *watchdog) untrack(p *inflightPoint) {
+	w.mu.Lock()
+	delete(w.inflight, p)
+	w.mu.Unlock()
+}
+
+func (w *watchdog) loop() {
+	defer close(w.done)
+	tick := w.stall / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.sweep()
+		}
+	}
+}
+
+func (w *watchdog) sweep() {
+	type stalled struct {
+		task, key string
+		running   time.Duration
+	}
+	var hits []stalled
+	now := time.Now()
+	w.mu.Lock()
+	for p := range w.inflight {
+		if p.flagged {
+			continue
+		}
+		if running := now.Sub(p.start); running >= w.stall {
+			p.flagged = true
+			hits = append(hits, stalled{p.task, p.key, running})
+		}
+	}
+	w.mu.Unlock()
+	for _, h := range hits {
+		metPointsStalled.Inc()
+		if w.onStall != nil {
+			w.onStall(h.task, h.key, h.running)
+		}
+	}
+}
+
+func (w *watchdog) close() {
+	close(w.stop)
+	<-w.done
+}

@@ -252,3 +252,39 @@ func TestProgressAndStageTimeHooks(t *testing.T) {
 		t.Errorf("StageTimes has %d stages, want 6", len(times))
 	}
 }
+
+func TestRestoreRejectsTruncatedSnapshot(t *testing.T) {
+	// A checkpoint cut short mid-gob (full disk, kill during write) must be
+	// rejected with an error — never a panic — and leave the simulator
+	// usable, so a campaign can fall back to a fresh start.
+	cfg := testConfig()
+	cfg.Steps = 20
+	sim, err := NewSimulator(cfg, DefaultDeepHealing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunSteps(context.Background(), 5); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sim.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, frac := range []float64{0, 0.25, 0.5, 0.9, 0.999} {
+		cut := int(float64(len(snap)) * frac)
+		victim, err := NewSimulator(cfg, DefaultDeepHealing())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := victim.Restore(snap[:cut]); err == nil {
+			t.Errorf("snapshot truncated to %d/%d bytes restored without error", cut, len(snap))
+			continue
+		}
+		// The victim must still be able to run (fresh) or restore the
+		// intact snapshot afterwards.
+		if err := victim.Restore(snap); err != nil {
+			t.Errorf("intact restore after truncated attempt failed: %v", err)
+		}
+	}
+}

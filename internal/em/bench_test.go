@@ -18,12 +18,12 @@ func BenchmarkImplicitStep(b *testing.B) {
 // BenchmarkReducedStep measures the per-segment surrogate used across whole
 // power grids.
 func BenchmarkReducedStep(b *testing.B) {
-	r := MustNewReduced(DefaultReducedParams())
+	r := mustReduced(b, DefaultReducedParams())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Step(jPaper, tempPaper, 3600)
 		if r.Broken() {
-			r = MustNewReduced(DefaultReducedParams())
+			r = mustReduced(b, DefaultReducedParams())
 		}
 	}
 }

@@ -1,0 +1,121 @@
+package em
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"deepheal/internal/faultinject"
+	"deepheal/internal/mathx"
+	"deepheal/internal/units"
+)
+
+func enableInjector(t *testing.T, seed uint64, plan map[faultinject.Site]faultinject.Schedule) {
+	t.Helper()
+	inj, err := faultinject.New(seed, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(inj)
+	t.Cleanup(faultinject.Disable)
+}
+
+func TestStepLeavesStateUntouchedOnSolveFault(t *testing.T) {
+	// Build up some state before enabling the fault so "unchanged" is
+	// observable.
+	w := MustNewWire(DefaultParams())
+	if _, err := w.Run(jPaper, tempPaper, units.Hours(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	sigmaBefore := append([]float64(nil), w.sigma...)
+	timeBefore := w.Time()
+
+	enableInjector(t, 7, map[faultinject.Site]faultinject.Schedule{
+		faultinject.SiteEMTridiag: {Occurrences: []uint64{1}},
+	})
+
+	stepErr := w.Step(jPaper, tempPaper, 1)
+	if stepErr == nil {
+		t.Fatal("Step succeeded although the tridiagonal solve was injected to fail")
+	}
+	var fault *faultinject.Fault
+	if !errors.As(stepErr, &fault) || fault.Site != faultinject.SiteEMTridiag {
+		t.Fatalf("error %v does not unwrap to the injected fault", stepErr)
+	}
+	if w.Time() != timeBefore {
+		t.Error("failed step advanced the wire clock")
+	}
+	for i, s := range w.sigma {
+		if s != sigmaBefore[i] {
+			t.Fatalf("failed step mutated sigma[%d]", i)
+		}
+	}
+
+	// The fault was one-shot: the wire keeps stepping afterwards.
+	if err := w.Step(jPaper, tempPaper, 1); err != nil {
+		t.Fatalf("wire did not recover after the injected fault cleared: %v", err)
+	}
+	if w.Time() <= timeBefore {
+		t.Error("recovered step did not advance the wire clock")
+	}
+}
+
+func TestRunReturnsPartialTraceOnSolveFault(t *testing.T) {
+	// Fail the 50th implicit solve: Run must return the samples collected
+	// before the fault together with the error.
+	enableInjector(t, 7, map[faultinject.Site]faultinject.Schedule{
+		faultinject.SiteEMTridiag: {Occurrences: []uint64{50}},
+	})
+
+	w := MustNewWire(DefaultParams())
+	trace, err := w.Run(jPaper, tempPaper, units.Hours(8), units.Minutes(1))
+	if err == nil {
+		t.Fatal("Run succeeded although a solve was injected to fail")
+	}
+	var fault *faultinject.Fault
+	if !errors.As(err, &fault) {
+		t.Fatalf("error %v does not unwrap to the injected fault", err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("Run dropped the partial trace collected before the fault")
+	}
+	for _, s := range trace {
+		if math.IsNaN(s.ResistanceOhm) {
+			t.Fatal("partial trace contains NaN samples")
+		}
+	}
+}
+
+func TestApplySchedulePropagatesSolveFault(t *testing.T) {
+	enableInjector(t, 7, map[faultinject.Site]faultinject.Schedule{
+		faultinject.SiteEMTridiag: {Occurrences: []uint64{10}},
+	})
+
+	w := MustNewWire(DefaultParams())
+	sched := PeriodicSchedule(jPaper, tempPaper, units.Minutes(30), units.Minutes(10), 4)
+	if _, err := w.ApplySchedule(sched, 0); err == nil {
+		t.Fatal("ApplySchedule swallowed the injected solve failure")
+	}
+}
+
+func TestDegenerateSystemSurfacesAsError(t *testing.T) {
+	// Degenerate inputs must surface as an error from the solve, not crash
+	// the process — the regression test for the panic that used to live in
+	// implicitStep. kappa = −dx²/2 with dt = 1 makes the assembled diagonal
+	// exactly zero, the singular case the solver detects.
+	w := MustNewWire(DefaultParams())
+	sigmaBefore := append([]float64(nil), w.sigma...)
+	kappa := -0.5 * w.dx * w.dx
+	err := w.implicitStep(kappa, 0, 1)
+	if err == nil {
+		t.Fatal("degenerate tridiagonal system did not report an error")
+	}
+	if !errors.Is(err, mathx.ErrSingular) {
+		t.Fatalf("error %v does not wrap mathx.ErrSingular", err)
+	}
+	for i, s := range w.sigma {
+		if s != sigmaBefore[i] {
+			t.Fatalf("failed solve mutated sigma[%d]", i)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package em
+
+import "testing"
+
+// mustReduced is the test-side replacement for the removed MustNewReduced:
+// construction failures fail the test instead of panicking the process.
+func mustReduced(tb testing.TB, p ReducedParams) *Reduced {
+	tb.Helper()
+	r, err := NewReduced(p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r
+}

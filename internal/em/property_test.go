@@ -70,7 +70,7 @@ func TestPropertyReducedProgressBounded(t *testing.T) {
 	p := DefaultReducedParams()
 	f := func(seed int64) bool {
 		rng := rngx.New(seed)
-		r := MustNewReduced(p)
+		r := mustReduced(t, p)
 		maxTarget := 0.0
 		for i := 0; i < 30 && !r.Broken(); i++ {
 			j := units.MAPerCm2(rng.Uniform(-10, 10))

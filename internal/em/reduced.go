@@ -94,15 +94,6 @@ func NewReduced(p ReducedParams) (*Reduced, error) {
 	return &Reduced{p: p}, nil
 }
 
-// MustNewReduced is NewReduced for known-good parameters.
-func MustNewReduced(p ReducedParams) *Reduced {
-	r, err := NewReduced(p)
-	if err != nil {
-		panic(err)
-	}
-	return r
-}
-
 // Broken reports whether the segment has failed open.
 func (r *Reduced) Broken() bool { return r.broken }
 

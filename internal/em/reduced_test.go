@@ -21,7 +21,7 @@ func reducedNucleationTime(r *Reduced, j units.CurrentDensity, temp units.Temper
 }
 
 func TestReducedNucleationMatchesFullModel(t *testing.T) {
-	r := MustNewReduced(DefaultReducedParams())
+	r := mustReduced(t, DefaultReducedParams())
 	got, ok := reducedNucleationTime(r, jPaper, tempPaper, units.Hours(24))
 	if !ok {
 		t.Fatal("reduced model did not nucleate")
@@ -38,7 +38,7 @@ func TestReducedNucleationMatchesFullModel(t *testing.T) {
 }
 
 func TestReducedTTFMatchesFullModel(t *testing.T) {
-	r := MustNewReduced(DefaultReducedParams())
+	r := mustReduced(t, DefaultReducedParams())
 	const dt = 30
 	var ttf float64
 	for t := 0.0; t < units.Hours(48); t += dt {
@@ -66,12 +66,12 @@ func TestReducedPeriodicRecoveryDelaysNucleation(t *testing.T) {
 	// The key scheduling behaviour must survive model reduction: periodic
 	// reverse intervals delay nucleation substantially.
 	p := DefaultReducedParams()
-	base := MustNewReduced(p)
+	base := mustReduced(t, p)
 	tn, ok := reducedNucleationTime(base, jPaper, tempPaper, units.Hours(24))
 	if !ok {
 		t.Fatal("baseline did not nucleate")
 	}
-	r := MustNewReduced(p)
+	r := mustReduced(t, p)
 	const dt = 30
 	elapsed := 0.0
 	for !r.Nucleated() && elapsed < units.Hours(96) {
@@ -98,7 +98,7 @@ func TestReducedPeriodicRecoveryDelaysNucleation(t *testing.T) {
 }
 
 func TestReducedHealingRecoversResistance(t *testing.T) {
-	r := MustNewReduced(DefaultReducedParams())
+	r := mustReduced(t, DefaultReducedParams())
 	const dt = 30
 	for t := 0.0; t < units.Minutes(960); t += dt {
 		r.Step(jPaper, tempPaper, dt)
@@ -117,8 +117,8 @@ func TestReducedHealingRecoversResistance(t *testing.T) {
 }
 
 func TestReducedTemperatureAcceleration(t *testing.T) {
-	hot := MustNewReduced(DefaultReducedParams())
-	cold := MustNewReduced(DefaultReducedParams())
+	hot := mustReduced(t, DefaultReducedParams())
+	cold := mustReduced(t, DefaultReducedParams())
 	tHot, okH := reducedNucleationTime(hot, jPaper, units.Celsius(250), units.Hours(48))
 	tCold, okC := reducedNucleationTime(cold, jPaper, units.Celsius(210), units.Hours(48))
 	if !okH || !okC {
@@ -132,7 +132,7 @@ func TestReducedTemperatureAcceleration(t *testing.T) {
 func TestReducedLowCurrentNeverNucleates(t *testing.T) {
 	// Below the Blech-like saturation limit the progress target stays
 	// under 1 and the segment is immortal.
-	r := MustNewReduced(DefaultReducedParams())
+	r := mustReduced(t, DefaultReducedParams())
 	if _, ok := reducedNucleationTime(r, units.MAPerCm2(4), tempPaper, units.Hours(96)); ok {
 		t.Error("sub-critical current nucleated a void")
 	}
@@ -142,7 +142,7 @@ func TestReducedLowCurrentNeverNucleates(t *testing.T) {
 }
 
 func TestReducedCloneIndependence(t *testing.T) {
-	r := MustNewReduced(DefaultReducedParams())
+	r := mustReduced(t, DefaultReducedParams())
 	r.Step(jPaper, tempPaper, 3600)
 	c := r.Clone()
 	c.Step(jPaper, tempPaper, 3600)
@@ -152,7 +152,7 @@ func TestReducedCloneIndependence(t *testing.T) {
 }
 
 func TestReducedBrokenIsTerminal(t *testing.T) {
-	r := MustNewReduced(DefaultReducedParams())
+	r := mustReduced(t, DefaultReducedParams())
 	const dt = 60
 	for t := 0.0; t < units.Hours(48) && !r.Broken(); t += dt {
 		r.Step(jPaper, tempPaper, dt)

@@ -65,10 +65,11 @@ func PeriodicSchedule(j units.CurrentDensity, temp units.Temperature, stressDur,
 // Run advances the wire under constant conditions for dur seconds, sampling
 // the trace about every observeEvery seconds (and at the end). A nil trace
 // is returned when observeEvery <= 0. Time in samples is relative to the
-// wire's state at entry.
-func (w *Wire) Run(j units.CurrentDensity, temp units.Temperature, dur, observeEvery float64) []Sample {
+// wire's state at entry. A solve failure stops the run and returns the
+// error alongside the samples collected so far.
+func (w *Wire) Run(j units.CurrentDensity, temp units.Temperature, dur, observeEvery float64) ([]Sample, error) {
 	if dur <= 0 {
-		return nil
+		return nil, nil
 	}
 	var trace []Sample
 	start := w.time
@@ -88,7 +89,9 @@ func (w *Wire) Run(j units.CurrentDensity, temp units.Temperature, dur, observeE
 		if observeEvery > 0 && elapsed+step > next {
 			step = next - elapsed
 		}
-		w.Step(j, temp, step)
+		if err := w.Step(j, temp, step); err != nil {
+			return trace, err
+		}
 		elapsed += step
 		if observeEvery > 0 && elapsed >= next {
 			record()
@@ -99,7 +102,7 @@ func (w *Wire) Run(j units.CurrentDensity, temp units.Temperature, dur, observeE
 	if observeEvery > 0 && lastRecorded < elapsed {
 		record()
 	}
-	return trace
+	return trace, nil
 }
 
 // ApplySchedule runs every phase of the schedule, concatenating the traces
@@ -114,10 +117,13 @@ func (w *Wire) ApplySchedule(s Schedule, observeEvery float64) ([]Sample, error)
 	offsetMin := 0.0
 	for _, ph := range s {
 		phaseStart := w.time
-		trace := w.Run(ph.J, ph.Temp, ph.Duration, observeEvery)
+		trace, err := w.Run(ph.J, ph.Temp, ph.Duration, observeEvery)
 		for _, smp := range trace {
 			smp.TimeMin += offsetMin
 			all = append(all, smp)
+		}
+		if err != nil {
+			return all, err
 		}
 		offsetMin += units.SecondsToMinutes(w.time - phaseStart)
 		if w.broken {
@@ -141,7 +147,9 @@ func (w *Wire) TimeToFailure(j units.CurrentDensity, temp units.Temperature, hor
 		if elapsed+step > horizon {
 			step = horizon - elapsed
 		}
-		c.Step(j, temp, step)
+		if err := c.Step(j, temp, step); err != nil {
+			return 0, err
+		}
 		elapsed += step
 	}
 	if !c.broken {
@@ -156,7 +164,9 @@ func (w *Wire) TimeToNucleation(j units.CurrentDensity, temp units.Temperature, 
 	c := w.Clone()
 	elapsed := 0.0
 	for elapsed < horizon {
-		c.Step(j, temp, c.params.StepSeconds)
+		if err := c.Step(j, temp, c.params.StepSeconds); err != nil {
+			return 0, err
+		}
 		elapsed += c.params.StepSeconds
 		if c.Nucleated(EndCathode) || c.Nucleated(EndAnode) {
 			return elapsed, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"deepheal/internal/faultinject"
 	"deepheal/internal/mathx"
 	"deepheal/internal/units"
 )
@@ -148,15 +149,19 @@ func (w *Wire) Reset() {
 
 // Step advances the wire by dt seconds under the given signed current
 // density and temperature. Positive j drives atoms away from EndCathode.
-// Stepping a broken wire is a no-op.
-func (w *Wire) Step(j units.CurrentDensity, temp units.Temperature, dt float64) {
+// Stepping a broken wire is a no-op. A non-nil error means the implicit
+// solve failed and the wire state is unchanged — the caller may retry,
+// shrink dt, or abandon this wire without poisoning anything else.
+func (w *Wire) Step(j units.CurrentDensity, temp units.Temperature, dt float64) error {
 	if w.broken || dt <= 0 {
-		return
+		return nil
 	}
 	p := w.params
 	kappa := p.kappa(temp)
 	g := p.drive(j)
-	w.implicitStep(kappa, g, dt)
+	if err := w.implicitStep(kappa, g, dt); err != nil {
+		return err
+	}
 	if y := p.CompressiveYield; y > 0 {
 		// Plastic relaxation: compressive stress beyond the yield point is
 		// relieved by hillock formation rather than stored elastically.
@@ -168,6 +173,7 @@ func (w *Wire) Step(j units.CurrentDensity, temp units.Temperature, dt float64) 
 	}
 	w.updateVoids(kappa, g, dt)
 	w.time += dt
+	return nil
 }
 
 // implicitStep performs one backward-Euler step of the Korhonen equation.
@@ -176,7 +182,7 @@ func (w *Wire) Step(j units.CurrentDensity, temp units.Temperature, dt float64) 
 // uniform wire); the wind enters through the end boundary conditions:
 // blocked ends enforce zero atomic flux ∂σ/∂x = −G, voided ends are free
 // surfaces with σ = 0.
-func (w *Wire) implicitStep(kappa, g, dt float64) {
+func (w *Wire) implicitStep(kappa, g, dt float64) error {
 	n := len(w.sigma)
 	r := kappa * dt / (w.dx * w.dx)
 
@@ -206,13 +212,19 @@ func (w *Wire) implicitStep(kappa, g, dt float64) {
 		w.upper[n-1] = 0
 		w.rhs[n-1] = w.sigma[n-1] - 2*r*w.dx*g
 	}
+	if err := faultinject.ErrorAt(faultinject.SiteEMTridiag, ""); err != nil {
+		return fmt.Errorf("em: tridiagonal solve failed: %w", err)
+	}
 	sol, err := mathx.SolveTridiag(w.lower, w.diag, w.upper, w.rhs)
 	if err != nil {
-		// The BE system is strictly diagonally dominant; failure here is a
-		// programming error, not an input condition.
-		panic(fmt.Sprintf("em: tridiagonal solve failed: %v", err))
+		// The BE system is strictly diagonally dominant for physical
+		// parameters, but degenerate inputs (NaN temperature, a corrupted
+		// restore) can still break the factorisation; surface that as an
+		// error instead of crashing the whole campaign. σ is untouched.
+		return fmt.Errorf("em: tridiagonal solve failed: %w", err)
 	}
 	copy(w.sigma, sol)
+	return nil
 }
 
 // updateVoids nucleates, grows, heals and (if damage was done) floors the

@@ -276,7 +276,10 @@ func TestCloneAndReset(t *testing.T) {
 
 func TestRunTraceShape(t *testing.T) {
 	w := MustNewWire(DefaultParams())
-	trace := w.Run(jPaper, tempPaper, units.Minutes(100), units.Minutes(10))
+	trace, err := w.Run(jPaper, tempPaper, units.Minutes(100), units.Minutes(10))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(trace) < 10 {
 		t.Fatalf("trace too short: %d", len(trace))
 	}

@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -49,6 +51,7 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	metPoolParallelRuns.Inc()
 	chunk := (n + w - 1) / w
 	var wg sync.WaitGroup
+	var rethrow panicBox
 	for start := 0; start < n; start += chunk {
 		end := start + chunk
 		if end > n {
@@ -57,18 +60,55 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer rethrow.capture()
 			for i := lo; i < hi; i++ {
 				fn(i)
 			}
 		}(start, end)
 	}
 	wg.Wait()
+	rethrow.repanic()
+}
+
+// panicBox carries the first panic out of a worker goroutine so it can be
+// re-raised on the caller's goroutine, where the caller's own recover (e.g.
+// the campaign engine's per-point quarantine) can see it. A panic left on a
+// pool goroutine would kill the whole process with no chance to recover.
+type panicBox struct {
+	mu    sync.Mutex
+	value any
+	stack []byte
+}
+
+// capture is deferred inside each worker; it records the first panic.
+func (b *panicBox) capture() {
+	rec := recover()
+	if rec == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.value == nil {
+		b.value = rec
+		b.stack = debug.Stack()
+	}
+	b.mu.Unlock()
+}
+
+// repanic re-raises a captured panic on the calling goroutine; no-op when
+// every worker finished cleanly.
+func (b *panicBox) repanic() {
+	if b.value != nil {
+		panic(fmt.Sprintf("engine: worker panicked: %v\n%s", b.value, b.stack))
+	}
 }
 
 // Map runs fn(i) for every i in [0, n) on at most Workers() goroutines and
 // returns the lowest-index error (error-first semantics: the error a serial
-// loop would have hit first wins, independent of scheduling). All tasks are
-// always joined before returning.
+// loop would have hit first wins, independent of scheduling). A panic in fn
+// is converted into that index's error — identically for serial and parallel
+// execution — so one crashing task surfaces deterministically instead of
+// killing the process from a worker goroutine. All tasks are always joined
+// before returning.
 func (p *Pool) Map(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -79,10 +119,18 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 	}
 	metPoolItems.Add(uint64(n))
 	errs := make([]error, n)
+	call := func(i int) (err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = fmt.Errorf("engine: task %d panicked: %v\n%s", i, rec, debug.Stack())
+			}
+		}()
+		return fn(i)
+	}
 	if w <= 1 {
 		metPoolSerialRuns.Inc()
 		for i := 0; i < n; i++ {
-			errs[i] = fn(i)
+			errs[i] = call(i)
 		}
 	} else {
 		metPoolParallelRuns.Inc()
@@ -93,7 +141,7 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					errs[i] = fn(i)
+					errs[i] = call(i)
 				}
 			}()
 		}

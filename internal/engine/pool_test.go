@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -98,5 +99,52 @@ func TestNewPoolDefaults(t *testing.T) {
 	}
 	if got := NewPool(5).Workers(); got != 5 {
 		t.Errorf("Workers() = %d, want 5", got)
+	}
+}
+
+func TestMapConvertsPanicToLowestIndexError(t *testing.T) {
+	// A panicking task must surface as that index's error — identically for
+	// serial and parallel execution — not kill the process from a worker
+	// goroutine.
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		err := p.Map(16, func(i int) error {
+			if i == 5 {
+				panic("task 5 exploded")
+			}
+			if i == 11 {
+				return fmt.Errorf("task 11 failed")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic swallowed", workers)
+		}
+		if !strings.Contains(err.Error(), "task 5 panicked") {
+			t.Errorf("workers=%d: error-first order broken: %v", workers, err)
+		}
+	}
+}
+
+func TestForEachRepanicsOnCallerGoroutine(t *testing.T) {
+	// A panic inside a parallel ForEach must re-raise on the caller's
+	// goroutine where the caller's recover can see it.
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		caught := func() (rec any) {
+			defer func() { rec = recover() }()
+			p.ForEach(16, func(i int) {
+				if i == 7 {
+					panic("shard down")
+				}
+			})
+			return nil
+		}()
+		if caught == nil {
+			t.Fatalf("workers=%d: panic did not reach the caller", workers)
+		}
+		if !strings.Contains(fmt.Sprint(caught), "shard down") {
+			t.Errorf("workers=%d: panic payload lost: %v", workers, caught)
+		}
 	}
 }

@@ -109,12 +109,21 @@ func fig5ProtocolPoint(key string) campaign.Point {
 		if err != nil {
 			return nil, err
 		}
-		res.StressTrace = w.Run(emJ, emTemp, units.Minutes(fig5StressMin), units.Minutes(fig5SampleMin))
+		res.StressTrace, err = w.Run(emJ, emTemp, units.Minutes(fig5StressMin), units.Minutes(fig5SampleMin))
+		if err != nil {
+			return nil, err
+		}
 		res.PeakOhm = w.Resistance(emTemp)
 
 		passive := w.Clone()
-		res.ActiveTrace = w.Run(-emJ, emTemp, units.Minutes(fig5RecoverMin), units.Minutes(fig5SampleMin))
-		res.PassiveTrace = passive.Run(0, emTemp, units.Minutes(fig5RecoverMin), units.Minutes(fig5SampleMin))
+		res.ActiveTrace, err = w.Run(-emJ, emTemp, units.Minutes(fig5RecoverMin), units.Minutes(fig5SampleMin))
+		if err != nil {
+			return nil, err
+		}
+		res.PassiveTrace, err = passive.Run(0, emTemp, units.Minutes(fig5RecoverMin), units.Minutes(fig5SampleMin))
+		if err != nil {
+			return nil, err
+		}
 
 		rise := res.PeakOhm - res.FreshOhm
 		res.ActiveRecovered = (res.PeakOhm - w.Resistance(emTemp)) / rise

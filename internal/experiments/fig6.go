@@ -96,7 +96,10 @@ func runFig6Protocol(ctx context.Context) (*Fig6Result, error) {
 	// later reverse-EM onset.
 	const sampleMin = 60
 	stressDur := tn + units.Minutes(60)
-	res.Trace = w.Run(emJ, emTemp, stressDur, units.Minutes(sampleMin))
+	res.Trace, err = w.Run(emJ, emTemp, stressDur, units.Minutes(sampleMin))
+	if err != nil {
+		return nil, err
+	}
 	res.RiseOhm = w.Resistance(emTemp) - res.FreshOhm
 
 	// Sustain the reverse current in hourly chunks until the opposite-end
@@ -108,7 +111,10 @@ func runFig6Protocol(ctx context.Context) (*Fig6Result, error) {
 			return nil, err
 		}
 		offset := units.SecondsToMinutes(w.Time())
-		chunk := w.Run(-emJ, emTemp, units.Hours(1), units.Minutes(sampleMin))
+		chunk, err := w.Run(-emJ, emTemp, units.Hours(1), units.Minutes(sampleMin))
+		if err != nil {
+			return nil, err
+		}
 		for _, s := range chunk {
 			s.TimeMin += offset
 			res.Trace = append(res.Trace, s)

@@ -86,13 +86,19 @@ func fig7ScheduledPoint(key string, stressIntMin, reverseIntMin float64) campaig
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			tr := w.Run(emJ, emTemp, units.Minutes(stressIntMin), units.Minutes(sampleMin))
+			tr, err := w.Run(emJ, emTemp, units.Minutes(stressIntMin), units.Minutes(sampleMin))
+			if err != nil {
+				return nil, err
+			}
 			appendTrace(tr)
 			offset = units.SecondsToMinutes(w.Time())
 			if w.Nucleated(em.EndCathode) || w.Nucleated(em.EndAnode) {
 				break
 			}
-			tr = w.Run(-emJ, emTemp, units.Minutes(reverseIntMin), units.Minutes(sampleMin))
+			tr, err = w.Run(-emJ, emTemp, units.Minutes(reverseIntMin), units.Minutes(sampleMin))
+			if err != nil {
+				return nil, err
+			}
 			appendTrace(tr)
 			offset = units.SecondsToMinutes(w.Time())
 		}
@@ -100,7 +106,10 @@ func fig7ScheduledPoint(key string, stressIntMin, reverseIntMin float64) campaig
 
 		// After nucleation the paper lets the (now inevitable) growth run:
 		// continuous stress until the metal breaks.
-		grow := w.Run(emJ, emTemp, units.Hours(48), units.Minutes(sampleMin))
+		grow, err := w.Run(emJ, emTemp, units.Hours(48), units.Minutes(sampleMin))
+		if err != nil {
+			return nil, err
+		}
 		appendTrace(grow)
 		if !w.Broken() {
 			return nil, fmt.Errorf("wire did not fail within the horizon")

@@ -1,0 +1,194 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// enable installs an injector for the duration of the test.
+func enable(t *testing.T, seed uint64, plan map[Site]Schedule) *Injector {
+	t.Helper()
+	inj, err := New(seed, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Enable(inj)
+	t.Cleanup(Disable)
+	return inj
+}
+
+func TestDisabledInjectorNeverFires(t *testing.T) {
+	Disable()
+	if Hit(SitePointError, "k") || Enabled() || StallDelay(SitePointStall, "k") != 0 {
+		t.Error("disabled injector fired")
+	}
+	if err := ErrorAt(SiteCGDiverge, ""); err != nil {
+		t.Errorf("disabled injector returned %v", err)
+	}
+}
+
+func TestKeyedDecisionsAreDeterministicAndSeedSensitive(t *testing.T) {
+	plan := map[Site]Schedule{SitePointError: {Prob: 0.5}}
+	inj1, _ := New(7, plan)
+	inj2, _ := New(7, plan)
+	inj3, _ := New(8, plan)
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	same, diff := 0, 0
+	for _, k := range keys {
+		r1, r2, r3 := inj1.hit(SitePointError, k), inj2.hit(SitePointError, k), inj3.hit(SitePointError, k)
+		if r1 != r2 {
+			t.Fatalf("same seed disagreed on key %q", k)
+		}
+		if r1 == r3 {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("changing the seed changed no decision across 10 keys")
+	}
+	_ = same
+}
+
+func TestKeyedDecisionIndependentOfProbeOrder(t *testing.T) {
+	plan := map[Site]Schedule{SitePointError: {Prob: 0.5}}
+	forward, _ := New(3, plan)
+	backward, _ := New(3, plan)
+	keys := []string{"p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7"}
+	got := make(map[string]bool)
+	for _, k := range keys {
+		got[k] = forward.hit(SitePointError, k)
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		if backward.hit(SitePointError, keys[i]) != got[keys[i]] {
+			t.Fatalf("probe order changed the decision for %q", keys[i])
+		}
+	}
+}
+
+func TestOccurrenceScheduleFiresExactly(t *testing.T) {
+	inj := enable(t, 1, map[Site]Schedule{SiteCGDiverge: {Occurrences: []uint64{2, 4}}})
+	var fired []int
+	for i := 1; i <= 5; i++ {
+		if Hit(SiteCGDiverge, "") {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 4 {
+		t.Errorf("fired at %v, want [2 4]", fired)
+	}
+	if Fired(SiteCGDiverge) != 2 {
+		t.Errorf("Fired = %d, want 2", Fired(SiteCGDiverge))
+	}
+	_ = inj
+}
+
+func TestMaxFiresCapsTotal(t *testing.T) {
+	enable(t, 1, map[Site]Schedule{SitePointError: {Prob: 1, MaxFires: 3}})
+	n := 0
+	for i := 0; i < 10; i++ {
+		if Hit(SitePointError, "k") {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Errorf("fired %d times, want 3 (capped)", n)
+	}
+}
+
+func TestStallDelayAndFaultError(t *testing.T) {
+	enable(t, 1, map[Site]Schedule{
+		SitePointStall: {Prob: 1, Delay: 25 * time.Millisecond},
+		SiteEMTridiag:  {Prob: 1},
+	})
+	if d := StallDelay(SitePointStall, "x"); d != 25*time.Millisecond {
+		t.Errorf("stall delay = %v", d)
+	}
+	err := ErrorAt(SiteEMTridiag, "wire")
+	var f *Fault
+	if !errors.As(err, &f) || f.Site != SiteEMTridiag {
+		t.Errorf("ErrorAt = %v", err)
+	}
+}
+
+func TestHitIsSafeForConcurrentUse(t *testing.T) {
+	enable(t, 1, map[Site]Schedule{SitePointError: {Prob: 0.5, MaxFires: 100}})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				Hit(SitePointError, "shared")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if Fired(SitePointError) > 100 {
+		t.Errorf("MaxFires breached under concurrency: %d", Fired(SitePointError))
+	}
+}
+
+func TestNewRejectsBadPlans(t *testing.T) {
+	if _, err := New(0, map[Site]Schedule{"nope": {Prob: 1}}); err == nil {
+		t.Error("unknown site accepted")
+	}
+	if _, err := New(0, map[Site]Schedule{SitePointError: {Prob: 1.5}}); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	plan, err := ParseSpec("point-error:p=0.25,max=3;worker-panic:occ=2+5;point-stall:p=0.5,delay=200ms;cg-diverge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := plan[SitePointError]; s.Prob != 0.25 || s.MaxFires != 3 {
+		t.Errorf("point-error schedule %+v", s)
+	}
+	if s := plan[SiteWorkerPanic]; len(s.Occurrences) != 2 || s.Occurrences[0] != 2 || s.Occurrences[1] != 5 {
+		t.Errorf("worker-panic schedule %+v", s)
+	}
+	if s := plan[SitePointStall]; s.Delay != 200*time.Millisecond || s.Prob != 0.5 {
+		t.Errorf("point-stall schedule %+v", s)
+	}
+	if s := plan[SiteCGDiverge]; s.Prob != 1 {
+		t.Errorf("bare site did not default to p=1: %+v", s)
+	}
+
+	for _, bad := range []string{
+		"", "unknown-site:p=1", "point-error:p=2", "point-error:q=1",
+		"point-error:occ=0", "point-error:p", "point-error:p=1;point-error:p=1",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// BenchmarkHitDisabled proves the disabled probe is effectively free — the
+// cost a production run pays at every instrumented site.
+func BenchmarkHitDisabled(b *testing.B) {
+	Disable()
+	for i := 0; i < b.N; i++ {
+		if Hit(SitePointError, "key") {
+			b.Fatal("fired while disabled")
+		}
+	}
+}
+
+// BenchmarkHitEnabledMiss measures an installed injector whose plan does not
+// include the probed site.
+func BenchmarkHitEnabledMiss(b *testing.B) {
+	inj, _ := New(1, map[Site]Schedule{SiteCGDiverge: {Prob: 1}})
+	Enable(inj)
+	defer Disable()
+	for i := 0; i < b.N; i++ {
+		if Hit(SitePointError, "key") {
+			b.Fatal("unplanned site fired")
+		}
+	}
+}

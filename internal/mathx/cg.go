@@ -3,6 +3,8 @@ package mathx
 import (
 	"fmt"
 	"math"
+
+	"deepheal/internal/faultinject"
 )
 
 // CGSolver holds the Jacobi preconditioner and iteration scratch for
@@ -52,6 +54,11 @@ func (s *CGSolver) Solve(b, x0 []float64, opt CGOptions) ([]float64, float64, er
 	n := s.m.n
 	if len(b) != n {
 		return nil, 0, fmt.Errorf("mathx: SolveCG rhs length %d, want %d", len(b), n)
+	}
+	if err := faultinject.ErrorAt(faultinject.SiteCGDiverge, ""); err != nil {
+		metCGSolves.Inc()
+		metCGFailures.Inc()
+		return nil, math.Inf(1), fmt.Errorf("mathx: CG did not converge: %w", err)
 	}
 	maxIter := opt.MaxIter
 	if maxIter <= 0 {

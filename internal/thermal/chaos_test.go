@@ -1,0 +1,80 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"deepheal/internal/faultinject"
+	"deepheal/internal/obs"
+)
+
+// enableInjector installs a fault plan for the test and restores the
+// zero-cost path afterwards.
+func enableInjector(t *testing.T, seed uint64, plan map[faultinject.Site]faultinject.Schedule) {
+	t.Helper()
+	inj, err := faultinject.New(seed, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(inj)
+	t.Cleanup(faultinject.Disable)
+}
+
+func TestStepFallsBackToSteadyStateOnCGFailure(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableMetrics(reg)
+	t.Cleanup(func() { EnableMetrics(nil) })
+
+	// The grid's first CG solve is the injected transient step; the
+	// steady-state fallback is the second and succeeds.
+	enableInjector(t, 1, map[faultinject.Site]faultinject.Schedule{
+		faultinject.SiteCGDiverge: {Occurrences: []uint64{1}},
+	})
+
+	g := MustNewGrid(4, 4, DefaultConfig())
+	power := make([]float64, 16)
+	power[5] = 2.0
+	if err := g.Step(power, 0.01); err != nil {
+		t.Fatalf("Step did not survive the injected divergence: %v", err)
+	}
+	if got := faultinject.Fired(faultinject.SiteCGDiverge); got != 1 {
+		t.Fatalf("site fired %d times, want 1", got)
+	}
+	if v := reg.Counter("deepheal_solver_fallbacks_total", "").Value(); v != 1 {
+		t.Fatalf("deepheal_solver_fallbacks_total = %d, want 1", v)
+	}
+
+	// The degraded field is the equilibrium for the power map.
+	ref := MustNewGrid(4, 4, DefaultConfig())
+	if err := ref.Settle(power); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if math.Abs(g.Temperature(i).K()-ref.Temperature(i).K()) > 1e-6 {
+			t.Fatalf("tile %d after fallback at %.9f K, steady state %.9f K",
+				i, g.Temperature(i).K(), ref.Temperature(i).K())
+		}
+	}
+}
+
+func TestStepErrorWhenFallbackAlsoFails(t *testing.T) {
+	// Both the transient solve and the steady-state fallback diverge: Step
+	// must surface the error instead of silently keeping a stale field.
+	enableInjector(t, 1, map[faultinject.Site]faultinject.Schedule{
+		faultinject.SiteCGDiverge: {Occurrences: []uint64{1, 2}},
+	})
+
+	g := MustNewGrid(3, 3, DefaultConfig())
+	before := g.Temperatures()
+	power := make([]float64, 9)
+	power[4] = 1.0
+	if err := g.Step(power, 0.01); err == nil {
+		t.Fatal("Step succeeded although transient and fallback solves both failed")
+	}
+	after := g.Temperatures()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("tile %d changed across a failed step", i)
+		}
+	}
+}

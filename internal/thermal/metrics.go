@@ -6,9 +6,10 @@ import "deepheal/internal/obs"
 // no-ops) until EnableMetrics installs live ones. CG iteration counts for
 // the solves themselves live in internal/mathx.
 var (
-	metOperatorBuilds *obs.Counter
-	metSettles        *obs.Counter
-	metSteps          *obs.Counter
+	metOperatorBuilds  *obs.Counter
+	metSettles         *obs.Counter
+	metSteps           *obs.Counter
+	metSolverFallbacks *obs.Counter
 )
 
 // EnableMetrics registers the package's instruments in r. Pass nil to
@@ -21,4 +22,6 @@ func EnableMetrics(r *obs.Registry) {
 		"steady-state thermal solves")
 	metSteps = r.Counter("deepheal_thermal_transient_steps_total",
 		"backward-Euler transient thermal steps")
+	metSolverFallbacks = r.Counter("deepheal_solver_fallbacks_total",
+		"transient thermal solves that fell back to the steady-state operator after CG non-convergence")
 }

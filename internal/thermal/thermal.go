@@ -228,13 +228,14 @@ func (g *Grid) Step(power []float64, dt float64) error {
 	}
 	cdt := g.cfg.HeatCapacity / dt
 	if g.stepMat == nil || g.stepDt != dt {
-		g.stepMat = g.operator(cdt)
-		sol, err := mathx.NewCGSolver(g.stepMat)
+		mat := g.operator(cdt)
+		sol, err := mathx.NewCGSolver(mat)
 		if err != nil {
 			return fmt.Errorf("thermal: transient step: %w", err)
 		}
-		g.stepSol = sol
-		g.stepDt = dt
+		// Adopt the new operator only once the solver exists, so a failed
+		// assembly never leaves a stepMat paired with a stale stepSol.
+		g.stepMat, g.stepSol, g.stepDt = mat, sol, dt
 	}
 	rhs, rise := g.rhs, g.rise
 	for i := range rhs {
@@ -243,7 +244,17 @@ func (g *Grid) Step(power []float64, dt float64) error {
 	}
 	sol, _, err := g.stepSol.Solve(rhs, rise, mathx.CGOptions{})
 	if err != nil {
-		return fmt.Errorf("thermal: transient step: %w", err)
+		// Degraded mode: if the backward-Euler solve did not converge, jump
+		// the field to the equilibrium for this power map via the cached
+		// steady-state operator. That overshoots the transient (the field
+		// lands where it would settle, not where it would be after dt) but
+		// keeps long campaigns alive; the fallback counter records the loss
+		// of transient fidelity.
+		metSolverFallbacks.Inc()
+		if ferr := g.Settle(power); ferr != nil {
+			return fmt.Errorf("thermal: transient step: %w (steady-state fallback: %v)", err, ferr)
+		}
+		return nil
 	}
 	for i := range g.temps {
 		g.temps[i] = g.ambientK + sol[i]
