@@ -14,6 +14,9 @@ import (
 	"time"
 
 	"deepheal/internal/bti"
+	"deepheal/internal/core"
+	"deepheal/internal/obs"
+	"deepheal/internal/obsflag"
 	"deepheal/internal/units"
 )
 
@@ -33,7 +36,22 @@ func run(args []string) error {
 	recoverV := fs.Float64("rvolt", bti.RecoverDeep.GateVoltage, "recovery gate voltage (V, negative = active)")
 	recoverT := fs.Float64("rtemp", bti.RecoverDeep.Temp.C(), "recovery temperature (°C)")
 	sample := fs.Duration("sample", 30*time.Minute, "trace sampling interval")
+	var metrics obsflag.Metrics
+	metrics.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Metrics ride the same cascade as the full simulator, so the kernel
+	// cache and CET sweep counters of even a standalone trace are visible.
+	var reg *obs.Registry
+	if metrics.Enabled() {
+		reg = obs.NewRegistry()
+	}
+	core.EnableMetrics(reg)
+	defer core.EnableMetrics(nil)
+	finishMetrics, err := metrics.Start(reg)
+	if err != nil {
 		return err
 	}
 
@@ -57,5 +75,5 @@ func run(args []string) error {
 	if peak > 0 {
 		fmt.Printf("# recovered %.1f%% of the stress-induced shift\n", (peak-dev.ShiftV())/peak*100)
 	}
-	return nil
+	return finishMetrics()
 }

@@ -8,6 +8,7 @@ import (
 
 	"deepheal/internal/bench"
 	"deepheal/internal/obs"
+	"deepheal/internal/obsflag"
 )
 
 // runBench executes the tracked benchmark set and writes the trajectory
@@ -25,9 +26,10 @@ func runBench(args []string) error {
 	verbose := fs.Bool("v", false, "stream raw go test output while running")
 	strict := fs.Bool("strict", false, "fail when baseline benchmarks are missing from the current run")
 	metricsOut := fs.String("metrics-out", "", "write a JSON snapshot of harness metrics here")
-	prof := profileFlags{}
-	fs.StringVar(&prof.cpu, "cpuprofile", "", "pass -cpuprofile to go test (requires exactly one package)")
-	fs.StringVar(&prof.mem, "memprofile", "", "pass -memprofile to go test (requires exactly one package)")
+	// bench does not profile in-process: the paths are forwarded to the
+	// `go test` child (which requires exactly one package).
+	var prof obsflag.Profile
+	prof.Register(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: deepheal bench [flags] [package...]\n\n"+
 			"Runs the tracked benchmark set (default: the numerical-kernel and\n"+
@@ -52,8 +54,8 @@ func runBench(args []string) error {
 		Pattern:    *pattern,
 		Benchtime:  *benchtime,
 		Stdout:     sink,
-		CPUProfile: prof.cpu,
-		MemProfile: prof.mem,
+		CPUProfile: prof.CPU,
+		MemProfile: prof.Mem,
 		Metrics:    reg,
 	})
 	if err != nil {

@@ -10,6 +10,7 @@
 //	deepheal all -resume out/camp  # checkpoint/resume at point granularity
 //	deepheal sim [flags]           # run one policy simulation directly
 //	deepheal bench [flags]         # run tracked benchmarks, emit/compare JSON
+//	deepheal serve [flags]         # host the chip-fleet HTTP/JSON service
 //
 // Experiments execute on the campaign engine: every experiment declares its
 // independent simulation points, the engine fans them across a bounded
@@ -27,7 +28,9 @@
 // The sim subcommand drives a single engine simulation with progress
 // reporting and checkpoint/resume; see `deepheal sim -h`. The bench
 // subcommand records the benchmark trajectory (see `deepheal bench -h`);
-// CI gates it against the committed BENCH_PR2.json.
+// CI gates it against the committed BENCH_PR2.json. The serve subcommand
+// hosts the fleet service (see `deepheal serve -h`): on SIGTERM it drains
+// HTTP, writes the fleet checkpoint and exits 0.
 package main
 
 import (
@@ -43,8 +46,11 @@ import (
 	"time"
 
 	"deepheal/internal/campaign"
+	"deepheal/internal/core"
 	"deepheal/internal/experiments"
 	"deepheal/internal/faultinject"
+	"deepheal/internal/obs"
+	"deepheal/internal/obsflag"
 )
 
 // Exit codes: 0 success, 1 generic failure, 3 campaign completed but
@@ -114,7 +120,7 @@ func withSignalHandling(parent context.Context, exit func(int)) (context.Context
 
 // parseInterspersed parses fs flags wherever they appear among args,
 // collecting the positional arguments — so `deepheal all -q` works like
-// `deepheal -q all`. The sim and bench verbs keep their remaining
+// `deepheal -q all`. The sim, bench and serve verbs keep their remaining
 // arguments raw: they own their own flag sets.
 func parseInterspersed(fs *flag.FlagSet, args []string) ([]string, error) {
 	var pos []string
@@ -128,7 +134,7 @@ func parseInterspersed(fs *flag.FlagSet, args []string) ([]string, error) {
 		}
 		pos = append(pos, args[0])
 		args = args[1:]
-		if len(pos) == 1 && (pos[0] == "sim" || pos[0] == "bench") {
+		if len(pos) == 1 && (pos[0] == "sim" || pos[0] == "bench" || pos[0] == "serve") {
 			return append(pos, args...), nil
 		}
 	}
@@ -145,8 +151,12 @@ func run(ctx context.Context, args []string) error {
 	retries := fs.Int("retries", 1, "attempts per campaign point before it is quarantined")
 	pointTimeout := fs.Duration("point-timeout", 0, "deadline per point attempt; a miss is retried, then quarantined (0 = none)")
 	stallTimeout := fs.Duration("stall-timeout", 0, "log points still running after this long (0 = off)")
+	var metrics obsflag.Metrics
+	metrics.Register(fs)
+	var prof obsflag.Profile
+	prof.Register(fs)
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: deepheal [-q] [-o dir] [-parallel n] [-resume dir] [-faults spec] list | all | sim | bench | <experiment>...\n\nexperiments:\n")
+		fmt.Fprintf(fs.Output(), "usage: deepheal [-q] [-o dir] [-parallel n] [-resume dir] [-faults spec] list | all | sim | bench | serve | <experiment>...\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
 			fmt.Fprintf(fs.Output(), "  %s\n", id)
 		}
@@ -181,6 +191,8 @@ func run(ctx context.Context, args []string) error {
 		return runSim(ctx, pos[1:])
 	case "bench":
 		return runBench(pos[1:])
+	case "serve":
+		return runServe(ctx, pos[1:])
 	case "list":
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
@@ -194,7 +206,22 @@ func run(ctx context.Context, args []string) error {
 	default:
 		ids = pos
 	}
-	return runCampaign(ctx, ids, campaignConfig{
+	stopProfiles, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
+	var reg *obs.Registry
+	if metrics.Enabled() {
+		reg = obs.NewRegistry()
+	}
+	core.EnableMetrics(reg)
+	defer core.EnableMetrics(nil)
+	finishMetrics, err := metrics.Start(reg)
+	if err != nil {
+		return err
+	}
+	if err := runCampaign(ctx, ids, campaignConfig{
 		Quiet:        *quiet,
 		OutDir:       *outDir,
 		Workers:      *parallel,
@@ -202,7 +229,11 @@ func run(ctx context.Context, args []string) error {
 		Retries:      *retries,
 		PointTimeout: *pointTimeout,
 		StallTimeout: *stallTimeout,
-	})
+	}); err != nil {
+		finishMetrics()
+		return err
+	}
+	return finishMetrics()
 }
 
 // campaignConfig bundles the CLI knobs that shape a campaign run.

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"deepheal/internal/core"
+	"deepheal/internal/fleet"
+	"deepheal/internal/obs"
+	"deepheal/internal/obsflag"
+)
+
+// runServe hosts the fleet service: an HTTP/JSON API over a fleet.Manager,
+// with obs metrics baked into the same endpoint. On SIGINT/SIGTERM (ctx
+// cancellation) it drains in-flight requests, writes the fleet checkpoint
+// (-checkpoint) and exits 0; a restarted server restores the checkpoint and
+// answers status queries byte-identically.
+func runServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("deepheal serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "fleet API listen address (port 0 picks a free one)")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (useful with port 0)")
+	workers := fs.Int("workers", 0, "shared stepping pool size (0 = GOMAXPROCS)")
+	maxResident := fs.Int("max-resident", 0, "chips allowed to keep a live simulator (0 = unlimited); the least recently used excess is suspended to compact snapshots")
+	checkpoint := fs.String("checkpoint", "", "fleet checkpoint file: restore from it on start, write it on shutdown")
+	drain := fs.Duration("drain-timeout", 10*time.Second, "deadline for draining in-flight HTTP requests on shutdown")
+	var metrics obsflag.Metrics
+	metrics.Register(fs)
+	var prof obsflag.Profile
+	prof.Register(fs)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: deepheal serve [flags]\n\n"+
+			"Serves the chip-fleet API; see GET /v1/meta for policies and corners.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve: unexpected argument %q", fs.Arg(0))
+	}
+	stopProfiles, err := prof.Start()
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	defer stopProfiles()
+
+	// Metrics are part of the fleet API (GET /metrics), so the registry is
+	// unconditional; -metrics-addr/-metrics-out still work on top of it.
+	reg := obs.NewRegistry()
+	core.EnableMetrics(reg)
+	defer core.EnableMetrics(nil)
+	fleet.EnableMetrics(reg)
+	defer fleet.EnableMetrics(nil)
+	finishMetrics, err := metrics.Start(reg)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	m := fleet.NewManager(fleet.Options{Workers: *workers, MaxResident: *maxResident})
+	defer m.Close()
+	if *checkpoint != "" {
+		data, err := os.ReadFile(*checkpoint)
+		switch {
+		case err == nil:
+			if err := m.Restore(data); err != nil {
+				return fmt.Errorf("serve: restore fleet from %s: %w", *checkpoint, err)
+			}
+			fmt.Fprintf(os.Stderr, "restored %d chip(s) from %s\n", m.Len(), *checkpoint)
+		case errors.Is(err, os.ErrNotExist):
+			// First start: the file appears on the first shutdown.
+		default:
+			return err
+		}
+	}
+
+	srv, err := obs.StartHTTPServer(*addr, m.Handler(reg))
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "fleet API on http://%s (policies and corners: GET /v1/meta)\n", srv.Addr())
+	if *addrFile != "" {
+		if err := writeFileAtomic(*addrFile, []byte(srv.Addr()+"\n")); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
+
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "serve: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: drain incomplete (%v), closing\n", err)
+		srv.Close()
+	}
+	cancel()
+
+	if *checkpoint != "" {
+		blob, err := m.Checkpoint()
+		if err != nil {
+			return fmt.Errorf("serve: checkpoint fleet: %w", err)
+		}
+		if err := writeFileAtomic(*checkpoint, blob); err != nil {
+			return fmt.Errorf("serve: checkpoint fleet: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "serve: wrote fleet checkpoint (%d chips, %d bytes) to %s\n",
+			m.Len(), len(blob), *checkpoint)
+	}
+	return finishMetrics()
+}
+
+// writeFileAtomic writes data via a temp file + rename so a crash mid-write
+// never leaves a truncated file behind.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -6,34 +6,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"time"
 
 	"deepheal/internal/core"
 	"deepheal/internal/engine"
 	"deepheal/internal/faultinject"
 	"deepheal/internal/obs"
+	"deepheal/internal/obsflag"
 )
-
-// policyFactories maps CLI policy names to fresh policy instances. Factories,
-// not values: stateful policies must start (or resume) clean per run.
-var policyFactories = map[string]func() core.Policy{
-	"no-recovery":           func() core.Policy { return &core.NoRecovery{} },
-	"passive":               func() core.Policy { return &core.PassiveRecovery{} },
-	"deep-healing":          func() core.Policy { return core.DefaultDeepHealing() },
-	"round-robin":           func() core.Policy { return core.DefaultRoundRobin() },
-	"heat-aware":            func() core.Policy { return core.DefaultHeatAware() },
-	"adaptive-compensation": func() core.Policy { return &core.AdaptiveCompensation{} },
-}
-
-func policyNames() []string {
-	names := make([]string, 0, len(policyFactories))
-	for name := range policyFactories {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
 
 // runSim executes a single engine-driven lifetime simulation with optional
 // progress reporting and checkpoint/resume.
@@ -47,14 +27,13 @@ func runSim(ctx context.Context, args []string) error {
 	progress := fs.Bool("progress", false, "print step progress while running")
 	checkpoint := fs.String("checkpoint", "", "checkpoint file: resume from it if present, save into it while running")
 	checkpointEvery := fs.Int("checkpoint-every", 100, "steps between checkpoint saves (with -checkpoint)")
-	metricsAddr := fs.String("metrics-addr", "", "serve live metrics over HTTP on this address (e.g. :9090)")
-	metricsOut := fs.String("metrics-out", "", "write a final JSON metrics snapshot to this file")
-	prof := profileFlags{}
-	fs.StringVar(&prof.cpu, "cpuprofile", "", "write a CPU profile of the run to this file")
-	fs.StringVar(&prof.mem, "memprofile", "", "write a heap profile at the end of the run to this file")
+	var metrics obsflag.Metrics
+	metrics.Register(fs)
+	var prof obsflag.Profile
+	prof.Register(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: deepheal sim [flags]\n\npolicies:\n")
-		for _, name := range policyNames() {
+		for _, name := range core.PolicyNames() {
 			fmt.Fprintf(fs.Output(), "  %s\n", name)
 		}
 		fs.PrintDefaults()
@@ -65,14 +44,14 @@ func runSim(ctx context.Context, args []string) error {
 	if fs.NArg() != 0 {
 		return fmt.Errorf("sim: unexpected argument %q", fs.Arg(0))
 	}
-	factory, ok := policyFactories[*policy]
-	if !ok {
-		return fmt.Errorf("sim: unknown policy %q (have %v)", *policy, policyNames())
+	pol, err := core.NewPolicy(*policy)
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	if *checkpoint != "" && *checkpointEvery < 1 {
 		return fmt.Errorf("sim: -checkpoint-every must be at least 1")
 	}
-	stopProfiles, err := prof.start()
+	stopProfiles, err := prof.Start()
 	if err != nil {
 		return fmt.Errorf("sim: %w", err)
 	}
@@ -81,18 +60,14 @@ func runSim(ctx context.Context, args []string) error {
 	// Metrics come on before the simulator is built so every kernel build,
 	// CG solve and pipeline stage of this run is counted from step zero.
 	var reg *obs.Registry
-	if *metricsAddr != "" || *metricsOut != "" {
+	if metrics.Enabled() {
 		reg = obs.NewRegistry()
 	}
 	core.EnableMetrics(reg)
 	defer core.EnableMetrics(nil)
-	if *metricsAddr != "" {
-		srv, err := reg.StartServer(*metricsAddr)
-		if err != nil {
-			return fmt.Errorf("sim: metrics server: %w", err)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", srv.Addr())
+	finishMetrics, err := metrics.Start(reg)
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 
 	cfg := core.DefaultConfig()
@@ -122,7 +97,7 @@ func runSim(ctx context.Context, args []string) error {
 		}))
 	}
 
-	sim, err := core.NewSimulator(cfg, factory(), opts...)
+	sim, err := core.NewSimulator(cfg, pol, opts...)
 	if err != nil {
 		return err
 	}
@@ -160,12 +135,8 @@ func runSim(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	if *metricsOut != "" {
-		snap := reg.Snapshot()
-		if err := snap.WriteFile(*metricsOut); err != nil {
-			return fmt.Errorf("sim: metrics snapshot: %w", err)
-		}
-		fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", *metricsOut)
+	if err := finishMetrics(); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	if *checkpoint != "" {
 		// The horizon is done; a stale checkpoint would only re-run the end.

@@ -12,7 +12,10 @@ import (
 	"os"
 	"time"
 
+	"deepheal/internal/core"
 	"deepheal/internal/em"
+	"deepheal/internal/obs"
+	"deepheal/internal/obsflag"
 	"deepheal/internal/units"
 )
 
@@ -31,7 +34,22 @@ func run(args []string) error {
 	recoverDur := fs.Duration("recover", 192*time.Minute, "recovery phase duration")
 	jRecover := fs.Float64("rj", -7.96, "recovery current density (MA/cm², signed; 0 = passive)")
 	sample := fs.Duration("sample", 30*time.Minute, "trace sampling interval")
+	var metrics obsflag.Metrics
+	metrics.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Metrics ride the same cascade as the full simulator, so the solver
+	// counters behind a standalone wire trace are visible.
+	var reg *obs.Registry
+	if metrics.Enabled() {
+		reg = obs.NewRegistry()
+	}
+	core.EnableMetrics(reg)
+	defer core.EnableMetrics(nil)
+	finishMetrics, err := metrics.Start(reg)
+	if err != nil {
 		return err
 	}
 
@@ -63,12 +81,12 @@ func run(args []string) error {
 	}
 	if w.Broken() {
 		fmt.Println("# wire failed open")
-		return nil
+		return finishMetrics()
 	}
 	fresh := em.DefaultParams().Resistance0(temp)
 	if rise := peak - fresh; rise > 0 {
 		fmt.Printf("# recovered %.1f%% of the EM-induced rise; residual %.3f Ω\n",
 			(peak-w.Resistance(temp))/rise*100, w.Resistance(temp)-fresh)
 	}
-	return nil
+	return finishMetrics()
 }

@@ -19,6 +19,7 @@ func (d *Device) Restore(data []byte) error {
 	if err != nil {
 		return err
 	}
+	d.Release() // the replacement state holds its own grid reference
 	*d = *nd
 	return nil
 }

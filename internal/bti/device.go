@@ -29,7 +29,7 @@ func NewDevice(p Params) (*Device, error) {
 	}
 	return &Device{
 		params: p,
-		grid:   gridFor(p),
+		grid:   acquireGrid(p),
 		occ:    make([]float64, p.GridCapture*p.GridEmission),
 	}, nil
 }
@@ -64,12 +64,28 @@ func (d *Device) LockedV() float64 { return d.lockedV }
 // Age returns the total simulated time the device has lived, in seconds.
 func (d *Device) Age() float64 { return d.age }
 
-// Clone returns an independent copy sharing the immutable CET grid.
+// Clone returns an independent copy sharing the immutable CET grid; the
+// copy holds its own cache reference.
 func (d *Device) Clone() *Device {
 	c := *d
 	c.occ = make([]float64, len(d.occ))
 	copy(c.occ, d.occ)
+	if d.grid != nil {
+		reacquireGrid(d.params, d.grid)
+	}
 	return &c
+}
+
+// Release drops the device's reference on the shared CET-grid cache so an
+// idle corner's grid can be recycled once every holder is gone. The device
+// must not be used afterwards. Short-lived devices may skip Release — their
+// grids merely stay pinned, which is the pre-refcounting behaviour.
+func (d *Device) Release() {
+	if d.grid == nil {
+		return
+	}
+	releaseGrid(d.params, d.grid)
+	d.grid = nil
 }
 
 // Reset returns the device to the fresh state.
@@ -221,6 +237,7 @@ func (d *Device) RecoveryFraction(cond Condition, dur float64) float64 {
 		return 0
 	}
 	c := d.Clone()
+	defer c.Release()
 	c.Apply(cond, dur)
 	return (before - c.ShiftV()) / before
 }

@@ -12,6 +12,11 @@ var (
 	metKernelRefusals *obs.Counter
 	metKernelResident *obs.Gauge
 	metSeparableSweep *obs.Counter
+
+	metGridHits      *obs.Counter
+	metGridBuilds    *obs.Counter
+	metGridEvictions *obs.Counter
+	metGridEntries   *obs.Gauge
 )
 
 // EnableMetrics registers the package's instruments in r and routes the
@@ -32,4 +37,12 @@ func EnableMetrics(r *obs.Registry) {
 		"float64 words held by cached kernels across all grids")
 	metSeparableSweep = r.Counter("deepheal_bti_separable_sweeps_total",
 		"evolution substeps served by the direct separable sweep fallback")
+	metGridHits = r.Counter("deepheal_bti_grid_hits_total",
+		"device constructions served by an already-resident shared CET grid")
+	metGridBuilds = r.Counter("deepheal_bti_grid_builds_total",
+		"CET grids discretised (cache misses and private overflow grids)")
+	metGridEvictions = r.Counter("deepheal_bti_grid_evictions_total",
+		"idle shared grids evicted to admit a new corner")
+	metGridEntries = r.Gauge("deepheal_bti_grid_entries",
+		"distinct Params with a resident shared CET grid")
 }

@@ -2,8 +2,10 @@ package bti
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"math"
 )
 
 // deviceSnapshot is the serialised form of a Device's mutable state. The
@@ -59,4 +61,104 @@ func RestoreDevice(data []byte) (*Device, error) {
 	d.lockedV = snap.LockedV
 	d.age = snap.Age
 	return d, nil
+}
+
+// Compact codec. The gob form above carries the full Params struct per
+// device so a snapshot is self-describing; a fleet checkpoint holds
+// thousands of devices whose Params the chip spec already pins, so the
+// compact form stores only the mutable state: grid dimensions (as a
+// compatibility check), the three permanent-state floats, and the raw
+// occupancy. The occupancy bytes are transposed byte-plane-wise
+// (HDF5-style shuffle) so the slowly-varying high-order exponent/sign
+// bytes of neighbouring cells become long runs that the container's
+// DEFLATE layer can squeeze; the transform is exactly invertible, keeping
+// restores bit-identical.
+
+// compactDeviceMagic tags the compact device framing.
+const compactDeviceMagic = 'B'
+
+// shuffleBytes transposes an n×stride byte matrix into dst: plane b of the
+// output holds byte b of every element.
+func shuffleBytes(dst, src []byte, stride int) {
+	n := len(src) / stride
+	for i := 0; i < n; i++ {
+		for b := 0; b < stride; b++ {
+			dst[b*n+i] = src[i*stride+b]
+		}
+	}
+}
+
+// unshuffleBytes inverts shuffleBytes.
+func unshuffleBytes(dst, src []byte, stride int) {
+	n := len(src) / stride
+	for i := 0; i < n; i++ {
+		for b := 0; b < stride; b++ {
+			dst[i*stride+b] = src[b*n+i]
+		}
+	}
+}
+
+// SnapshotCompact serialises the device's mutable state in the compact
+// fleet framing. Restore with RestoreCompact on a device built from the
+// same Params.
+func (d *Device) SnapshotCompact() []byte {
+	cells := len(d.occ)
+	buf := make([]byte, 0, 1+2*binary.MaxVarintLen64+24+8*cells)
+	buf = append(buf, compactDeviceMagic)
+	buf = binary.AppendUvarint(buf, uint64(d.params.GridCapture))
+	buf = binary.AppendUvarint(buf, uint64(d.params.GridEmission))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.precursorV))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.lockedV))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.age))
+	raw := make([]byte, 8*cells)
+	for i, v := range d.occ {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	}
+	shuffled := make([]byte, len(raw))
+	shuffleBytes(shuffled, raw, 8)
+	return append(buf, shuffled...)
+}
+
+// RestoreCompact rewinds the receiver from a SnapshotCompact payload taken
+// from a device with the same grid dimensions.
+func (d *Device) RestoreCompact(data []byte) error {
+	if len(data) == 0 || data[0] != compactDeviceMagic {
+		return fmt.Errorf("bti: restore compact: bad magic")
+	}
+	rest := data[1:]
+	nc, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return fmt.Errorf("bti: restore compact: truncated capture dim")
+	}
+	rest = rest[n:]
+	ne, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return fmt.Errorf("bti: restore compact: truncated emission dim")
+	}
+	rest = rest[n:]
+	if int(nc) != d.params.GridCapture || int(ne) != d.params.GridEmission {
+		return fmt.Errorf("bti: restore compact: snapshot grid %dx%d does not match device %dx%d",
+			nc, ne, d.params.GridCapture, d.params.GridEmission)
+	}
+	cells := len(d.occ)
+	if len(rest) != 24+8*cells {
+		return fmt.Errorf("bti: restore compact: payload %dB, want %dB", len(rest), 24+8*cells)
+	}
+	precursorV := math.Float64frombits(binary.LittleEndian.Uint64(rest[0:]))
+	lockedV := math.Float64frombits(binary.LittleEndian.Uint64(rest[8:]))
+	age := math.Float64frombits(binary.LittleEndian.Uint64(rest[16:]))
+	raw := make([]byte, 8*cells)
+	unshuffleBytes(raw, rest[24:], 8)
+	occ := make([]float64, cells)
+	for i := range occ {
+		occ[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		if occ[i] < 0 || occ[i] > 1 {
+			return fmt.Errorf("bti: restore compact: occupancy[%d] = %g outside [0,1]", i, occ[i])
+		}
+	}
+	copy(d.occ, occ)
+	d.precursorV = precursorV
+	d.lockedV = lockedV
+	d.age = age
+	return nil
 }

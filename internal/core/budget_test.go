@@ -1,0 +1,51 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// compactSnapshotBudget is the committed byte ceiling for a mature 8x8
+// reference chip's compact snapshot. Measured at ~92 KB (steps 100-400;
+// the RLE rng journal keeps it flat with age) against ~242 KB for the gob
+// form, the budget adds ~40 % headroom for legitimate format evolution
+// while catching accidental bloat: a change that silently reverts a codec
+// to gob, forgets the byte-plane shuffle, or starts journaling per-draw rng
+// ops again will blow well past it. If you grow the format deliberately,
+// re-measure and move the constant in the same change.
+const compactSnapshotBudget = 128 << 10
+
+func TestCompactSnapshotWithinBudget(t *testing.T) {
+	cfg := ConfigForGrid(8, 8)
+	cfg.Steps = 400
+	cfg.Seed = 42
+	sim, err := NewSimulator(cfg, DefaultDeepHealing(), WithLeanSeries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	// Age the chip first: occupancy grids decompress poorly once populated
+	// and the rng journals have accumulated runs, so this is the snapshot's
+	// steady-state size, not the trivially small fresh one.
+	if err := sim.RunSteps(context.Background(), 200); err != nil {
+		t.Fatal(err)
+	}
+	compact, err := sim.SnapshotCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compact) > compactSnapshotBudget {
+		t.Errorf("mature 8x8 compact snapshot is %d bytes, budget %d — if this growth is intentional, re-measure and update compactSnapshotBudget",
+			len(compact), compactSnapshotBudget)
+	}
+
+	// The compact form must also stay meaningfully smaller than gob — that
+	// ratio is the whole point of the fleet suspend path.
+	gob, err := sim.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compact)*2 > len(gob) {
+		t.Errorf("compact snapshot %d B is not at least 2x smaller than gob %d B", len(compact), len(gob))
+	}
+}

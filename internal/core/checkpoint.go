@@ -30,6 +30,8 @@ type simState struct {
 	Segments      int
 	PolicyName    string
 	PolicyState   []byte // nil when the policy is stateless
+	Lean          bool   // series holds only the latest StepStats
+	Compact       bool   // component payloads use the compact codecs
 	LastTemps     []float64
 	SensedShift   []float64
 	SensedEMDelta float64
@@ -55,35 +57,100 @@ func snapCore(i int) string     { return fmt.Sprintf("bti/core/%d", i) }
 func snapROSensor(i int) string { return fmt.Sprintf("sensor/ro/%d", i) }
 func snapSegment(k int) string  { return fmt.Sprintf("em/seg/%d", k) }
 
+// wantSeriesLen is how many StepStats a consistent snapshot carries: every
+// step in full mode, just the latest (if any) in lean mode.
+func wantSeriesLen(state simState) int {
+	if state.Lean && state.Step > 1 {
+		return 1
+	}
+	return state.Step
+}
+
+// restoreComponent rewinds one component from the snapshot, dispatching on
+// the payload form the checkpoint was taken with.
+func restoreComponent(snap *engine.SystemSnapshot, name string, compact bool, c engine.Component, restoreCompact func([]byte) error) error {
+	if !compact {
+		return snap.Restore(name, c)
+	}
+	data, err := snap.Bytes(name)
+	if err != nil {
+		return err
+	}
+	if err := restoreCompact(data); err != nil {
+		return fmt.Errorf("engine: restore %q: %w", name, err)
+	}
+	return nil
+}
+
 // Snapshot checkpoints the whole system — every BTI core, EM segment, the
 // thermal and power grids, all sensor noise streams, the policy's planning
 // state and the report accumulators — into one versioned blob. It must be
 // taken on a step boundary (never from inside a hook).
 func (s *Simulator) Snapshot() ([]byte, error) {
+	return s.snapshot(false)
+}
+
+// SnapshotCompact is Snapshot in the compact fleet framing: per-component
+// compact codecs for the numerous BTI/EM/sensor components (the grids and
+// the sim state stay gob — one each per chip) inside the DEFLATE-compressed
+// engine container. Restore accepts both forms; the compact one is a small
+// fraction of the gob size, which is what lets a fleet suspend evicted
+// chips to in-memory blobs. Size is guarded by a regression test against a
+// committed byte budget.
+func (s *Simulator) SnapshotCompact() ([]byte, error) {
+	return s.snapshot(true)
+}
+
+func (s *Simulator) snapshot(compact bool) ([]byte, error) {
 	var start time.Time
 	if metCkptSaveSeconds != nil {
 		start = time.Now()
 	}
 	snap := engine.NewSystemSnapshot(s.step)
 	for i, dev := range s.cores {
-		if err := snap.Add(snapCore(i), dev); err != nil {
+		var err error
+		if compact {
+			err = snap.AddBytes(snapCore(i), dev.SnapshotCompact())
+		} else {
+			err = snap.Add(snapCore(i), dev)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}
 	for i, ro := range s.sensors {
-		if err := snap.Add(snapROSensor(i), ro); err != nil {
+		var err error
+		if compact {
+			err = snap.AddBytes(snapROSensor(i), ro.SnapshotCompact())
+		} else {
+			err = snap.Add(snapROSensor(i), ro)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}
 	for k, seg := range s.segments {
-		if err := snap.Add(snapSegment(k), seg); err != nil {
+		var err error
+		if compact {
+			err = snap.AddBytes(snapSegment(k), seg.SnapshotCompact())
+		} else {
+			err = snap.Add(snapSegment(k), seg)
+		}
+		if err != nil {
 			return nil, err
 		}
+	}
+	if compact {
+		if err := snap.AddBytes(snapEMSensor, s.emSensor.SnapshotCompact()); err != nil {
+			return nil, err
+		}
+	} else if err := snap.Add(snapEMSensor, s.emSensor); err != nil {
+		return nil, err
 	}
 	for _, c := range []struct {
 		name string
 		comp engine.Component
-	}{{snapThermal, s.grid}, {snapPDN, s.power}, {snapEMSensor, s.emSensor}} {
+	}{{snapThermal, s.grid}, {snapPDN, s.power}} {
 		if err := snap.Add(c.name, c.comp); err != nil {
 			return nil, err
 		}
@@ -96,6 +163,8 @@ func (s *Simulator) Snapshot() ([]byte, error) {
 		Steps:         s.cfg.Steps,
 		Segments:      len(s.segments),
 		PolicyName:    s.policy.Name(),
+		Lean:          s.opts.LeanSeries,
+		Compact:       compact,
 		LastTemps:     s.lastTemps,
 		SensedShift:   s.sensedShift,
 		SensedEMDelta: s.sensedEMDelta,
@@ -122,7 +191,13 @@ func (s *Simulator) Snapshot() ([]byte, error) {
 	if err := snap.AddBytes(snapSim, buf.Bytes()); err != nil {
 		return nil, err
 	}
-	blob, err := snap.Encode()
+	var blob []byte
+	var err error
+	if compact {
+		blob, err = snap.EncodeCompact()
+	} else {
+		blob, err = snap.Encode()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +240,9 @@ func (s *Simulator) Restore(data []byte) error {
 		return fmt.Errorf("core: restore: snapshot has %d segments, simulator %d", state.Segments, len(s.segments))
 	case state.PolicyName != s.policy.Name():
 		return fmt.Errorf("core: restore: snapshot ran policy %q, simulator runs %q", state.PolicyName, s.policy.Name())
-	case state.Step < 0 || state.Step > s.cfg.Steps || len(state.Series) != state.Step:
+	case state.Lean != s.opts.LeanSeries:
+		return fmt.Errorf("core: restore: snapshot lean-series mode %v, simulator %v", state.Lean, s.opts.LeanSeries)
+	case state.Step < 0 || state.Step > s.cfg.Steps || len(state.Series) != wantSeriesLen(state):
 		return fmt.Errorf("core: restore: inconsistent resume point (step %d, %d recorded)", state.Step, len(state.Series))
 	}
 	if state.PolicyState != nil {
@@ -179,24 +256,27 @@ func (s *Simulator) Restore(data []byte) error {
 	}
 
 	for i, dev := range s.cores {
-		if err := snap.Restore(snapCore(i), dev); err != nil {
+		if err := restoreComponent(snap, snapCore(i), state.Compact, dev, dev.RestoreCompact); err != nil {
 			return err
 		}
 	}
 	for i, ro := range s.sensors {
-		if err := snap.Restore(snapROSensor(i), ro); err != nil {
+		if err := restoreComponent(snap, snapROSensor(i), state.Compact, ro, ro.RestoreCompact); err != nil {
 			return err
 		}
 	}
 	for k, seg := range s.segments {
-		if err := snap.Restore(snapSegment(k), seg); err != nil {
+		if err := restoreComponent(snap, snapSegment(k), state.Compact, seg, seg.RestoreCompact); err != nil {
 			return err
 		}
+	}
+	if err := restoreComponent(snap, snapEMSensor, state.Compact, s.emSensor, s.emSensor.RestoreCompact); err != nil {
+		return err
 	}
 	for _, c := range []struct {
 		name string
 		comp engine.Component
-	}{{snapThermal, s.grid}, {snapPDN, s.power}, {snapEMSensor, s.emSensor}} {
+	}{{snapThermal, s.grid}, {snapPDN, s.power}} {
 		if err := snap.Restore(c.name, c.comp); err != nil {
 			return err
 		}

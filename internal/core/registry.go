@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// policyFactories maps public policy names to fresh instances. Factories,
+// not values: stateful policies must start (or resume) clean per run. The
+// CLI subcommands and the fleet service resolve names through the same
+// table so a policy is spelled identically everywhere.
+var policyFactories = map[string]func() Policy{
+	"no-recovery":           func() Policy { return &NoRecovery{} },
+	"passive":               func() Policy { return &PassiveRecovery{} },
+	"deep-healing":          func() Policy { return DefaultDeepHealing() },
+	"round-robin":           func() Policy { return DefaultRoundRobin() },
+	"heat-aware":            func() Policy { return DefaultHeatAware() },
+	"adaptive-compensation": func() Policy { return &AdaptiveCompensation{} },
+}
+
+// NewPolicy returns a fresh instance of the named policy.
+func NewPolicy(name string) (Policy, error) {
+	factory, ok := policyFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown policy %q (have %v)", name, PolicyNames())
+	}
+	return factory(), nil
+}
+
+// PolicyNames lists the registered policy names, sorted.
+func PolicyNames() []string {
+	names := make([]string, 0, len(policyFactories))
+	for name := range policyFactories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -11,7 +11,6 @@ import (
 	"deepheal/internal/engine"
 	"deepheal/internal/lifetime"
 	"deepheal/internal/pdn"
-	"deepheal/internal/rngx"
 	"deepheal/internal/sensor"
 	"deepheal/internal/thermal"
 	"deepheal/internal/units"
@@ -24,6 +23,16 @@ type Options struct {
 	// 0 uses GOMAXPROCS; 1 steps serially. Results are bit-identical for
 	// every setting (see internal/engine.Pool).
 	Workers int
+	// Pool, if non-nil, overrides Workers with a caller-owned worker pool.
+	// A fleet stepping many chips hands every simulator the same pool so
+	// parallelism is budgeted once across the fleet instead of per chip.
+	Pool *engine.Pool
+	// LeanSeries retains only the most recent StepStats instead of the full
+	// per-step series. Fleet chips run open-ended horizons where an O(steps)
+	// series per chip would defeat the memory budget; the report
+	// accumulators (guardband, availability, recovery overhead) are
+	// unaffected.
+	LeanSeries bool
 	// Progress, if non-nil, is called after every completed step with the
 	// steps done and the configured horizon.
 	Progress func(step, total int)
@@ -46,6 +55,13 @@ func WithProgress(fn func(step, total int)) Option {
 func WithStageTime(fn func(stage engine.StageName, d time.Duration)) Option {
 	return func(o *Options) { o.StageTime = fn }
 }
+
+// WithPool makes the simulator step through a caller-owned worker pool
+// shared with other simulators.
+func WithPool(p *engine.Pool) Option { return func(o *Options) { o.Pool = p } }
+
+// WithLeanSeries keeps only the latest StepStats instead of the full series.
+func WithLeanSeries() Option { return func(o *Options) { o.LeanSeries = true } }
 
 // Simulator runs one policy over the configured system as a staged engine
 // pipeline: plan → electrical → thermal → wearout → sense → record. The
@@ -93,97 +109,27 @@ type Simulator struct {
 	demanded, delivered             float64
 }
 
-// NewSimulator builds a simulator for one policy run.
+// NewSimulator builds a simulator for one policy run. It is a convenience
+// wrapper over NewModel + Model.NewSimulator for callers that run a single
+// chip; fleet-scale callers build the Model once and instantiate many
+// simulators over it.
 func NewSimulator(cfg Config, policy Policy, opts ...Option) (*Simulator, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if policy == nil {
-		return nil, fmt.Errorf("core: nil policy")
-	}
-	n := cfg.NumCores()
-	rng := rngx.New(cfg.Seed)
-	s := &Simulator{cfg: cfg, policy: policy, emFailedStep: -1}
-	for _, o := range opts {
-		o(&s.opts)
-	}
-	s.pool = engine.NewPool(s.opts.Workers)
-
-	s.cores = make([]*bti.Device, n)
-	s.sensors = make([]*sensor.ROSensor, n)
-	s.profiles = make([]workload.Profile, n)
-	for i := 0; i < n; i++ {
-		dev, err := bti.NewDevice(cfg.BTI)
-		if err != nil {
-			return nil, err
-		}
-		s.cores[i] = dev
-		ro, err := sensor.NewRO(cfg.Sensor, rng.Split(int64(i)))
-		if err != nil {
-			return nil, err
-		}
-		s.sensors[i] = ro
-		if len(cfg.Workloads) == n && cfg.Workloads[i] != nil {
-			s.profiles[i] = cfg.Workloads[i]
-		} else {
-			s.profiles[i] = workload.Constant{Util: 0.7}
-		}
-	}
-
-	grid, err := thermal.NewGrid(cfg.Rows, cfg.Cols, cfg.Thermal)
+	m, err := NewModel(cfg)
 	if err != nil {
 		return nil, err
 	}
-	s.grid = grid
-	s.lastTemps = make([]float64, n)
-	for i := range s.lastTemps {
-		s.lastTemps[i] = cfg.Thermal.Ambient.C()
-	}
+	return m.NewSimulator(policy, opts...)
+}
 
-	power, err := pdn.New(cfg.PDN)
-	if err != nil {
-		return nil, err
+// Close releases the simulator's references on process-shared caches (the
+// refcounted BTI grid cache), letting an idle process corner's
+// discretisation be recycled once every chip using it is gone. The
+// simulator must not be stepped afterwards. Single-run callers may skip
+// Close; fleet managers call it when retiring or evicting a chip.
+func (s *Simulator) Close() {
+	for _, dev := range s.cores {
+		dev.Release()
 	}
-	s.power = power
-	s.segments = make([]*em.Reduced, len(power.Edges()))
-	for k := range s.segments {
-		seg, err := em.NewReduced(cfg.EM)
-		if err != nil {
-			return nil, err
-		}
-		s.segments[k] = seg
-	}
-	emSensorCfg := sensor.EMConfig{RefOhm: cfg.PDN.SegOhm, NoiseSigmaFrac: 1e-3}
-	es, err := sensor.NewEM(emSensorCfg, rng.Split(int64(n)+1))
-	if err != nil {
-		return nil, err
-	}
-	s.emSensor = es
-
-	s.demand = make([]float64, n)
-	s.effUtil = make([]float64, n)
-	s.powerMap = make([]float64, n)
-	s.load = make([]float64, n)
-	s.sensedShift = make([]float64, n)
-	seriesCap := cfg.Steps
-	if seriesCap > 1<<16 {
-		seriesCap = 1 << 16 // let very long horizons grow on demand
-	}
-	s.series = make([]StepStats, 0, seriesCap)
-	s.pipe = engine.NewPipeline([]engine.Stage{
-		{Name: engine.StagePlan, Run: s.stagePlan},
-		{Name: engine.StageElectrical, Run: s.stageElectrical},
-		{Name: engine.StageThermal, Run: s.stageThermal},
-		{Name: engine.StageWearout, Run: s.stageWearout},
-		{Name: engine.StageSense, Run: s.stageSense},
-		{Name: engine.StageRecord, Run: s.stageRecord},
-	}, engine.Hooks{Progress: s.opts.Progress, StageTime: s.opts.StageTime})
-
-	// The step-0 plan observes the fresh system.
-	if err := s.sense(); err != nil {
-		return nil, err
-	}
-	return s, nil
 }
 
 // StepStats is the system state recorded after each step.
@@ -460,8 +406,62 @@ func (s *Simulator) stageRecord() error {
 			s.emFailedStep = s.step
 		}
 	}
-	s.series = append(s.series, st)
+	if s.opts.LeanSeries {
+		s.series = append(s.series[:0], st)
+	} else {
+		s.series = append(s.series, st)
+	}
 	return nil
+}
+
+// Progress summarises the live run state for external querying — the fleet
+// service derives per-chip status and remaining-lifetime estimates from it
+// without touching simulator internals. All fields are deterministic
+// functions of the simulated history, so two bit-identical simulators
+// report bit-identical progress.
+type Progress struct {
+	// Step and Steps are the completed step count and the horizon.
+	Step, Steps int
+	// Last is the most recent StepStats (zero before the first step).
+	Last StepStats
+	// GuardbandFrac is the worst delay degradation seen so far.
+	GuardbandFrac float64
+	// Availability is the delivered/demanded utilisation so far (1 before
+	// the first step).
+	Availability float64
+	// RecoveryOverhead is the fraction of core-steps spent recovering so far.
+	RecoveryOverhead float64
+	// EMNucleated and EMFailedStep record grid EM events (-1 = none).
+	EMNucleated  bool
+	EMFailedStep int
+	// SensedShiftV is the pending per-core sensed BTI shift observation.
+	SensedShiftV []float64
+	// SensedEMDeltaOhm is the pending sensed EM resistance increase.
+	SensedEMDeltaOhm float64
+}
+
+// Progress reports the current run state. The returned slices are copies.
+func (s *Simulator) Progress() Progress {
+	p := Progress{
+		Step:             s.step,
+		Steps:            s.cfg.Steps,
+		GuardbandFrac:    s.guardband,
+		Availability:     1,
+		EMNucleated:      s.emNucleated,
+		EMFailedStep:     s.emFailedStep,
+		SensedShiftV:     append([]float64(nil), s.sensedShift...),
+		SensedEMDeltaOhm: s.sensedEMDelta,
+	}
+	if len(s.series) > 0 {
+		p.Last = s.series[len(s.series)-1]
+	}
+	if s.demandedSum > 0 {
+		p.Availability = s.deliveredSum / s.demandedSum
+	}
+	if s.step > 0 {
+		p.RecoveryOverhead = float64(s.recoverySteps) / float64(s.step*s.cfg.NumCores())
+	}
+	return p
 }
 
 // report finalises the run summary from the accumulated state.

@@ -1,0 +1,77 @@
+package em
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Compact codec for Reduced segments. The gob form stores the full
+// ReducedParams per segment so snapshots are self-describing; a fleet
+// checkpoint holds many segments whose params the chip spec already pins,
+// so the compact form is a fixed 60-byte frame of the mutable state only:
+// magic, nucleation progress, broken flag, then per void end an open flag
+// and the three lengths.
+
+const compactReducedMagic = 'E'
+
+const compactReducedSize = 1 + 8 + 1 + 2*(1+3*8)
+
+// SnapshotCompact serialises the segment's mutable state in the compact
+// fleet framing. Restore with RestoreCompact on a segment built from the
+// same ReducedParams.
+func (r *Reduced) SnapshotCompact() []byte {
+	buf := make([]byte, 0, compactReducedSize)
+	buf = append(buf, compactReducedMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.progress))
+	buf = append(buf, boolByte(r.broken))
+	for _, v := range r.voids {
+		buf = append(buf, boolByte(v.open))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.lenM))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.maxLenM))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.permM))
+	}
+	return buf
+}
+
+// RestoreCompact rewinds the segment from a SnapshotCompact payload,
+// keeping its parameters.
+func (r *Reduced) RestoreCompact(data []byte) error {
+	if len(data) != compactReducedSize || data[0] != compactReducedMagic {
+		return fmt.Errorf("em: restore compact: payload %dB with magic %#x, want %dB frame",
+			len(data), firstByte(data), compactReducedSize)
+	}
+	progress := math.Float64frombits(binary.LittleEndian.Uint64(data[1:]))
+	broken := data[9] != 0
+	var voids [2]voidState
+	off := 10
+	for i := range voids {
+		open := data[off] != 0
+		lenM := math.Float64frombits(binary.LittleEndian.Uint64(data[off+1:]))
+		maxLenM := math.Float64frombits(binary.LittleEndian.Uint64(data[off+9:]))
+		permM := math.Float64frombits(binary.LittleEndian.Uint64(data[off+17:]))
+		if lenM < 0 {
+			return fmt.Errorf("em: restore compact: negative void length at end %d", i)
+		}
+		voids[i] = voidState{open: open, lenM: lenM, maxLenM: maxLenM, permM: permM}
+		off += 25
+	}
+	r.progress = progress
+	r.broken = broken
+	r.voids = voids
+	return nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func firstByte(data []byte) byte {
+	if len(data) == 0 {
+		return 0
+	}
+	return data[0]
+}

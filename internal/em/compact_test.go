@@ -1,0 +1,48 @@
+package em
+
+import "testing"
+
+func TestReducedCompactRoundTrip(t *testing.T) {
+	p := DefaultReducedParams()
+	r, err := NewReduced(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		r.Step(jPaper, tempPaper, 3600)
+	}
+	data := r.SnapshotCompact()
+	if len(data) != compactReducedSize {
+		t.Fatalf("compact frame is %dB, want %dB", len(data), compactReducedSize)
+	}
+
+	fresh, err := NewReduced(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.RestoreCompact(data); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ResistanceDelta() != r.ResistanceDelta() || fresh.Broken() != r.Broken() {
+		t.Errorf("compact round-trip mismatch: dR %g vs %g", fresh.ResistanceDelta(), r.ResistanceDelta())
+	}
+	// Continued evolution must agree bit-for-bit.
+	r.Step(jPaper, tempPaper, 3600)
+	fresh.Step(jPaper, tempPaper, 3600)
+	if fresh.ResistanceDelta() != r.ResistanceDelta() {
+		t.Errorf("post-restore evolution diverged: %g vs %g", fresh.ResistanceDelta(), r.ResistanceDelta())
+	}
+}
+
+func TestReducedCompactRejectsGarbage(t *testing.T) {
+	r, err := NewReduced(DefaultReducedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := r.SnapshotCompact()
+	for _, junk := range [][]byte{nil, {}, good[:len(good)-1], append([]byte{0xff}, good[1:]...)} {
+		if err := r.RestoreCompact(junk); err == nil {
+			t.Errorf("garbage of %d bytes accepted", len(junk))
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Compact snapshot framing. The gob Encode form is self-describing but pays
+// per-snapshot type-descriptor overhead and stores component payloads
+// verbatim; a fleet checkpointing thousands of chips wants something denser.
+// The compact form is a fixed header followed by one DEFLATE stream of
+// varint-framed (name, payload) entries sorted by name:
+//
+//	magic | flate( version, step, n, n × (len(name), name, len(data), data) )
+//
+// Component payloads are stored as given (they may themselves be compact
+// per-component encodings); the shared DEFLATE layer then squeezes the
+// redundancy across components — occupancy byte-planes, repeated config
+// blocks — in one pass. Sorting makes encoding deterministic despite the
+// map. DecodeSystemSnapshot sniffs the magic, so both forms decode through
+// the same entry point.
+
+// compactSnapshotMagic leads the compact framing. A gob stream opens with a
+// non-zero uvarint message length, so the leading zero byte cannot collide.
+var compactSnapshotMagic = []byte{0x00, 'D', 'H', 'C'}
+
+// EncodeCompact serialises the snapshot in the compact framing.
+func (s *SystemSnapshot) EncodeCompact() ([]byte, error) {
+	if s.Step < 0 {
+		return nil, fmt.Errorf("engine: encode compact: negative step %d", s.Step)
+	}
+	names := make([]string, 0, len(s.Components))
+	for name := range s.Components {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	body := make([]byte, 0, 1024)
+	body = binary.AppendUvarint(body, uint64(s.Version))
+	body = binary.AppendUvarint(body, uint64(s.Step))
+	body = binary.AppendUvarint(body, uint64(len(names)))
+	for _, name := range names {
+		body = binary.AppendUvarint(body, uint64(len(name)))
+		body = append(body, name...)
+		data := s.Components[name]
+		body = binary.AppendUvarint(body, uint64(len(data)))
+		body = append(body, data...)
+	}
+
+	var buf bytes.Buffer
+	buf.Write(compactSnapshotMagic)
+	zw, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		return nil, fmt.Errorf("engine: encode compact: %w", err)
+	}
+	if _, err := zw.Write(body); err != nil {
+		return nil, fmt.Errorf("engine: encode compact: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("engine: encode compact: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeCompactSnapshot parses the compact framing (after the magic has
+// been sniffed).
+func decodeCompactSnapshot(data []byte) (*SystemSnapshot, error) {
+	body, err := io.ReadAll(flate.NewReader(bytes.NewReader(data[len(compactSnapshotMagic):])))
+	if err != nil {
+		return nil, fmt.Errorf("engine: decode compact snapshot: %w", err)
+	}
+	rest := body
+	next := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, fmt.Errorf("engine: decode compact snapshot: truncated %s", what)
+		}
+		rest = rest[n:]
+		return v, nil
+	}
+	version, err := next("version")
+	if err != nil {
+		return nil, err
+	}
+	if version != SnapshotVersion {
+		return nil, fmt.Errorf("engine: snapshot version %d, this build reads %d", version, SnapshotVersion)
+	}
+	step, err := next("step")
+	if err != nil {
+		return nil, err
+	}
+	count, err := next("component count")
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(len(rest)) { // every entry needs ≥2 bytes
+		return nil, fmt.Errorf("engine: decode compact snapshot: %d components exceeds payload", count)
+	}
+	s := &SystemSnapshot{
+		Version:    int(version),
+		Step:       int(step),
+		Components: make(map[string][]byte, count),
+	}
+	for i := uint64(0); i < count; i++ {
+		nameLen, err := next("name length")
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > uint64(len(rest)) {
+			return nil, fmt.Errorf("engine: decode compact snapshot: component %d name overruns payload", i)
+		}
+		name := string(rest[:nameLen])
+		rest = rest[nameLen:]
+		dataLen, err := next("payload length")
+		if err != nil {
+			return nil, err
+		}
+		if dataLen > uint64(len(rest)) {
+			return nil, fmt.Errorf("engine: decode compact snapshot: component %q overruns payload", name)
+		}
+		if _, ok := s.Components[name]; ok {
+			return nil, fmt.Errorf("engine: decode compact snapshot: duplicate component %q", name)
+		}
+		payload := make([]byte, dataLen)
+		copy(payload, rest[:dataLen])
+		s.Components[name] = payload
+		rest = rest[dataLen:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("engine: decode compact snapshot: %d trailing bytes", len(rest))
+	}
+	return s, nil
+}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCompactSnapshotRoundTrip(t *testing.T) {
+	s := NewSystemSnapshot(42)
+	payloads := map[string][]byte{
+		"bti/core/0": bytes.Repeat([]byte{1, 2, 3, 4}, 64),
+		"bti/core/1": {},
+		"core/sim":   []byte("gob payload here"),
+	}
+	for name, data := range payloads {
+		if err := s.AddBytes(name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc, err := s.EncodeCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeSystemSnapshot(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Step != 42 || dec.Version != SnapshotVersion {
+		t.Errorf("decoded step/version %d/%d, want 42/%d", dec.Step, dec.Version, SnapshotVersion)
+	}
+	if len(dec.Components) != len(payloads) {
+		t.Fatalf("decoded %d components, want %d", len(dec.Components), len(payloads))
+	}
+	for name, want := range payloads {
+		got, err := dec.Bytes(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("component %q corrupted through compact round-trip", name)
+		}
+	}
+}
+
+func TestCompactEncodingDeterministic(t *testing.T) {
+	build := func() []byte {
+		s := NewSystemSnapshot(7)
+		for _, name := range []string{"z", "a", "m"} {
+			if err := s.AddBytes(name, []byte(name+"-payload")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		enc, err := s.EncodeCompact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return enc
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Error("compact encoding differs across identical snapshots")
+	}
+}
+
+func TestCompactDecodeRejectsCorruption(t *testing.T) {
+	s := NewSystemSnapshot(1)
+	if err := s.AddBytes("x", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := s.EncodeCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, data := range [][]byte{
+		enc[:len(enc)-3],
+		append(append([]byte{}, compactSnapshotMagic...), 0xff, 0xff),
+	} {
+		if _, err := DecodeSystemSnapshot(data); err == nil {
+			t.Errorf("corrupt compact snapshot of %d bytes accepted", len(data))
+		}
+	}
+}
+
+func TestGobAndCompactFormsSniffCorrectly(t *testing.T) {
+	s := NewSystemSnapshot(3)
+	if err := s.AddBytes("c", []byte{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	gobEnc, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compactEnc, err := s.EncodeCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, enc := range [][]byte{gobEnc, compactEnc} {
+		dec, err := DecodeSystemSnapshot(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Step != 3 {
+			t.Errorf("decoded step %d, want 3", dec.Step)
+		}
+	}
+}

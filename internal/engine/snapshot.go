@@ -7,8 +7,11 @@ import (
 )
 
 // SnapshotVersion is the current system-snapshot format version. Decoding
-// rejects snapshots from a different version rather than guessing.
-const SnapshotVersion = 1
+// rejects snapshots from a different version rather than guessing. Version 2
+// switched the rngx journal inside component payloads to run-length
+// encoding; version-1 checkpoints would gob-decode but replay wrongly, so
+// they are refused.
+const SnapshotVersion = 2
 
 // SystemSnapshot composes the snapshots of every component of a simulation
 // into one versioned, serialisable checkpoint.
@@ -79,8 +82,12 @@ func (s *SystemSnapshot) Encode() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// DecodeSystemSnapshot deserialises a snapshot and checks its version.
+// DecodeSystemSnapshot deserialises a snapshot (either the gob Encode form
+// or the EncodeCompact framing, sniffed by magic) and checks its version.
 func DecodeSystemSnapshot(data []byte) (*SystemSnapshot, error) {
+	if bytes.HasPrefix(data, compactSnapshotMagic) {
+		return decodeCompactSnapshot(data)
+	}
 	var s SystemSnapshot
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
 		return nil, fmt.Errorf("engine: decode snapshot: %w", err)

@@ -1,0 +1,48 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"deepheal/internal/bti"
+)
+
+// BenchmarkFleetStep is the issue's scaling target: 1,000 registered chips
+// spread over 4 process corners, stepped as batches through the shared
+// pool. After warm-up (registration builds at most one CET grid per
+// distinct Params) the steady state allocates no new BTI grids at all —
+// asserted here, not just measured.
+func BenchmarkFleetStep(b *testing.B) {
+	m := NewManager(Options{})
+	defer m.Close()
+	corners := CornerNames()
+	const chips = 1000
+	for i := 0; i < chips; i++ {
+		spec := ChipSpec{
+			ID:     fmt.Sprintf("chip-%04d", i),
+			Steps:  1 << 20, // effectively unbounded horizon
+			Corner: corners[i%len(corners)],
+			Seed:   int64(i + 1),
+		}
+		if _, err := m.Register(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := m.StepAll(context.Background(), 1); err != nil {
+		b.Fatal(err) // warm-up batch
+	}
+	builds := bti.GridCacheStats().Builds
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.StepAll(context.Background(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if got := bti.GridCacheStats().Builds - builds; got != 0 {
+		b.Fatalf("steady-state stepping built %d new BTI grids, want 0", got)
+	}
+	b.ReportMetric(float64(chips*b.N)/b.Elapsed().Seconds(), "chip-steps/s")
+}

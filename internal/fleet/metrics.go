@@ -1,0 +1,38 @@
+package fleet
+
+import "deepheal/internal/obs"
+
+// Fleet instruments. Like every package in this repo they are nil (no-op)
+// until EnableMetrics wires a registry, so the manager pays nothing when
+// observability is off.
+var (
+	metChips        *obs.Gauge
+	metResident     *obs.Gauge
+	metRegistered   *obs.Counter
+	metSteps        *obs.Counter
+	metSuspends     *obs.Counter
+	metRehydrates   *obs.Counter
+	metSnapBytes    *obs.Gauge
+	metBatchSeconds *obs.Histogram
+)
+
+// EnableMetrics registers the fleet instruments with reg. Call once at
+// startup, before serving traffic.
+func EnableMetrics(reg *obs.Registry) {
+	metChips = reg.Gauge("deepheal_fleet_chips",
+		"Chips currently registered with the fleet manager.")
+	metResident = reg.Gauge("deepheal_fleet_chips_resident",
+		"Registered chips holding a live simulator (not suspended).")
+	metRegistered = reg.Counter("deepheal_fleet_registered_total",
+		"Chip registrations accepted since start.")
+	metSteps = reg.Counter("deepheal_fleet_steps_total",
+		"Chip-steps executed across the fleet.")
+	metSuspends = reg.Counter("deepheal_fleet_suspends_total",
+		"Chips suspended to compact snapshots by the residency budget.")
+	metRehydrates = reg.Counter("deepheal_fleet_rehydrates_total",
+		"Suspended chips rebuilt from compact snapshots on demand.")
+	metSnapBytes = reg.Gauge("deepheal_fleet_snapshot_resident_bytes",
+		"Bytes of compact snapshots held for suspended chips.")
+	metBatchSeconds = reg.Histogram("deepheal_fleet_batch_seconds",
+		"Wall time of one StepAll batch over the shared pool.", nil)
+}

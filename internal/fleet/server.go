@@ -1,0 +1,187 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"deepheal/internal/core"
+	"deepheal/internal/obs"
+)
+
+// stepRequest is the body of the step endpoints. Steps defaults to 1.
+type stepRequest struct {
+	Steps int `json:"steps"`
+}
+
+// Handler exposes the manager as an HTTP/JSON API:
+//
+//	POST   /v1/chips               register a chip (body: ChipSpec)
+//	GET    /v1/chips               list chip statuses
+//	POST   /v1/step                step the whole fleet (body: {"steps": n})
+//	GET    /v1/chips/{id}          one chip's status
+//	DELETE /v1/chips/{id}          unregister
+//	POST   /v1/chips/{id}/step     step one chip (body: {"steps": n})
+//	PUT    /v1/chips/{id}/workload update the workload (body: WorkloadSpec)
+//	GET    /v1/chips/{id}/schedule recovery schedule recommendation
+//	GET    /v1/meta                known policies and corners
+//	GET    /healthz                liveness
+//	GET    /metrics                registry exposition (when reg != nil)
+//
+// Errors come back as {"error": "..."} with 404 for unknown chips, 409 for
+// duplicate registrations and 400 for everything malformed.
+func (m *Manager) Handler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/chips", m.handleRegister)
+	mux.HandleFunc("GET /v1/chips", m.handleList)
+	mux.HandleFunc("POST /v1/step", m.handleStepAll)
+	mux.HandleFunc("GET /v1/chips/{id}", m.handleStatus)
+	mux.HandleFunc("DELETE /v1/chips/{id}", m.handleUnregister)
+	mux.HandleFunc("POST /v1/chips/{id}/step", m.handleStep)
+	mux.HandleFunc("PUT /v1/chips/{id}/workload", m.handleWorkload)
+	mux.HandleFunc("GET /v1/chips/{id}/schedule", m.handleSchedule)
+	mux.HandleFunc("GET /v1/meta", handleMeta)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	if reg != nil {
+		mux.Handle("GET /metrics", reg.Handler())
+		mux.Handle("GET /metrics.json", reg.Handler())
+	}
+	return mux
+}
+
+// writeJSON renders v with a stable layout (indented, trailing newline) so
+// two identical states produce byte-identical responses — the fleet smoke
+// test diffs pre-SIGTERM and post-restore query output literally.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// writeError maps manager errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrDuplicate):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// decodeBody strictly decodes a JSON request body into v. An empty body is
+// allowed and leaves v untouched, so `POST /v1/step` works without a payload.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	switch err := dec.Decode(v); {
+	case err == nil, errors.Is(err, io.EOF):
+		return nil
+	default:
+		return fmt.Errorf("fleet: bad request body: %w", err)
+	}
+}
+
+func (m *Manager) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var spec ChipSpec
+	if err := decodeBody(r, &spec); err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := m.Register(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"chips": m.List()})
+}
+
+func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := m.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (m *Manager) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	if err := m.Unregister(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (m *Manager) handleStep(w http.ResponseWriter, r *http.Request) {
+	req := stepRequest{Steps: 1}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := m.Step(r.Context(), r.PathValue("id"), req.Steps)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (m *Manager) handleStepAll(w http.ResponseWriter, r *http.Request) {
+	req := stepRequest{Steps: 1}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	statuses, err := m.StepAll(r.Context(), req.Steps)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"chips": statuses})
+}
+
+func (m *Manager) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	var spec WorkloadSpec
+	if err := decodeBody(r, &spec); err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := m.UpdateWorkload(r.PathValue("id"), spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (m *Manager) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	sched, err := m.Schedule(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sched)
+}
+
+func handleMeta(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"policies": core.PolicyNames(),
+		"corners":  CornerNames(),
+	})
+}

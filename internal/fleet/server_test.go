@@ -1,0 +1,206 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"deepheal/internal/obs"
+)
+
+// doJSON issues a request against the test server and decodes the JSON
+// response into out (skipped when out is nil).
+func doJSON(t *testing.T, client *http.Client, method, url, body string, want int, out any) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != want {
+		t.Fatalf("%s %s: status %d, want %d (body %s)", method, url, resp.StatusCode, want, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, data, err)
+		}
+	}
+}
+
+func TestHTTPAPI(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableMetrics(reg)
+	m := NewManager(Options{Workers: 2})
+	defer m.Close()
+	srv := httptest.NewServer(m.Handler(reg))
+	defer srv.Close()
+	c := srv.Client()
+
+	// Liveness and meta discovery.
+	doJSON(t, c, "GET", srv.URL+"/healthz", "", http.StatusOK, nil)
+	var meta struct {
+		Policies []string `json:"policies"`
+		Corners  []string `json:"corners"`
+	}
+	doJSON(t, c, "GET", srv.URL+"/v1/meta", "", http.StatusOK, &meta)
+	if len(meta.Policies) < 4 || len(meta.Corners) != 4 {
+		t.Errorf("meta %+v", meta)
+	}
+
+	// Register two chips; the second with an explicit corner and workload.
+	var st ChipStatus
+	doJSON(t, c, "POST", srv.URL+"/v1/chips",
+		`{"id": "n0", "steps": 40, "seed": 3}`, http.StatusCreated, &st)
+	if st.ID != "n0" || st.Policy != "deep-healing" || st.Corner != "typical" || st.Rows != 4 {
+		t.Errorf("registered status %+v", st)
+	}
+	doJSON(t, c, "POST", srv.URL+"/v1/chips",
+		`{"id": "n1", "steps": 40, "corner": "leaky", "policy": "no-recovery",
+		  "workload": {"kind": "periodic", "busy_steps": 4, "idle_steps": 2}}`,
+		http.StatusCreated, &st)
+
+	// Error mapping: duplicate -> 409, malformed -> 400, unknown -> 404.
+	doJSON(t, c, "POST", srv.URL+"/v1/chips", `{"id": "n0"}`, http.StatusConflict, nil)
+	doJSON(t, c, "POST", srv.URL+"/v1/chips", `{"id": "n2", "corner": "nope"}`, http.StatusBadRequest, nil)
+	doJSON(t, c, "POST", srv.URL+"/v1/chips", `{"id": "n2", "bogus_field": 1}`, http.StatusBadRequest, nil)
+	doJSON(t, c, "GET", srv.URL+"/v1/chips/ghost", "", http.StatusNotFound, nil)
+	doJSON(t, c, "POST", srv.URL+"/v1/chips/ghost/step", "", http.StatusNotFound, nil)
+	doJSON(t, c, "POST", srv.URL+"/v1/chips/n0/step", `{"steps": -1}`, http.StatusBadRequest, nil)
+
+	// Step the fleet, then one chip further.
+	var batch struct {
+		Chips []ChipStatus `json:"chips"`
+	}
+	doJSON(t, c, "POST", srv.URL+"/v1/step", `{"steps": 10}`, http.StatusOK, &batch)
+	if len(batch.Chips) != 2 || batch.Chips[0].Step != 10 || batch.Chips[1].Step != 10 {
+		t.Errorf("batch step %+v", batch)
+	}
+	doJSON(t, c, "POST", srv.URL+"/v1/chips/n0/step", `{"steps": 5}`, http.StatusOK, &st)
+	if st.Step != 15 {
+		t.Errorf("n0 at step %d, want 15", st.Step)
+	}
+
+	// Query status and lifetime.
+	doJSON(t, c, "GET", srv.URL+"/v1/chips/n0", "", http.StatusOK, &st)
+	if st.Step != 15 || st.GuardbandLimit <= 0 {
+		t.Errorf("status %+v", st)
+	}
+	doJSON(t, c, "GET", srv.URL+"/v1/chips", "", http.StatusOK, &batch)
+	if len(batch.Chips) != 2 || batch.Chips[0].ID != "n0" {
+		t.Errorf("list %+v", batch.Chips)
+	}
+
+	// Recovery schedule for the unhealed chip.
+	var sched Schedule
+	doJSON(t, c, "GET", srv.URL+"/v1/chips/n1/schedule", "", http.StatusOK, &sched)
+	if sched.ID != "n1" || sched.ThresholdV <= 0 {
+		t.Errorf("schedule %+v", sched)
+	}
+
+	// Workload update keeps the wearout state.
+	doJSON(t, c, "PUT", srv.URL+"/v1/chips/n1/workload",
+		`{"kind": "constant", "util": 0.4}`, http.StatusOK, &st)
+	if st.Step != 10 {
+		t.Errorf("workload update moved chip to step %d", st.Step)
+	}
+
+	// Metrics exposition reflects the fleet.
+	resp, err := c.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"deepheal_fleet_chips 2", "deepheal_fleet_steps_total 25"} {
+		if !bytes.Contains(expo, []byte(want)) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+
+	// Unregister and confirm it is gone.
+	doJSON(t, c, "DELETE", srv.URL+"/v1/chips/n1", "", http.StatusNoContent, nil)
+	doJSON(t, c, "GET", srv.URL+"/v1/chips/n1", "", http.StatusNotFound, nil)
+}
+
+// TestConcurrentFleetUse hammers the manager from many goroutines; run
+// under -race this is the concurrency-correctness check for the whole
+// fleet layer.
+func TestConcurrentFleetUse(t *testing.T) {
+	m := NewManager(Options{Workers: 2, MaxResident: 3})
+	defer m.Close()
+	const chips = 8
+	for i := 0; i < chips; i++ {
+		spec := testSpec(fmt.Sprintf("c%d", i))
+		spec.Seed = int64(i + 1)
+		if _, err := m.Register(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < chips; i++ {
+		id := fmt.Sprintf("c%d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 5; k++ {
+				if _, err := m.Step(ctx(), id, 2); err != nil {
+					t.Errorf("step %s: %v", id, err)
+				}
+				m.Status(id)
+				if _, err := m.Schedule(id); err != nil {
+					t.Errorf("schedule %s: %v", id, err)
+				}
+			}
+		}()
+	}
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 5; k++ {
+			if _, err := m.StepAll(ctx(), 1); err != nil {
+				t.Errorf("batch: %v", err)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 10; k++ {
+			m.List()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 3; k++ {
+			if _, err := m.Checkpoint(); err != nil {
+				t.Errorf("checkpoint: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Every chip advanced by exactly its own 10 per-chip steps plus the 5
+	// batch steps: concurrency must not lose or duplicate work.
+	for _, st := range m.List() {
+		if st.Step != 15 {
+			t.Errorf("chip %q at step %d, want 15", st.ID, st.Step)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package fleet manages a population of simulated chips: registration,
+// batched stepping through one shared engine worker pool, suspension of
+// idle chips to compact snapshots, recovery-schedule queries and whole-fleet
+// checkpoint/restore. The HTTP/JSON surface in server.go exposes the same
+// operations to `deepheal serve`.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"deepheal/internal/bti"
+	"deepheal/internal/core"
+	"deepheal/internal/workload"
+)
+
+// WorkloadSpec is the wire form of a workload profile. It is deliberately
+// seed-free and all-scalar so two chips with the same spec compare equal
+// (the struct is a comparable map key inside modelKey) and a checkpointed
+// spec rebuilds the exact same profile.
+type WorkloadSpec struct {
+	// Kind selects the profile: "" or "constant", "periodic", "iot".
+	Kind string `json:"kind,omitempty"`
+	// Util is the busy utilisation (constant: the level; periodic: while
+	// busy; iot: while awake). 0 means the core-model default.
+	Util float64 `json:"util,omitempty"`
+	// BusySteps/IdleSteps/Offset shape the periodic profile.
+	BusySteps int `json:"busy_steps,omitempty"`
+	IdleSteps int `json:"idle_steps,omitempty"`
+	Offset    int `json:"offset,omitempty"`
+	// WakeEvery/Active shape the iot duty cycle.
+	WakeEvery int `json:"wake_every,omitempty"`
+	Active    int `json:"active,omitempty"`
+}
+
+// profile resolves the spec into a workload.Profile, or nil for the
+// core-model default.
+func (w WorkloadSpec) profile() (workload.Profile, error) {
+	switch w.Kind {
+	case "":
+		return nil, nil
+	case "constant":
+		util := w.Util
+		if util == 0 {
+			util = 0.7
+		}
+		return workload.Constant{Util: util}, nil
+	case "periodic":
+		if w.BusySteps <= 0 || w.IdleSteps < 0 {
+			return nil, fmt.Errorf("fleet: periodic workload needs busy_steps > 0, idle_steps >= 0")
+		}
+		util := w.Util
+		if util == 0 {
+			util = 0.9
+		}
+		return workload.Periodic{BusySteps: w.BusySteps, IdleSteps: w.IdleSteps, BusyUtil: util, Offset: w.Offset}, nil
+	case "iot":
+		if w.WakeEvery <= 0 || w.Active <= 0 || w.Active > w.WakeEvery {
+			return nil, fmt.Errorf("fleet: iot workload needs 0 < active <= wake_every")
+		}
+		util := w.Util
+		if util == 0 {
+			util = 0.9
+		}
+		return workload.IoTDutyCycle{WakeEvery: w.WakeEvery, Active: w.Active, Util: util}, nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown workload kind %q (have constant, periodic, iot)", w.Kind)
+	}
+}
+
+// corners maps process-corner names to a transform of the baseline BTI
+// parameter set. A fleet mixes silicon from different corners of the
+// process distribution; chips sharing a corner (and geometry) share one
+// Model and one discretised CET grid.
+var corners = map[string]func(bti.Params) bti.Params{
+	// typical: the calibrated baseline.
+	"typical": func(p bti.Params) bti.Params { return p },
+	// fast-degrading silicon: traps capture ~1.6x faster.
+	"fast": func(p bti.Params) bti.Params {
+		p.MuCapture -= 0.5
+		return p
+	},
+	// slow-degrading silicon: traps capture ~1.6x slower.
+	"slow": func(p bti.Params) bti.Params {
+		p.MuCapture += 0.5
+		return p
+	},
+	// leaky oxide: a quarter more recoverable trap charge.
+	"leaky": func(p bti.Params) bti.Params {
+		p.MaxShiftV *= 1.25
+		return p
+	},
+}
+
+// CornerNames lists the known process corners, sorted.
+func CornerNames() []string {
+	names := make([]string, 0, len(corners))
+	for name := range corners {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ChipSpec describes one chip to register: geometry, horizon, policy,
+// process corner, sensor-noise seed and workload. The zero value of every
+// optional field means "default", so a minimal registration is just an ID.
+type ChipSpec struct {
+	// ID names the chip; unique within the fleet.
+	ID string `json:"id"`
+	// Rows/Cols set the core grid (default 4x4). 2x2 is rejected by the
+	// PDN model (every node is a corner pad), so the floor is 3x3.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// Steps is the lifetime horizon in steps (default core.DefaultConfig).
+	Steps int `json:"steps,omitempty"`
+	// StepSeconds is the wall-time one step models (default 3600).
+	StepSeconds float64 `json:"step_seconds,omitempty"`
+	// Policy is the recovery policy name (default "deep-healing").
+	Policy string `json:"policy,omitempty"`
+	// Corner is the process corner name (default "typical").
+	Corner string `json:"corner,omitempty"`
+	// Seed decorrelates sensor noise between chips (default: hash of ID).
+	Seed int64 `json:"seed,omitempty"`
+	// Workload is the per-core utilisation profile.
+	Workload WorkloadSpec `json:"workload,omitempty"`
+}
+
+// normalize fills defaults in place and validates everything that can be
+// checked without building a config.
+func (s *ChipSpec) normalize() error {
+	if s.ID == "" {
+		return fmt.Errorf("fleet: chip spec needs an id")
+	}
+	if s.Rows == 0 {
+		s.Rows = 4
+	}
+	if s.Cols == 0 {
+		s.Cols = 4
+	}
+	if s.Rows < 3 || s.Cols < 3 {
+		return fmt.Errorf("fleet: chip grid %dx%d too small (min 3x3)", s.Rows, s.Cols)
+	}
+	if s.Policy == "" {
+		s.Policy = "deep-healing"
+	}
+	if _, err := core.NewPolicy(s.Policy); err != nil {
+		return err
+	}
+	if s.Corner == "" {
+		s.Corner = "typical"
+	}
+	if _, ok := corners[s.Corner]; !ok {
+		return fmt.Errorf("fleet: unknown corner %q (have %v)", s.Corner, CornerNames())
+	}
+	if s.Seed == 0 {
+		s.Seed = hashSeed(s.ID)
+	}
+	if s.StepSeconds < 0 || s.Steps < 0 {
+		return fmt.Errorf("fleet: negative horizon")
+	}
+	if _, err := s.Workload.profile(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// hashSeed derives a stable non-zero seed from a chip ID (FNV-1a).
+func hashSeed(id string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	seed := int64(h &^ (1 << 63))
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
+// modelKey identifies the shared immutable half of a chip: everything in
+// the spec except identity (ID, Seed) and policy, which are per-simulator.
+// Chips with equal keys share one core.Model, one thermal discretisation
+// and one refcounted BTI CET grid.
+type modelKey struct {
+	Rows, Cols  int
+	Steps       int
+	StepSeconds float64
+	Corner      string
+	Workload    WorkloadSpec
+}
+
+func (s ChipSpec) modelKey() modelKey {
+	return modelKey{Rows: s.Rows, Cols: s.Cols, Steps: s.Steps,
+		StepSeconds: s.StepSeconds, Corner: s.Corner, Workload: s.Workload}
+}
+
+// config materialises the spec into a validated core configuration.
+func (s ChipSpec) config() (core.Config, error) {
+	cfg := core.ConfigForGrid(s.Rows, s.Cols)
+	if s.Steps > 0 {
+		cfg.Steps = s.Steps
+	}
+	if s.StepSeconds > 0 {
+		cfg.StepSeconds = s.StepSeconds
+	}
+	cfg.BTI = corners[s.Corner](cfg.BTI)
+	cfg.Seed = s.Seed
+	profile, err := s.Workload.profile()
+	if err != nil {
+		return core.Config{}, err
+	}
+	if profile != nil {
+		cfg.Workloads = make([]workload.Profile, cfg.NumCores())
+		for i := range cfg.Workloads {
+			cfg.Workloads[i] = profile
+		}
+	}
+	return cfg, nil
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"time"
 )
 
 // This file is the exposition side of the registry: the Prometheus text
@@ -211,27 +213,43 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
-// Server is a live metrics endpoint bound to a TCP address.
+// Server is a live HTTP endpoint bound to a TCP address: the metrics
+// exposition for `-metrics-addr`, or any handler via StartHTTPServer (the
+// fleet API reuses this plumbing).
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
 // StartServer binds addr (host:port; port 0 picks a free one) and serves
-// the registry until Close. It returns once the listener is bound, so
-// Addr() is immediately valid.
+// the registry until Close or Shutdown. It returns once the listener is
+// bound, so Addr() is immediately valid.
 func (r *Registry) StartServer(addr string) (*Server, error) {
+	return StartHTTPServer(addr, r.Handler())
+}
+
+// StartHTTPServer binds addr and serves h until Close or Shutdown. Header
+// reads are bounded so an idle half-open connection cannot pin a serving
+// goroutine forever.
+func StartHTTPServer(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("obs: metrics server: %w", err)
+		return nil, fmt.Errorf("obs: http server: %w", err)
 	}
-	srv := &http.Server{Handler: r.Handler()}
-	go srv.Serve(ln) // returns ErrServerClosed after Close
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln) // returns ErrServerClosed after Close/Shutdown
 	return &Server{ln: ln, srv: srv}, nil
 }
 
 // Addr reports the bound address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and releases the listener.
+// Close stops the server immediately, dropping in-flight requests, and
+// releases the listener. Use Shutdown for a graceful drain.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to finish, up to ctx's deadline; on expiry it returns ctx's
+// error with the remaining connections still open (follow with Close to
+// hard-stop them).
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -10,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCounter(t *testing.T) {
@@ -260,5 +262,80 @@ func TestStartServer(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(body), "live_total 1") {
 		t.Errorf("live endpoint body:\n%s", body)
+	}
+}
+
+func TestShutdownDrainsInFlight(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	s, err := StartHTTPServer("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		io.WriteString(w, "drained")
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + s.Addr() + "/")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		got <- result{body: string(body), err: err}
+	}()
+	<-entered
+
+	// A graceful shutdown must wait for the in-flight request...
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(context.Background()) }()
+	select {
+	case err := <-done:
+		t.Fatalf("Shutdown returned %v with a request still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-got
+	if r.err != nil || r.body != "drained" {
+		t.Errorf("in-flight request got %q, %v; want drained response", r.body, r.err)
+	}
+
+	// ...and new connections are refused afterwards.
+	if _, err := http.Get("http://" + s.Addr() + "/"); err == nil {
+		t.Error("request accepted after Shutdown")
+	}
+}
+
+func TestShutdownHonoursDeadline(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	entered := make(chan struct{})
+	s, err := StartHTTPServer("127.0.0.1:0", http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		close(entered)
+		<-release
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	go http.Get("http://" + s.Addr() + "/")
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Errorf("Shutdown with stuck request: %v, want DeadlineExceeded", err)
 	}
 }

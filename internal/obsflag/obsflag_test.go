@@ -1,0 +1,97 @@
+package obsflag
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"deepheal/internal/obs"
+)
+
+func TestMetricsFlagsRoundTrip(t *testing.T) {
+	var m Metrics
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	m.Register(fs)
+	if m.Enabled() {
+		t.Error("metrics enabled before any flag was set")
+	}
+	out := filepath.Join(t.TempDir(), "snap.json")
+	if err := fs.Parse([]string{"-metrics-addr", "127.0.0.1:0", "-metrics-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Enabled() {
+		t.Fatal("metrics not enabled after flags")
+	}
+
+	reg := obs.NewRegistry()
+	reg.Counter("obsflag_test_total", "").Add(3)
+	finish, err := m.Start(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The live endpoint is up (addr was logged to stderr; hit it via the
+	// snapshot instead: the registry is shared so the counter shows there).
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := obs.ReadSnapshotFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["obsflag_test_total"] != 3 {
+		t.Errorf("snapshot counters %v", snap.Counters)
+	}
+}
+
+func TestMetricsLiveEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("live_total", "").Inc()
+	srv, err := reg.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "live_total 1") {
+		t.Errorf("live endpoint body:\n%s", body)
+	}
+}
+
+func TestProfileStartWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	p := Profile{CPU: filepath.Join(dir, "cpu.pprof"), Mem: filepath.Join(dir, "mem.pprof")}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		_ = i * i
+	}
+	stop()
+	for _, path := range []string{p.CPU, p.Mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("missing profile %s: %v", path, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestProfileBadPath(t *testing.T) {
+	p := Profile{CPU: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu")}
+	if _, err := p.Start(); err == nil {
+		t.Error("unwritable cpuprofile path accepted")
+	}
+}

@@ -13,13 +13,16 @@ import (
 	"math/rand"
 )
 
-// op identifies one primitive draw for the snapshot journal. The underlying
-// generator consumes a variable number of raw words per draw (e.g. the
-// ziggurat normal sampler), so restoring a stream replays the journal
-// against a fresh generator instead of copying raw state.
-type op struct {
-	Kind byte  // one of the op* constants
-	Arg  int64 // draw argument where consumption depends on it (IntN, Perm)
+// opRun is one run of identical primitive draws in the snapshot journal.
+// The underlying generator consumes a variable number of raw words per draw
+// (e.g. the ziggurat normal sampler), so restoring a stream replays the
+// journal against a fresh generator instead of copying raw state. Runs are
+// length-encoded: components that draw the same primitive every step (sensor
+// noise, for example) keep an O(1) journal regardless of simulation age.
+type opRun struct {
+	Kind  byte  // one of the op* constants
+	Arg   int64 // draw argument where consumption depends on it (IntN, Perm)
+	Count int64 // number of consecutive identical draws
 }
 
 const (
@@ -34,7 +37,20 @@ const (
 type Source struct {
 	rng     *rand.Rand
 	seed    int64
-	journal []op
+	journal []opRun
+}
+
+// record appends one draw to the journal, extending the last run when the
+// draw matches it.
+func (s *Source) record(kind byte, arg int64) {
+	if n := len(s.journal); n > 0 {
+		last := &s.journal[n-1]
+		if last.Kind == kind && last.Arg == arg {
+			last.Count++
+			return
+		}
+	}
+	s.journal = append(s.journal, opRun{Kind: kind, Arg: arg, Count: 1})
 }
 
 // New creates a Source from a seed. The same seed always yields the same
@@ -47,7 +63,7 @@ func New(seed int64) *Source {
 // same parent with different ids are decorrelated; the parent is unaffected
 // beyond consuming one draw.
 func (s *Source) Split(id int64) *Source {
-	s.journal = append(s.journal, op{Kind: opSplit})
+	s.record(opSplit, 0)
 	// SplitMix64-style hash of (parent seed draw, id) for the child seed.
 	z := uint64(s.rng.Int63()) ^ (uint64(id) * 0x9e3779b97f4a7c15)
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -58,13 +74,13 @@ func (s *Source) Split(id int64) *Source {
 
 // Float64 draws uniformly from [0, 1).
 func (s *Source) Float64() float64 {
-	s.journal = append(s.journal, op{Kind: opFloat64})
+	s.record(opFloat64, 0)
 	return s.rng.Float64()
 }
 
 // IntN draws uniformly from [0, n).
 func (s *Source) IntN(n int) int {
-	s.journal = append(s.journal, op{Kind: opIntN, Arg: int64(n)})
+	s.record(opIntN, int64(n))
 	return s.rng.Intn(n)
 }
 
@@ -75,7 +91,7 @@ func (s *Source) Uniform(lo, hi float64) float64 {
 
 // Normal draws from a Gaussian with the given mean and standard deviation.
 func (s *Source) Normal(mean, sigma float64) float64 {
-	s.journal = append(s.journal, op{Kind: opNorm})
+	s.record(opNorm, 0)
 	return mean + sigma*s.rng.NormFloat64()
 }
 
@@ -93,7 +109,7 @@ func (s *Source) LogUniform(lo, hi float64) float64 {
 
 // Perm returns a random permutation of [0, n).
 func (s *Source) Perm(n int) []int {
-	s.journal = append(s.journal, op{Kind: opPerm, Arg: int64(n)})
+	s.record(opPerm, int64(n))
 	return s.rng.Perm(n)
 }
 
@@ -101,20 +117,65 @@ func (s *Source) Perm(n int) []int {
 func (s *Source) Bool(p float64) bool { return s.Float64() < p }
 
 // sourceSnapshot is the serialised form of a Source: the original seed plus
-// the journal of draws made since creation.
+// the run-length-encoded journal of draws made since creation.
 type sourceSnapshot struct {
 	Seed int64
-	Ops  []op
+	Runs []opRun
 }
 
 // Snapshot serialises the stream state. A restored Source continues the
 // exact sequence the original would have produced.
 func (s *Source) Snapshot() ([]byte, error) {
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(sourceSnapshot{Seed: s.seed, Ops: s.journal}); err != nil {
+	if err := gob.NewEncoder(&buf).Encode(sourceSnapshot{Seed: s.seed, Runs: s.journal}); err != nil {
 		return nil, fmt.Errorf("rngx: snapshot: %w", err)
 	}
 	return buf.Bytes(), nil
+}
+
+// replay advances a fresh generator for the seed through the journal and
+// adopts the result as the receiver's state.
+func (s *Source) replay(seed int64, runs []opRun) error {
+	rng := rand.New(rand.NewSource(seed))
+	for i, r := range runs {
+		if r.Count <= 0 {
+			return fmt.Errorf("rngx: restore: run %d: count %d invalid", i, r.Count)
+		}
+		switch r.Kind {
+		case opFloat64:
+			for k := int64(0); k < r.Count; k++ {
+				rng.Float64()
+			}
+		case opNorm:
+			for k := int64(0); k < r.Count; k++ {
+				rng.NormFloat64()
+			}
+		case opIntN:
+			if r.Arg <= 0 {
+				return fmt.Errorf("rngx: restore: run %d: IntN(%d) invalid", i, r.Arg)
+			}
+			for k := int64(0); k < r.Count; k++ {
+				rng.Intn(int(r.Arg))
+			}
+		case opPerm:
+			if r.Arg < 0 {
+				return fmt.Errorf("rngx: restore: run %d: Perm(%d) invalid", i, r.Arg)
+			}
+			for k := int64(0); k < r.Count; k++ {
+				rng.Perm(int(r.Arg))
+			}
+		case opSplit:
+			for k := int64(0); k < r.Count; k++ {
+				rng.Int63()
+			}
+		default:
+			return fmt.Errorf("rngx: restore: unknown op kind %d", r.Kind)
+		}
+	}
+	s.rng = rng
+	s.seed = seed
+	s.journal = runs
+	return nil
 }
 
 // Restore rewinds the receiver to the snapshotted stream position by
@@ -124,33 +185,7 @@ func (s *Source) Restore(data []byte) error {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
 		return fmt.Errorf("rngx: restore: %w", err)
 	}
-	rng := rand.New(rand.NewSource(snap.Seed))
-	for i, o := range snap.Ops {
-		switch o.Kind {
-		case opFloat64:
-			rng.Float64()
-		case opNorm:
-			rng.NormFloat64()
-		case opIntN:
-			if o.Arg <= 0 {
-				return fmt.Errorf("rngx: restore: op %d: IntN(%d) invalid", i, o.Arg)
-			}
-			rng.Intn(int(o.Arg))
-		case opPerm:
-			if o.Arg < 0 {
-				return fmt.Errorf("rngx: restore: op %d: Perm(%d) invalid", i, o.Arg)
-			}
-			rng.Perm(int(o.Arg))
-		case opSplit:
-			rng.Int63()
-		default:
-			return fmt.Errorf("rngx: restore: unknown op kind %d", o.Kind)
-		}
-	}
-	s.rng = rng
-	s.seed = snap.Seed
-	s.journal = snap.Ops
-	return nil
+	return s.replay(snap.Seed, snap.Runs)
 }
 
 // RestoreSource rebuilds a Source from a Snapshot.

@@ -1,0 +1,79 @@
+package sensor
+
+import (
+	"testing"
+
+	"deepheal/internal/rngx"
+)
+
+func TestROCompactRoundTrip(t *testing.T) {
+	s, err := NewRO(DefaultROConfig(), rngx.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		s.Read(0.005)
+	}
+	data := s.SnapshotCompact()
+	want := s.Read(0.005)
+
+	r, err := NewRO(DefaultROConfig(), rngx.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RestoreCompact(data); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Read(0.005); got != want {
+		t.Errorf("restored sensor read %+v, want %+v", got, want)
+	}
+	// The journal is one RLE run; size must not scale with read count.
+	if len(data) > 128 {
+		t.Errorf("compact RO snapshot is %dB after 500 reads; journal not run-length encoded?", len(data))
+	}
+}
+
+func TestEMCompactRoundTrip(t *testing.T) {
+	s, err := NewEM(DefaultEMConfig(), rngx.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := s.Read(73.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := s.SnapshotCompact()
+	want, err := s.Read(73.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewEM(DefaultEMConfig(), rngx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RestoreCompact(data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Read(73.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("restored sensor read %+v, want %+v", got, want)
+	}
+}
+
+func TestSensorCompactRejectsGarbage(t *testing.T) {
+	ro, err := NewRO(DefaultROConfig(), rngx.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := ro.SnapshotCompact()
+	for _, junk := range [][]byte{nil, {}, good[:10], append([]byte{0xff}, good[1:]...)} {
+		if err := ro.RestoreCompact(junk); err == nil {
+			t.Errorf("garbage of %d bytes accepted by RO sensor", len(junk))
+		}
+	}
+}
