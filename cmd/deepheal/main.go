@@ -11,6 +11,8 @@
 //	deepheal sim [flags]           # run one policy simulation directly
 //	deepheal bench [flags]         # run tracked benchmarks, emit/compare JSON
 //	deepheal serve [flags]         # host the chip-fleet HTTP/JSON service
+//	deepheal all -timing           # print the scheduling profile after the run
+//	deepheal timing points.json    # profile an already-written campaign stats file
 //
 // Experiments execute on the campaign engine: every experiment declares its
 // independent simulation points, the engine fans them across a bounded
@@ -28,7 +30,7 @@
 // The sim subcommand drives a single engine simulation with progress
 // reporting and checkpoint/resume; see `deepheal sim -h`. The bench
 // subcommand records the benchmark trajectory (see `deepheal bench -h`);
-// CI gates it against the committed BENCH_PR2.json. The serve subcommand
+// CI gates it against the committed BENCH_PR7.json. The serve subcommand
 // hosts the fleet service (see `deepheal serve -h`): on SIGTERM it drains
 // HTTP, writes the fleet checkpoint and exits 0.
 package main
@@ -151,12 +153,13 @@ func run(ctx context.Context, args []string) error {
 	retries := fs.Int("retries", 1, "attempts per campaign point before it is quarantined")
 	pointTimeout := fs.Duration("point-timeout", 0, "deadline per point attempt; a miss is retried, then quarantined (0 = none)")
 	stallTimeout := fs.Duration("stall-timeout", 0, "log points still running after this long (0 = off)")
+	timing := fs.Bool("timing", false, "after the campaign, print the scheduling profile (slowest points, LPT critical path) to stderr")
 	var metrics obsflag.Metrics
 	metrics.Register(fs)
 	var prof obsflag.Profile
 	prof.Register(fs)
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: deepheal [-q] [-o dir] [-parallel n] [-resume dir] [-faults spec] list | all | sim | bench | serve | <experiment>...\n\nexperiments:\n")
+		fmt.Fprintf(fs.Output(), "usage: deepheal [-q] [-o dir] [-parallel n] [-resume dir] [-faults spec] list | all | sim | bench | serve | timing <points.json> | <experiment>...\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
 			fmt.Fprintf(fs.Output(), "  %s\n", id)
 		}
@@ -198,6 +201,16 @@ func run(ctx context.Context, args []string) error {
 			fmt.Println(id)
 		}
 		return nil
+	case "timing":
+		if len(pos) != 2 {
+			return fmt.Errorf("usage: deepheal timing <points.json>")
+		}
+		stats, err := campaign.ReadStats(pos[1])
+		if err != nil {
+			return err
+		}
+		fmt.Print(campaign.TimingReport(stats, 10, []int{1, 2, 4, 8}))
+		return nil
 	case "all":
 		if len(pos) > 1 {
 			return fmt.Errorf("unexpected argument %q after \"all\"", pos[1])
@@ -229,6 +242,7 @@ func run(ctx context.Context, args []string) error {
 		Retries:      *retries,
 		PointTimeout: *pointTimeout,
 		StallTimeout: *stallTimeout,
+		Timing:       *timing,
 	}); err != nil {
 		finishMetrics()
 		return err
@@ -245,6 +259,7 @@ type campaignConfig struct {
 	Retries      int
 	PointTimeout time.Duration
 	StallTimeout time.Duration
+	Timing       bool
 }
 
 // runCampaign executes the selected experiments on the campaign engine,
@@ -318,6 +333,11 @@ func runCampaign(ctx context.Context, ids []string, cfg campaignConfig) error {
 		if err := campaign.WriteStats(filepath.Join(cfg.ResumeDir, "points.json"), outcomes); err != nil && runErr == nil {
 			runErr = err
 		}
+	}
+	if cfg.Timing && len(outcomes) > 0 {
+		// Stderr, like the campaign summary line: experiment stdout stays
+		// byte-identical whether or not the profile is requested.
+		fmt.Fprint(os.Stderr, campaign.TimingReport(campaign.StatsFromOutcomes(outcomes), 10, []int{1, 2, 4, 8}))
 	}
 	if runErr != nil && !errors.Is(runErr, campaign.ErrQuarantined) {
 		return runErr

@@ -89,45 +89,95 @@ type SizingPoint struct {
 	SwitchingTimeS  float64
 }
 
+// RawSizingPoint is the un-normalised measurement of one load size: the
+// quantities LoadSizePoint computes before anything is divided by the n = 1
+// baseline. Each load size's raw point is independent of every other, so a
+// campaign can compute them concurrently and normalise afterwards with
+// NormalizeSizing.
+type RawSizingPoint struct {
+	NumLoads       int
+	LoadVDD        float64
+	LoadVSS        float64
+	RawDelay       float64 // NormalizedLoadDelay at the operating point
+	SwitchingTimeS float64 // Normal→BTI switching time, seconds
+}
+
+// LoadSizePoint measures a single load size: the operating point, the raw
+// load delay and the Normal→BTI mode-switching time, with no normalisation
+// applied.
+func LoadSizePoint(base Config, numLoads int) (RawSizingPoint, error) {
+	if numLoads < 1 {
+		return RawSizingPoint{}, fmt.Errorf("assist: numLoads %d must be >= 1", numLoads)
+	}
+	cfg := base
+	cfg.NumLoads = numLoads
+	a, err := New(cfg)
+	if err != nil {
+		return RawSizingPoint{}, err
+	}
+	op, err := a.Operating()
+	if err != nil {
+		return RawSizingPoint{}, err
+	}
+	rawDelay, err := a.NormalizedLoadDelay(op)
+	if err != nil {
+		return RawSizingPoint{}, fmt.Errorf("assist: %d loads: %w", numLoads, err)
+	}
+	tsw, err := a.SwitchingTime(ModeNormal, ModeBTIRecovery, 0.10)
+	if err != nil {
+		return RawSizingPoint{}, err
+	}
+	return RawSizingPoint{
+		NumLoads:       numLoads,
+		LoadVDD:        op.LoadVDD,
+		LoadVSS:        op.LoadVSS,
+		RawDelay:       rawDelay,
+		SwitchingTimeS: tsw,
+	}, nil
+}
+
+// NormalizeSizing turns raw per-size measurements into Fig. 10 rows by
+// dividing each delay and switching time by the first point's. The divisions
+// are the only arithmetic, so normalising separately computed raw points
+// yields bitwise the same rows as a sequential sweep.
+func NormalizeSizing(raw []RawSizingPoint) ([]SizingPoint, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("assist: no sizing points to normalise")
+	}
+	delay1, tsw1 := raw[0].RawDelay, raw[0].SwitchingTimeS
+	if delay1 == 0 || tsw1 == 0 {
+		return nil, fmt.Errorf("assist: degenerate baseline (delay %g, t_sw %g)", delay1, tsw1)
+	}
+	out := make([]SizingPoint, 0, len(raw))
+	for _, r := range raw {
+		out = append(out, SizingPoint{
+			NumLoads:        r.NumLoads,
+			LoadVDD:         r.LoadVDD,
+			LoadVSS:         r.LoadVSS,
+			NormalizedDelay: r.RawDelay / delay1,
+			NormalizedTSw:   r.SwitchingTimeS / tsw1,
+			SwitchingTimeS:  r.SwitchingTimeS,
+		})
+	}
+	return out, nil
+}
+
 // LoadSizeSweep reproduces Fig. 10: it sweeps the number of load blocks
 // behind one fixed-size assist circuitry and reports how the load delay and
-// the mode-switching time scale.
+// the mode-switching time scale. It is LoadSizePoint over 1..maxLoads
+// followed by NormalizeSizing; campaigns that want the sizes concurrent
+// call those two pieces directly.
 func LoadSizeSweep(base Config, maxLoads int) ([]SizingPoint, error) {
 	if maxLoads < 1 {
 		return nil, fmt.Errorf("assist: maxLoads %d must be >= 1", maxLoads)
 	}
-	out := make([]SizingPoint, 0, maxLoads)
-	var delay1, tsw1 float64
+	raw := make([]RawSizingPoint, 0, maxLoads)
 	for n := 1; n <= maxLoads; n++ {
-		cfg := base
-		cfg.NumLoads = n
-		a, err := New(cfg)
+		r, err := LoadSizePoint(base, n)
 		if err != nil {
 			return nil, err
 		}
-		op, err := a.Operating()
-		if err != nil {
-			return nil, err
-		}
-		rawDelay, err := a.NormalizedLoadDelay(op)
-		if err != nil {
-			return nil, fmt.Errorf("assist: %d loads: %w", n, err)
-		}
-		tsw, err := a.SwitchingTime(ModeNormal, ModeBTIRecovery, 0.10)
-		if err != nil {
-			return nil, err
-		}
-		if n == 1 {
-			delay1, tsw1 = rawDelay, tsw
-		}
-		out = append(out, SizingPoint{
-			NumLoads:        n,
-			LoadVDD:         op.LoadVDD,
-			LoadVSS:         op.LoadVSS,
-			NormalizedDelay: rawDelay / delay1,
-			NormalizedTSw:   tsw / tsw1,
-			SwitchingTimeS:  tsw,
-		})
+		raw = append(raw, r)
 	}
-	return out, nil
+	return NormalizeSizing(raw)
 }

@@ -150,13 +150,25 @@ func (g *cetGrid) kernel(captureAF, emitAF, dt float64, phase uint64) *evolveKer
 // per-cell fields: O(nc+ne) exponentials plus one O(nc·ne) multiply/divide
 // sweep, amortised over every later substep at the same key.
 func (g *cetGrid) buildKernel(captureAF, emitAF, dt float64) *evolveKernel {
-	nc, ne := g.nc, g.ne
 	k := &evolveKernel{
-		pInf:  make([]float64, nc*ne),
-		decay: make([]float64, nc*ne),
+		pInf:  make([]float64, g.nc*g.ne),
+		decay: make([]float64, g.nc*g.ne),
 	}
-	re := make([]float64, ne)
-	decayE := make([]float64, ne)
+	g.fillKernel(k, captureAF, emitAF, dt)
+	return k
+}
+
+// fillKernel overwrites k's fields with the fused update for the condition
+// key. It is the single source of kernel values: cached kernels and the
+// batch path's pooled scratch kernels both fill through here, so the two are
+// bit-identical by construction. The emission axis uses the pooled scratch.
+func (g *cetGrid) fillKernel(k *evolveKernel, captureAF, emitAF, dt float64) {
+	nc, ne := g.nc, g.ne
+	sc, _ := g.scratch.Get().(*axisScratch)
+	if sc == nil || len(sc.re) != ne {
+		sc = &axisScratch{re: make([]float64, ne), decayE: make([]float64, ne)}
+	}
+	re, decayE := sc.re, sc.decayE
 	for j := range re {
 		re[j] = emitAF / g.tauE[j]
 		decayE[j] = math.Exp(-re[j] * dt)
@@ -171,24 +183,31 @@ func (g *cetGrid) buildKernel(captureAF, emitAF, dt float64) *evolveKernel {
 		for j := 0; j < ne; j++ {
 			rate := rc + re[j]
 			if rate <= 0 {
-				k.decay[base+j] = 1 // pInf = 0: the cell is frozen
+				k.pInf[base+j] = 0 // the cell is frozen
+				k.decay[base+j] = 1
 				continue
 			}
 			k.pInf[base+j] = rc / rate
 			k.decay[base+j] = dc * decayE[j]
 		}
 	}
-	return k
+	g.scratch.Put(sc)
 }
 
-// apply advances the occupancy vector by one kernel substep: a pure fused
-// multiply-add sweep with no divisions or transcendentals.
-func (k *evolveKernel) apply(occ []float64) {
+// kernelSweep advances the occupancy vector by one kernel substep: a pure
+// fused multiply-add sweep with no divisions or transcendentals. The
+// arithmetic is float64 for either storage; float32 only narrows the store.
+func kernelSweep[F floatOcc](k *evolveKernel, occ []F) {
 	pInf := k.pInf[:len(occ)]
 	decay := k.decay[:len(occ)]
 	for idx := range occ {
-		occ[idx] = pInf[idx] + (occ[idx]-pInf[idx])*decay[idx]
+		occ[idx] = F(pInf[idx] + (float64(occ[idx])-pInf[idx])*decay[idx])
 	}
+}
+
+// apply is the float64 form of kernelSweep.
+func (k *evolveKernel) apply(occ []float64) {
+	kernelSweep(k, occ)
 }
 
 // axisScratch is the emission-axis working set of one direct separable
@@ -198,11 +217,11 @@ type axisScratch struct {
 	re, decayE []float64
 }
 
-// evolveSeparable advances occ without materialising a kernel: the
+// separableSweep advances occ without materialising a kernel: the
 // emission-axis rates and decays are computed once into pooled scratch and
 // the capture axis is folded in per row. Bit-identical to a kernel built
 // for the same key.
-func (g *cetGrid) evolveSeparable(occ []float64, captureAF, emitAF, dt float64) {
+func separableSweep[F floatOcc](g *cetGrid, occ []F, captureAF, emitAF, dt float64) {
 	metSeparableSweep.Inc()
 	sc, _ := g.scratch.Get().(*axisScratch)
 	if sc == nil || len(sc.re) != g.ne {
@@ -226,10 +245,37 @@ func (g *cetGrid) evolveSeparable(occ []float64, captureAF, emitAF, dt float64) 
 				continue
 			}
 			pInf := rc / rate
-			row[j] = pInf + (row[j]-pInf)*(dc*decayE[j])
+			row[j] = F(pInf + (float64(row[j])-pInf)*(dc*decayE[j]))
 		}
 	}
 	g.scratch.Put(sc)
+}
+
+// evolveSeparable is the float64 form of separableSweep.
+func (g *cetGrid) evolveSeparable(occ []float64, captureAF, emitAF, dt float64) {
+	separableSweep(g, occ, captureAF, emitAF, dt)
+}
+
+// scratchKernel returns a pooled kernel filled for the condition key — the
+// batch sweep's answer to an uncached key: one O(nc·ne) materialisation
+// (identical values to a cached kernel, see fillKernel) amortised across
+// every device in the batch, where the per-device separable sweep would pay
+// the nc·ne divisions once per device. Return it with putScratchKernel.
+func (g *cetGrid) scratchKernel(captureAF, emitAF, dt float64) *evolveKernel {
+	k, _ := g.kernelScratch.Get().(*evolveKernel)
+	if k == nil || len(k.pInf) != g.nc*g.ne {
+		k = &evolveKernel{
+			pInf:  make([]float64, g.nc*g.ne),
+			decay: make([]float64, g.nc*g.ne),
+		}
+	}
+	g.fillKernel(k, captureAF, emitAF, dt)
+	return k
+}
+
+// putScratchKernel recycles a scratchKernel result.
+func (g *cetGrid) putScratchKernel(k *evolveKernel) {
+	g.kernelScratch.Put(k)
 }
 
 // Shared-grid cache: devices built from equal Params reuse one immutable

@@ -17,6 +17,10 @@ var (
 	metGridBuilds    *obs.Counter
 	metGridEvictions *obs.Counter
 	metGridEntries   *obs.Gauge
+
+	metBatchGroups         *obs.Counter
+	metBatchDevices        *obs.Counter
+	metBatchScratchKernels *obs.Counter
 )
 
 // EnableMetrics registers the package's instruments in r and routes the
@@ -45,4 +49,10 @@ func EnableMetrics(r *obs.Registry) {
 		"idle shared grids evicted to admit a new corner")
 	metGridEntries = r.Gauge("deepheal_bti_grid_entries",
 		"distinct Params with a resident shared CET grid")
+	metBatchGroups = r.Counter("deepheal_bti_batch_groups_total",
+		"multi-device shared-grid groups advanced by BatchApply")
+	metBatchDevices = r.Counter("deepheal_bti_batch_devices_total",
+		"devices advanced through batched group sweeps")
+	metBatchScratchKernels = r.Counter("deepheal_bti_batch_scratch_kernels_total",
+		"uncached batch substeps served by a pooled scratch kernel")
 }

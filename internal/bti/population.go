@@ -42,6 +42,19 @@ type Population struct {
 // NewPopulation draws n devices with the given variation. The draw is
 // deterministic in the rng.
 func NewPopulation(nominal Params, v Variation, n int, rng *rngx.Source) (*Population, error) {
+	return NewPopulationStorage(nominal, v, n, rng, StorageFloat64)
+}
+
+// NewPopulationStorage is NewPopulation with an explicit occupancy storage
+// mode; StorageFloat32 halves the population's resident occupancy bytes for
+// fleet-scale Monte Carlo studies.
+//
+// Varied draws produce n distinct Params, so their CET grids are built
+// privately: routing one-shot variation grids through the shared cache would
+// pound its mutex and evict fleet-pinned corners past the cache cap, for
+// entries nothing else will ever hit. Only an all-zero variation (identical
+// members) shares a cached grid.
+func NewPopulationStorage(nominal Params, v Variation, n int, rng *rngx.Source, s Storage) (*Population, error) {
 	if err := nominal.Validate(); err != nil {
 		return nil, err
 	}
@@ -54,6 +67,7 @@ func NewPopulation(nominal Params, v Variation, n int, rng *rngx.Source) (*Popul
 	if rng == nil {
 		return nil, errors.New("bti: nil rng")
 	}
+	varied := v.MaxShift > 0 || v.EmissionMu > 0 || v.GenRate > 0
 	pop := &Population{devices: make([]*Device, n)}
 	for i := 0; i < n; i++ {
 		p := nominal
@@ -66,11 +80,18 @@ func NewPopulation(nominal Params, v Variation, n int, rng *rngx.Source) (*Popul
 		if v.GenRate > 0 {
 			p.GenRateVPerSec = nominal.GenRateVPerSec * rng.LogNormal(0, v.GenRate)
 		}
-		dev, err := NewDevice(p)
-		if err != nil {
+		if !varied {
+			dev, err := NewDeviceStorage(p, s)
+			if err != nil {
+				return nil, fmt.Errorf("bti: population member %d: %w", i, err)
+			}
+			pop.devices[i] = dev
+			continue
+		}
+		if err := p.Validate(); err != nil {
 			return nil, fmt.Errorf("bti: population member %d: %w", i, err)
 		}
-		pop.devices[i] = dev
+		pop.devices[i] = newDeviceOnGrid(p, s, newCETGrid(p))
 	}
 	return pop, nil
 }
@@ -81,22 +102,21 @@ func (p *Population) Size() int { return len(p.devices) }
 // Device returns the i-th member for inspection.
 func (p *Population) Device(i int) *Device { return p.devices[i] }
 
-// Apply evolves every member under the same condition.
+// Apply evolves every member under the same condition through the batched
+// shared-grid sweep (bit-identical to a per-device loop, see BatchApply).
 func (p *Population) Apply(c Condition, dur float64) {
-	for _, d := range p.devices {
-		d.Apply(c, dur)
-	}
+	BatchApply(p.devices, c, dur)
 }
 
-// ApplySchedule runs a schedule on every member.
+// ApplySchedule runs a schedule on every member, batching each phase across
+// the population. Reordering the (device × phase) nest is value-safe for the
+// same reason BatchApply is: members are mutually independent.
 func (p *Population) ApplySchedule(s Schedule) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
-	for _, d := range p.devices {
-		for _, ph := range s {
-			d.Apply(ph.Cond, ph.Duration)
-		}
+	for _, ph := range s {
+		BatchApply(p.devices, ph.Cond, ph.Duration)
 	}
 	return nil
 }

@@ -10,13 +10,18 @@ import (
 
 // deviceSnapshot is the serialised form of a Device's mutable state. The
 // parameters are stored alongside so a restore can verify it is being
-// applied to a compatible model.
+// applied to a compatible model. Exactly one occupancy slice is populated,
+// per Storage; snapshots written before the float32 mode existed decode with
+// the zero Storage (StorageFloat64) and a nil Occupancy32, so they restore
+// unchanged.
 type deviceSnapshot struct {
-	Params     Params
-	Occupancy  []float64
-	PrecursorV float64
-	LockedV    float64
-	Age        float64
+	Params      Params
+	Storage     Storage
+	Occupancy   []float64
+	Occupancy32 []float32
+	PrecursorV  float64
+	LockedV     float64
+	Age         float64
 }
 
 // Snapshot serialises the device's aging state. Use RestoreDevice to resume
@@ -25,11 +30,13 @@ type deviceSnapshot struct {
 func (d *Device) Snapshot() ([]byte, error) {
 	var buf bytes.Buffer
 	snap := deviceSnapshot{
-		Params:     d.params,
-		Occupancy:  d.occ,
-		PrecursorV: d.precursorV,
-		LockedV:    d.lockedV,
-		Age:        d.age,
+		Params:      d.params,
+		Storage:     d.Storage(),
+		Occupancy:   d.occ,
+		Occupancy32: d.occ32,
+		PrecursorV:  d.precursorV,
+		LockedV:     d.lockedV,
+		Age:         d.age,
 	}
 	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
 		return nil, fmt.Errorf("bti: snapshot: %w", err)
@@ -37,26 +44,40 @@ func (d *Device) Snapshot() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// RestoreDevice rebuilds a device from a Snapshot.
+// RestoreDevice rebuilds a device from a Snapshot, in the storage mode the
+// snapshot was taken with.
 func RestoreDevice(data []byte) (*Device, error) {
 	var snap deviceSnapshot
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("bti: restore: %w", err)
 	}
-	d, err := NewDevice(snap.Params)
+	d, err := NewDeviceStorage(snap.Params, snap.Storage)
 	if err != nil {
 		return nil, fmt.Errorf("bti: restore: %w", err)
 	}
-	if len(snap.Occupancy) != len(d.occ) {
-		return nil, fmt.Errorf("bti: restore: occupancy size %d does not match grid %d",
-			len(snap.Occupancy), len(d.occ))
-	}
-	for i, v := range snap.Occupancy {
-		if v < 0 || v > 1 {
-			return nil, fmt.Errorf("bti: restore: occupancy[%d] = %g outside [0,1]", i, v)
+	if snap.Storage == StorageFloat32 {
+		if len(snap.Occupancy32) != len(d.occ32) {
+			return nil, fmt.Errorf("bti: restore: occupancy size %d does not match grid %d",
+				len(snap.Occupancy32), len(d.occ32))
 		}
+		for i, v := range snap.Occupancy32 {
+			if v < 0 || v > 1 {
+				return nil, fmt.Errorf("bti: restore: occupancy[%d] = %g outside [0,1]", i, v)
+			}
+		}
+		copy(d.occ32, snap.Occupancy32)
+	} else {
+		if len(snap.Occupancy) != len(d.occ) {
+			return nil, fmt.Errorf("bti: restore: occupancy size %d does not match grid %d",
+				len(snap.Occupancy), len(d.occ))
+		}
+		for i, v := range snap.Occupancy {
+			if v < 0 || v > 1 {
+				return nil, fmt.Errorf("bti: restore: occupancy[%d] = %g outside [0,1]", i, v)
+			}
+		}
+		copy(d.occ, snap.Occupancy)
 	}
-	copy(d.occ, snap.Occupancy)
 	d.precursorV = snap.PrecursorV
 	d.lockedV = snap.LockedV
 	d.age = snap.Age
@@ -74,8 +95,14 @@ func RestoreDevice(data []byte) (*Device, error) {
 // DEFLATE layer can squeeze; the transform is exactly invertible, keeping
 // restores bit-identical.
 
-// compactDeviceMagic tags the compact device framing.
-const compactDeviceMagic = 'B'
+// compactDeviceMagic tags the compact device framing with float64 occupancy
+// planes; compactDeviceMagic32 tags the float32 variant (4-byte planes, half
+// the payload). The magic doubles as the storage-mode check: a restore
+// requires the payload's mode to match the receiving device's.
+const (
+	compactDeviceMagic   = 'B'
+	compactDeviceMagic32 = 'b'
+)
 
 // shuffleBytes transposes an n×stride byte matrix into dst: plane b of the
 // output holds byte b of every element.
@@ -100,30 +127,49 @@ func unshuffleBytes(dst, src []byte, stride int) {
 
 // SnapshotCompact serialises the device's mutable state in the compact
 // fleet framing. Restore with RestoreCompact on a device built from the
-// same Params.
+// same Params and storage mode. Float32 devices emit 4-byte planes, halving
+// the dominant payload.
 func (d *Device) SnapshotCompact() []byte {
-	cells := len(d.occ)
-	buf := make([]byte, 0, 1+2*binary.MaxVarintLen64+24+8*cells)
-	buf = append(buf, compactDeviceMagic)
+	stride, cells := 8, len(d.occ)
+	magic := byte(compactDeviceMagic)
+	if d.occ32 != nil {
+		stride, cells = 4, len(d.occ32)
+		magic = compactDeviceMagic32
+	}
+	buf := make([]byte, 0, 1+2*binary.MaxVarintLen64+24+stride*cells)
+	buf = append(buf, magic)
 	buf = binary.AppendUvarint(buf, uint64(d.params.GridCapture))
 	buf = binary.AppendUvarint(buf, uint64(d.params.GridEmission))
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.precursorV))
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.lockedV))
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.age))
-	raw := make([]byte, 8*cells)
-	for i, v := range d.occ {
-		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	raw := make([]byte, stride*cells)
+	if d.occ32 != nil {
+		for i, v := range d.occ32 {
+			binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+		}
+	} else {
+		for i, v := range d.occ {
+			binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+		}
 	}
 	shuffled := make([]byte, len(raw))
-	shuffleBytes(shuffled, raw, 8)
+	shuffleBytes(shuffled, raw, stride)
 	return append(buf, shuffled...)
 }
 
 // RestoreCompact rewinds the receiver from a SnapshotCompact payload taken
-// from a device with the same grid dimensions.
+// from a device with the same grid dimensions and storage mode.
 func (d *Device) RestoreCompact(data []byte) error {
-	if len(data) == 0 || data[0] != compactDeviceMagic {
+	if len(data) == 0 || (data[0] != compactDeviceMagic && data[0] != compactDeviceMagic32) {
 		return fmt.Errorf("bti: restore compact: bad magic")
+	}
+	stride := 8
+	if data[0] == compactDeviceMagic32 {
+		stride = 4
+	}
+	if (stride == 4) != (d.occ32 != nil) {
+		return fmt.Errorf("bti: restore compact: snapshot storage does not match device storage %v", d.Storage())
 	}
 	rest := data[1:]
 	nc, n := binary.Uvarint(rest)
@@ -140,23 +186,34 @@ func (d *Device) RestoreCompact(data []byte) error {
 		return fmt.Errorf("bti: restore compact: snapshot grid %dx%d does not match device %dx%d",
 			nc, ne, d.params.GridCapture, d.params.GridEmission)
 	}
-	cells := len(d.occ)
-	if len(rest) != 24+8*cells {
-		return fmt.Errorf("bti: restore compact: payload %dB, want %dB", len(rest), 24+8*cells)
+	cells := d.params.GridCapture * d.params.GridEmission
+	if len(rest) != 24+stride*cells {
+		return fmt.Errorf("bti: restore compact: payload %dB, want %dB", len(rest), 24+stride*cells)
 	}
 	precursorV := math.Float64frombits(binary.LittleEndian.Uint64(rest[0:]))
 	lockedV := math.Float64frombits(binary.LittleEndian.Uint64(rest[8:]))
 	age := math.Float64frombits(binary.LittleEndian.Uint64(rest[16:]))
-	raw := make([]byte, 8*cells)
-	unshuffleBytes(raw, rest[24:], 8)
-	occ := make([]float64, cells)
-	for i := range occ {
-		occ[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
-		if occ[i] < 0 || occ[i] > 1 {
-			return fmt.Errorf("bti: restore compact: occupancy[%d] = %g outside [0,1]", i, occ[i])
+	raw := make([]byte, stride*cells)
+	unshuffleBytes(raw, rest[24:], stride)
+	if stride == 4 {
+		occ := make([]float32, cells)
+		for i := range occ {
+			occ[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+			if occ[i] < 0 || occ[i] > 1 {
+				return fmt.Errorf("bti: restore compact: occupancy[%d] = %g outside [0,1]", i, occ[i])
+			}
 		}
+		copy(d.occ32, occ)
+	} else {
+		occ := make([]float64, cells)
+		for i := range occ {
+			occ[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+			if occ[i] < 0 || occ[i] > 1 {
+				return fmt.Errorf("bti: restore compact: occupancy[%d] = %g outside [0,1]", i, occ[i])
+			}
+		}
+		copy(d.occ, occ)
 	}
-	copy(d.occ, occ)
 	d.precursorV = precursorV
 	d.lockedV = lockedV
 	d.age = age

@@ -40,6 +40,65 @@ func TestSnapshotRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestSnapshotRoundTripFloat32(t *testing.T) {
+	d, err := NewDeviceStorage(DefaultParams(), StorageFloat32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Apply(StressAccel, units.Hours(10))
+	d.Apply(RecoverDeep, units.Hours(2))
+
+	data, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreDevice(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Storage() != StorageFloat32 {
+		t.Fatalf("restored storage = %v", r.Storage())
+	}
+	requireDeviceEqual(t, r, d, "gob float32 restore")
+	d.Apply(StressAccel, units.Hours(5))
+	r.Apply(StressAccel, units.Hours(5))
+	requireDeviceEqual(t, r, d, "gob float32 post-restore evolution")
+}
+
+func TestCompactSnapshotFloat32RoundTripAndSize(t *testing.T) {
+	d, err := NewDeviceStorage(DefaultParams(), StorageFloat32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Apply(StressAccel, units.Hours(10))
+	d64 := MustNewDevice(DefaultParams())
+	d64.Apply(StressAccel, units.Hours(10))
+
+	blob := d.SnapshotCompact()
+	blob64 := d64.SnapshotCompact()
+	// The occupancy payload dominates; float32 must halve it.
+	if len(blob) >= len(blob64)*2/3 {
+		t.Fatalf("float32 compact snapshot %dB not well below float64's %dB", len(blob), len(blob64))
+	}
+	r, err := NewDeviceStorage(DefaultParams(), StorageFloat32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RestoreCompact(blob); err != nil {
+		t.Fatal(err)
+	}
+	requireDeviceEqual(t, r, d, "compact float32 restore")
+
+	// Storage modes must not cross-restore: the payload stride is baked into
+	// the framing.
+	if err := d64.RestoreCompact(blob); err == nil {
+		t.Error("float64 device accepted a float32 payload")
+	}
+	if err := r.RestoreCompact(blob64); err == nil {
+		t.Error("float32 device accepted a float64 payload")
+	}
+}
+
 func TestSnapshotFreshDevice(t *testing.T) {
 	d := MustNewDevice(DefaultParams())
 	data, err := d.Snapshot()

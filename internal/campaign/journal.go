@@ -195,25 +195,7 @@ func (j *Journal) record(key, hash string, value any, wall time.Duration) bool {
 // interrupted) campaign as JSON — the machine-readable artefact CI uploads
 // next to the journal.
 func WriteStats(path string, outcomes []Outcome) error {
-	type taskStats struct {
-		Task      string      `json:"task"`
-		Err       string      `json:"err,omitempty"`
-		ElapsedMS float64     `json:"elapsed_ms"`
-		Points    []PointStat `json:"points"`
-	}
-	all := make([]taskStats, 0, len(outcomes))
-	for _, o := range outcomes {
-		ts := taskStats{
-			Task:      o.Task,
-			ElapsedMS: float64(o.Elapsed) / float64(time.Millisecond),
-			Points:    o.Points,
-		}
-		if o.Err != nil {
-			ts.Err = o.Err.Error()
-		}
-		all = append(all, ts)
-	}
-	data, err := json.MarshalIndent(all, "", "  ")
+	data, err := json.MarshalIndent(StatsFromOutcomes(outcomes), "", "  ")
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,161 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// TaskStat is the per-task envelope WriteStats emits into points.json:
+// the task id, its wall-clock envelope and the per-point statistics.
+// ReadStats loads it back so tooling (the -timing report, CI dashboards)
+// can analyse a finished campaign without re-running it.
+type TaskStat struct {
+	Task      string      `json:"task"`
+	Err       string      `json:"err,omitempty"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+	Points    []PointStat `json:"points"`
+}
+
+// ReadStats loads a points.json written by WriteStats.
+func ReadStats(path string) ([]TaskStat, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: read stats: %w", err)
+	}
+	var all []TaskStat
+	if err := json.Unmarshal(data, &all); err != nil {
+		return nil, fmt.Errorf("campaign: read stats %s: %w", path, err)
+	}
+	return all, nil
+}
+
+// StatsFromOutcomes converts a finished campaign's outcomes into the same
+// shape ReadStats returns, so TimingReport serves both a live run and a
+// points.json on disk.
+func StatsFromOutcomes(outcomes []Outcome) []TaskStat {
+	all := make([]TaskStat, 0, len(outcomes))
+	for _, o := range outcomes {
+		ts := TaskStat{
+			Task:      o.Task,
+			ElapsedMS: o.Elapsed.Seconds() * 1e3,
+			Points:    o.Points,
+		}
+		if o.Err != nil {
+			ts.Err = o.Err.Error()
+		}
+		all = append(all, ts)
+	}
+	return all
+}
+
+// lptSchedule assigns points to workers longest-processing-time-first and
+// returns the per-worker point lists plus each worker's total load (ms).
+// Ties (equal durations, equally loaded workers) break deterministically by
+// key and worker index, so the report is stable across runs of the same
+// points.json.
+func lptSchedule(points []PointStat, workers int) (assign [][]PointStat, loads []float64) {
+	sorted := append([]PointStat(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].WallMS != sorted[j].WallMS {
+			return sorted[i].WallMS > sorted[j].WallMS
+		}
+		return sorted[i].Key < sorted[j].Key
+	})
+	assign = make([][]PointStat, workers)
+	loads = make([]float64, workers)
+	for _, p := range sorted {
+		best := 0
+		for w := 1; w < workers; w++ {
+			if loads[w] < loads[best] {
+				best = w
+			}
+		}
+		assign[best] = append(assign[best], p)
+		loads[best] += p.WallMS
+	}
+	return assign, loads
+}
+
+// TimingReport renders the campaign's scheduling profile: the topN slowest
+// computed points, then the modeled LPT makespan at each worker count with
+// the critical path — the point chain on the worker that determines the
+// makespan. It is the tool for answering "which point is the parallelism
+// ceiling": if the speedup at w workers sits well below w, the first key on
+// the critical path is the point to decompose.
+func TimingReport(stats []TaskStat, topN int, workers []int) string {
+	var run []PointStat
+	var totalMS float64
+	var other int
+	for _, t := range stats {
+		for _, p := range t.Points {
+			if p.Source == "run" {
+				run = append(run, p)
+				totalMS += p.WallMS
+			} else {
+				other++
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign timing: %d computed points, %.1f ms total compute", len(run), totalMS)
+	if other > 0 {
+		fmt.Fprintf(&b, " (+%d memoised/restored)", other)
+	}
+	b.WriteString("\n")
+	if len(run) == 0 {
+		return b.String()
+	}
+
+	sorted := append([]PointStat(nil), run...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].WallMS != sorted[j].WallMS {
+			return sorted[i].WallMS > sorted[j].WallMS
+		}
+		return sorted[i].Key < sorted[j].Key
+	})
+	if topN > len(sorted) {
+		topN = len(sorted)
+	}
+	fmt.Fprintf(&b, "slowest %d points:\n", topN)
+	for _, p := range sorted[:topN] {
+		fmt.Fprintf(&b, "  %9.1f ms  %s\n", p.WallMS, p.Key)
+	}
+
+	b.WriteString("LPT schedule (modeled):\n")
+	for _, w := range workers {
+		if w < 1 {
+			continue
+		}
+		assign, loads := lptSchedule(run, w)
+		busiest := 0
+		for i := range loads {
+			if loads[i] > loads[busiest] {
+				busiest = i
+			}
+		}
+		makespan := loads[busiest]
+		fmt.Fprintf(&b, "  %d worker(s): makespan %8.1f ms, speedup %.2fx", w, makespan, totalMS/makespan)
+		if w > 1 {
+			b.WriteString(", critical path: ")
+			b.WriteString(pathSummary(assign[busiest], 4))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// pathSummary renders a worker's point chain, eliding the tail beyond maxKeys.
+func pathSummary(path []PointStat, maxKeys int) string {
+	keys := make([]string, 0, maxKeys+1)
+	for i, p := range path {
+		if i == maxKeys {
+			keys = append(keys, fmt.Sprintf("+%d more", len(path)-maxKeys))
+			break
+		}
+		keys = append(keys, p.Key)
+	}
+	return strings.Join(keys, " → ")
+}

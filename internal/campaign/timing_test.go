@@ -1,0 +1,119 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReadStatsRoundTrip(t *testing.T) {
+	outcomes := []Outcome{{
+		Task:    "demo",
+		Elapsed: 1500 * time.Millisecond,
+		Points: []PointStat{
+			{Task: "demo", Key: "demo/a", Source: "run", WallMS: 900, Attempts: 1},
+			{Task: "demo", Key: "demo/b", Source: "memo", WallMS: 0},
+		},
+	}}
+	path := filepath.Join(t.TempDir(), "points.json")
+	if err := WriteStats(path, outcomes); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ReadStats(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 || stats[0].Task != "demo" || stats[0].ElapsedMS != 1500 {
+		t.Fatalf("stats envelope = %+v", stats)
+	}
+	if len(stats[0].Points) != 2 || stats[0].Points[0].Key != "demo/a" || stats[0].Points[0].WallMS != 900 {
+		t.Fatalf("points = %+v", stats[0].Points)
+	}
+}
+
+func TestReadStatsRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "points.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadStats(path); err == nil {
+		t.Error("garbage stats accepted")
+	}
+	if _, err := ReadStats(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// timingFixture is one long point plus shorter fillers — the shape where LPT
+// quality (and the critical-path callout) matters.
+func timingFixture() []TaskStat {
+	pts := []PointStat{
+		{Key: "big/sweep", Source: "run", WallMS: 400},
+		{Key: "mid/a", Source: "run", WallMS: 200},
+		{Key: "mid/b", Source: "run", WallMS: 200},
+		{Key: "small/a", Source: "run", WallMS: 100},
+		{Key: "small/b", Source: "run", WallMS: 100},
+		{Key: "free/memo", Source: "memo", WallMS: 0},
+	}
+	return []TaskStat{{Task: "t", Points: pts}}
+}
+
+func TestTimingReportContents(t *testing.T) {
+	rep := TimingReport(timingFixture(), 3, []int{1, 2})
+	if !strings.Contains(rep, "5 computed points, 1000.0 ms total compute (+1 memoised/restored)") {
+		t.Fatalf("header wrong:\n%s", rep)
+	}
+	// Top-N is sorted descending and honours N.
+	iBig := strings.Index(rep, "big/sweep")
+	iMid := strings.Index(rep, "mid/a")
+	if iBig < 0 || iMid < 0 || iBig > iMid {
+		t.Fatalf("slowest ordering wrong:\n%s", rep)
+	}
+	if strings.Contains(rep, "small/b") {
+		t.Fatalf("topN overflowed:\n%s", rep)
+	}
+	// 1 worker: makespan = total. 2 workers: LPT lands the optimum here —
+	// {400, 100} vs {200, 200, 100}, balanced at 500 each.
+	if !strings.Contains(rep, "1 worker(s): makespan   1000.0 ms, speedup 1.00x") {
+		t.Fatalf("serial makespan wrong:\n%s", rep)
+	}
+	if !strings.Contains(rep, "2 worker(s): makespan    500.0 ms, speedup 2.00x") {
+		t.Fatalf("2-worker makespan wrong:\n%s", rep)
+	}
+	// Critical path at 2 workers starts with the long point.
+	if !strings.Contains(rep, "critical path: big/sweep") {
+		t.Fatalf("critical path wrong:\n%s", rep)
+	}
+}
+
+func TestTimingReportDeterministic(t *testing.T) {
+	a := TimingReport(timingFixture(), 10, []int{1, 2, 4, 8})
+	b := TimingReport(timingFixture(), 10, []int{1, 2, 4, 8})
+	if a != b {
+		t.Fatal("report not deterministic")
+	}
+}
+
+func TestTimingReportEmpty(t *testing.T) {
+	rep := TimingReport(nil, 5, []int{4})
+	if !strings.Contains(rep, "0 computed points") {
+		t.Fatalf("empty report = %q", rep)
+	}
+	if strings.Contains(rep, "LPT") {
+		t.Fatalf("empty report should not model a schedule: %q", rep)
+	}
+}
+
+func TestPathSummaryElidesTail(t *testing.T) {
+	path := make([]PointStat, 7)
+	for i := range path {
+		path[i] = PointStat{Key: string(rune('a' + i))}
+	}
+	got := pathSummary(path, 4)
+	want := "a → b → c → d → +3 more"
+	if got != want {
+		t.Fatalf("pathSummary = %q, want %q", got, want)
+	}
+}

@@ -42,23 +42,42 @@ func (r *Fig10Result) Format() string {
 	return out
 }
 
-// PlanFig10 declares the load-size sweep.
+// PlanFig10 declares the load-size sweep, one point per load size. The sweep
+// used to be a single 1.3 s point — the longest in the whole campaign and the
+// critical path of any parallel schedule. Each size's raw measurement is
+// independent, so each becomes its own content-hashed point and the only
+// cross-size arithmetic — dividing by the n = 1 baseline — happens in
+// Assemble via assist.NormalizeSizing, which reproduces the sequential
+// sweep's rows bitwise.
 func PlanFig10() campaign.Task {
 	cfg := assist.DefaultConfig()
 	const maxLoads = 5
-	hash := campaign.Hash("assist/load-size-sweep", cfg, maxLoads)
-	return campaign.Task{
-		ID: "fig10",
-		Points: []campaign.Point{campaign.NewPoint("fig10/sweep", hash,
-			func(ctx context.Context) (*Fig10Result, error) {
-				pts, err := assist.LoadSizeSweep(cfg, maxLoads)
+	points := make([]campaign.Point, 0, maxLoads)
+	for n := 1; n <= maxLoads; n++ {
+		n := n
+		hash := campaign.Hash("assist/load-size-point", cfg, n)
+		points = append(points, campaign.NewPoint(fmt.Sprintf("fig10/load-%d", n), hash,
+			func(ctx context.Context) (*assist.RawSizingPoint, error) {
+				r, err := assist.LoadSizePoint(cfg, n)
 				if err != nil {
 					return nil, err
 				}
-				return &Fig10Result{Points: pts}, nil
-			})},
+				return &r, nil
+			}))
+	}
+	return campaign.Task{
+		ID:     "fig10",
+		Points: points,
 		Assemble: func(results []any) (any, error) {
-			return results[0].(*Fig10Result), nil
+			raw := make([]assist.RawSizingPoint, 0, len(results))
+			for _, r := range results {
+				raw = append(raw, *r.(*assist.RawSizingPoint))
+			}
+			pts, err := assist.NormalizeSizing(raw)
+			if err != nil {
+				return nil, err
+			}
+			return &Fig10Result{Points: pts}, nil
 		},
 	}
 }

@@ -51,14 +51,21 @@ func NewCGSolver(m *CSR) (*CGSolver, error) {
 // x0 may be nil for a zero start. It returns the solution (an internal
 // buffer, valid until the next Solve) and the achieved relative residual.
 func (s *CGSolver) Solve(b, x0 []float64, opt CGOptions) ([]float64, float64, error) {
-	n := s.m.n
-	if len(b) != n {
-		return nil, 0, fmt.Errorf("mathx: SolveCG rhs length %d, want %d", len(b), n)
-	}
 	if err := faultinject.ErrorAt(faultinject.SiteCGDiverge, ""); err != nil {
 		metCGSolves.Inc()
 		metCGFailures.Inc()
 		return nil, math.Inf(1), fmt.Errorf("mathx: CG did not converge: %w", err)
+	}
+	return s.solve(b, x0, opt)
+}
+
+// solve is Solve without the fault-injection probe, for composite solvers
+// (SPDSolver) that own the probe themselves — exactly one probe must fire
+// per logical solve, however many methods it cascades through.
+func (s *CGSolver) solve(b, x0 []float64, opt CGOptions) ([]float64, float64, error) {
+	n := s.m.n
+	if len(b) != n {
+		return nil, 0, fmt.Errorf("mathx: SolveCG rhs length %d, want %d", len(b), n)
 	}
 	maxIter := opt.MaxIter
 	if maxIter <= 0 {

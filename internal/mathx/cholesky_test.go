@@ -1,0 +1,193 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"deepheal/internal/rngx"
+)
+
+// laplacian2D builds the SPD 5-point thermal-style operator on a rows×cols
+// grid: lateral conductance 1 between neighbours, vertical conductance 0.125
+// to ambient on the diagonal — the same structure thermal.Grid assembles.
+func laplacian2D(rows, cols int) *CSR {
+	n := rows * cols
+	var entries []Coord
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i := r*cols + c
+			diag := 0.125
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nr, nc := r+d[0], c+d[1]
+				if nr < 0 || nr >= rows || nc < 0 || nc >= cols {
+					continue
+				}
+				entries = append(entries, Coord{Row: i, Col: nr*cols + nc, Val: -1})
+				diag++
+			}
+			entries = append(entries, Coord{Row: i, Col: i, Val: diag})
+		}
+	}
+	return NewCSR(n, entries)
+}
+
+// choleskyVsCG solves one grid operator both ways and requires agreement
+// within tol — the issue's differential criterion for the factored thermal
+// solve.
+func choleskyVsCG(t *testing.T, rows, cols int, tol float64) {
+	t.Helper()
+	m := laplacian2D(rows, cols)
+	n := m.N()
+	rng := rngx.New(7)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.Uniform(-2, 2)
+	}
+	chol, err := NewCholesky(m)
+	if err != nil {
+		t.Fatalf("factorization of the %dx%d grid operator failed: %v", rows, cols, err)
+	}
+	xd, err := chol.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := NewCGSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xi, _, err := cg.Solve(b, nil, CGOptions{Tol: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := Norm2(xi)
+	for i := range xd {
+		if math.Abs(xd[i]-xi[i]) > tol*scale {
+			t.Fatalf("x[%d]: direct %.15g vs CG %.15g (|Δ| %.3g > %.3g·‖x‖)",
+				i, xd[i], xi[i], math.Abs(xd[i]-xi[i]), tol)
+		}
+	}
+	// The direct residual must meet the criterion CG is held to.
+	ax := make([]float64, n)
+	m.MulVec(xd, ax)
+	for i := range ax {
+		ax[i] = b[i] - ax[i]
+	}
+	if res := Norm2(ax) / Norm2(b); res > 1e-10 {
+		t.Fatalf("direct residual %.3g exceeds 1e-10", res)
+	}
+}
+
+func TestCholeskyMatchesCG8x8(t *testing.T)   { choleskyVsCG(t, 8, 8, 1e-10) }
+func TestCholeskyMatchesCG64x64(t *testing.T) { choleskyVsCG(t, 64, 64, 1e-10) }
+
+func TestCholeskyExactOnKnownSolution(t *testing.T) {
+	m := laplacian2D(8, 8)
+	want := make([]float64, m.N())
+	for i := range want {
+		want[i] = float64(i%5) - 2
+	}
+	b := make([]float64, m.N())
+	m.MulVec(want, b)
+	chol, err := NewCholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := chol.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !AlmostEqual(x[i], want[i], 1e-10) {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	cases := map[string]*CSR{
+		"indefinite": NewCSR(2, []Coord{
+			{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: -1},
+		}),
+		"asymmetric": NewCSR(2, []Coord{
+			{Row: 0, Col: 0, Val: 2}, {Row: 0, Col: 1, Val: -1},
+			{Row: 1, Col: 1, Val: 2},
+		}),
+		"asymmetric-values": NewCSR(2, []Coord{
+			{Row: 0, Col: 0, Val: 2}, {Row: 0, Col: 1, Val: -1},
+			{Row: 1, Col: 0, Val: -0.5}, {Row: 1, Col: 1, Val: 2},
+		}),
+	}
+	for name, m := range cases {
+		if _, err := NewCholesky(m); !errors.Is(err, ErrNotSPD) {
+			t.Errorf("%s: err = %v, want ErrNotSPD", name, err)
+		}
+	}
+}
+
+func TestSPDSolverDirectMode(t *testing.T) {
+	m := laplacian2D(8, 8)
+	s, err := NewSPDSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Direct() {
+		t.Fatal("SPD grid operator should factor; solver fell back to CG")
+	}
+	b := make([]float64, m.N())
+	for i := range b {
+		b[i] = float64(i%3) + 1
+	}
+	x, res, err := s.Solve(b, nil, CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > 1e-10 {
+		t.Fatalf("direct residual %.3g exceeds 1e-10", res)
+	}
+	ref, _, err := m.SolveCG(b, nil, CGOptions{Tol: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !AlmostEqual(x[i], ref[i], 1e-8) {
+			t.Fatalf("x[%d] = %g, CG reference %g", i, x[i], ref[i])
+		}
+	}
+}
+
+func TestSPDSolverFallsBackToCGOnNonSPD(t *testing.T) {
+	// A diagonal matrix with a negative entry is symmetric but indefinite:
+	// the factorization must refuse it and the composite must still solve
+	// through the CG fallback (which converges on any diagonal system).
+	m := NewCSR(3, []Coord{
+		{Row: 0, Col: 0, Val: 4}, {Row: 1, Col: 1, Val: -2}, {Row: 2, Col: 2, Val: 8},
+	})
+	s, err := NewSPDSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Direct() {
+		t.Fatal("indefinite matrix must not run in direct mode")
+	}
+	b := []float64{4, 2, 16}
+	x, _, err := s.Solve(b, nil, CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, -1, 2} {
+		if !AlmostEqual(x[i], want, 1e-9) {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want)
+		}
+	}
+}
+
+func TestCholeskyRhsLengthChecked(t *testing.T) {
+	chol, err := NewCholesky(laplacian2D(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chol.Solve(make([]float64, 3)); err == nil {
+		t.Fatal("wrong-length rhs accepted")
+	}
+}

@@ -11,6 +11,11 @@ var (
 	metCGSolves   *obs.Counter
 	metCGIters    *obs.Counter
 	metCGFailures *obs.Counter
+
+	metCholFactors   *obs.Counter
+	metCholRejects   *obs.Counter
+	metCholSolves    *obs.Counter
+	metCholFallbacks *obs.Counter
 )
 
 // EnableMetrics registers the package's instruments in r. Pass nil to
@@ -23,4 +28,12 @@ func EnableMetrics(r *obs.Registry) {
 		"conjugate-gradient iterations across all solves")
 	metCGFailures = r.Counter("deepheal_cg_convergence_failures_total",
 		"CG solves that missed the convergence criterion")
+	metCholFactors = r.Counter("deepheal_cholesky_factorizations_total",
+		"sparse Cholesky factorizations completed")
+	metCholRejects = r.Counter("deepheal_cholesky_rejections_total",
+		"factorization attempts rejected (asymmetric, indefinite or over budget)")
+	metCholSolves = r.Counter("deepheal_cholesky_solves_total",
+		"triangular solves through a Cholesky factor")
+	metCholFallbacks = r.Counter("deepheal_cholesky_fallbacks_total",
+		"direct solves that fell back to CG (injected or residual miss)")
 }

@@ -8,11 +8,12 @@ import (
 	"deepheal/internal/units"
 )
 
-// referenceGrid replays the seed implementation: the operator is assembled
-// from scratch on every call and every solve allocates fresh buffers. The
-// production Grid caches the assembled operators and the CG state per dt;
-// both must produce bit-identical temperature trajectories, because the
-// assembly order and the CG arithmetic are unchanged — only their reuse is.
+// referenceGrid replays an uncached implementation: the operator is
+// assembled and factored from scratch on every call and every solve
+// allocates fresh buffers. The production Grid caches the assembled
+// operators and the factored solver per dt; both must produce bit-identical
+// temperature trajectories, because the assembly order and the solve
+// arithmetic are unchanged — only their reuse is.
 type referenceGrid struct {
 	g *Grid // state holder; solves below never touch its cached operators
 }
@@ -50,7 +51,11 @@ func (r *referenceGrid) steadyState(power []float64) error {
 	for i := range x0 {
 		x0[i] = g.temps[i] - g.cfg.Ambient.K()
 	}
-	rise, _, err := r.conductance(0).SolveCG(rhs, x0, mathx.CGOptions{})
+	sol, err := mathx.NewSPDSolver(r.conductance(0))
+	if err != nil {
+		return err
+	}
+	rise, _, err := sol.Solve(rhs, x0, mathx.CGOptions{})
 	if err != nil {
 		return err
 	}
@@ -70,7 +75,11 @@ func (r *referenceGrid) step(power []float64, dt float64) error {
 		rise[i] = g.temps[i] - g.cfg.Ambient.K()
 		rhs[i] = power[i] + cdt*rise[i]
 	}
-	sol, _, err := r.conductance(cdt).SolveCG(rhs, rise, mathx.CGOptions{})
+	solver, err := mathx.NewSPDSolver(r.conductance(cdt))
+	if err != nil {
+		return err
+	}
+	sol, _, err := solver.Solve(rhs, rise, mathx.CGOptions{})
 	if err != nil {
 		return err
 	}

@@ -55,21 +55,23 @@ func (c Config) Validate() error {
 // The solve operators depend only on (cfg, dt), so they are assembled once
 // and cached: the conductance matrix G for steady states at construction,
 // and the backward-Euler operator (G + C/dt·I) lazily per dt. Each cached
-// operator keeps a mathx.CGSolver so the Jacobi preconditioner and the CG
-// iteration scratch are reused across steps; the per-solve rhs/rise buffers
-// are preallocated. A warm-started solve therefore allocates nothing.
+// operator keeps a mathx.SPDSolver, which factors the operator once (sparse
+// envelope Cholesky) and answers every subsequent solve with two triangular
+// sweeps — no iteration — falling back to Jacobi-CG only when the operator
+// refuses to factor. The per-solve rhs/rise buffers are preallocated, so a
+// warm solve allocates nothing.
 type Grid struct {
 	rows, cols int
 	cfg        Config
 	ambientK   float64   // cfg.Ambient.K(), hoisted out of the hot loops
 	temps      []float64 // kelvin
 
-	mat    *mathx.CSR      // conductance G (steady-state operator)
-	steady *mathx.CGSolver // reusable CG state for mat
+	mat    *mathx.CSR       // conductance G (steady-state operator)
+	steady *mathx.SPDSolver // factored solver for mat
 
-	stepDt  float64         // dt of the cached transient operator, 0 = none
-	stepMat *mathx.CSR      // (G + C/dt·I) for stepDt
-	stepSol *mathx.CGSolver // reusable CG state for stepMat
+	stepDt  float64          // dt of the cached transient operator, 0 = none
+	stepMat *mathx.CSR       // (G + C/dt·I) for stepDt
+	stepSol *mathx.SPDSolver // factored solver for stepMat
 
 	rhs, rise []float64     // per-solve scratch
 	coords    []mathx.Coord // operator-assembly scratch
@@ -95,7 +97,7 @@ func NewGrid(rows, cols int, cfg Config) (*Grid, error) {
 		g.temps[i] = g.ambientK
 	}
 	g.mat = g.operator(0)
-	steady, err := mathx.NewCGSolver(g.mat)
+	steady, err := mathx.NewSPDSolver(g.mat)
 	if err != nil {
 		return nil, fmt.Errorf("thermal: %w", err)
 	}
@@ -229,7 +231,7 @@ func (g *Grid) Step(power []float64, dt float64) error {
 	cdt := g.cfg.HeatCapacity / dt
 	if g.stepMat == nil || g.stepDt != dt {
 		mat := g.operator(cdt)
-		sol, err := mathx.NewCGSolver(mat)
+		sol, err := mathx.NewSPDSolver(mat)
 		if err != nil {
 			return fmt.Errorf("thermal: transient step: %w", err)
 		}

@@ -2,10 +2,11 @@
 // deepheal CLI: it runs the default benchmark set and writes the JSON
 // report, optionally gating against a baseline given as the first argument.
 //
-//	go run ./internal/tools/benchrun [baseline.json]
+//	go run ./internal/tools/benchrun [-o report.json] [-benchtime 100x] [baseline.json]
 package main
 
 import (
+	"flag"
 	"log"
 	"os"
 
@@ -15,24 +16,27 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchrun: ")
-	rep, err := bench.Run(bench.Options{Stdout: os.Stderr})
+	out := flag.String("o", "BENCH_PR7.json", "write the JSON report here")
+	benchtime := flag.String("benchtime", "", "go test -benchtime value (empty = bench package default)")
+	flag.Parse()
+	rep, err := bench.Run(bench.Options{Stdout: os.Stderr, Benchtime: *benchtime})
 	if err != nil {
 		log.Fatal(err)
 	}
-	const out = "BENCH_PR2.json"
-	if err := rep.WriteFile(out); err != nil {
+	if err := rep.WriteFile(*out); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("wrote %d benchmarks to %s", len(rep.Results), out)
-	if len(os.Args) < 2 {
+	log.Printf("wrote %d benchmarks to %s", len(rep.Results), *out)
+	if flag.NArg() < 1 {
 		return
 	}
-	base, err := bench.ReadFile(os.Args[1])
+	baseline := flag.Arg(0)
+	base, err := bench.ReadFile(baseline)
 	if err != nil {
 		log.Fatal(err)
 	}
 	regs, stats := bench.Compare(base, rep, 2, bench.MinGateNs)
-	log.Printf("compared %d benchmarks against %s (%d below floor)", stats.Compared, os.Args[1], stats.SkippedBelowFloor)
+	log.Printf("compared %d benchmarks against %s (%d below floor)", stats.Compared, baseline, stats.SkippedBelowFloor)
 	for _, key := range stats.Missing {
 		log.Printf("WARNING: baseline benchmark %s missing from current run", key)
 	}
