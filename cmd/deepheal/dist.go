@@ -1,0 +1,278 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"deepheal/internal/campaign"
+	"deepheal/internal/campaign/dist"
+	"deepheal/internal/core"
+	"deepheal/internal/experiments"
+	"deepheal/internal/faultinject"
+	"deepheal/internal/obs"
+	"deepheal/internal/obsflag"
+)
+
+// exitWorkerDied is the worker verb's exit code when the injected
+// worker-die fault fires — distinct from 1 so chaos scripts can assert the
+// death was the planned one.
+const exitWorkerDied = 7
+
+// armFaults parses and installs a fault-injection spec; the returned
+// disarm func is a no-op when spec is empty.
+func armFaults(spec string, seed uint64) (func(), error) {
+	if spec == "" {
+		return func() {}, nil
+	}
+	plan, err := faultinject.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	inj, err := faultinject.New(seed, plan)
+	if err != nil {
+		return nil, err
+	}
+	faultinject.Enable(inj)
+	fmt.Fprintf(os.Stderr, "fault injection armed: %s (seed %d)\n", spec, seed)
+	return faultinject.Disable, nil
+}
+
+// runWorkerCmd joins a distributed campaign as one worker process: wait for
+// the coordinator's manifest, rebuild the experiment plans it names, then
+// lease, execute and journal points until the queue drains.
+func runWorkerCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("deepheal worker", flag.ContinueOnError)
+	dir := fs.String("dir", "", "campaign directory shared with the coordinator (required)")
+	id := fs.String("id", "", "worker id, the shard file name (default <host>-<pid>)")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "point lease lifetime; a worker silent this long has its point stolen")
+	poll := fs.Duration("poll", 100*time.Millisecond, "idle rescan interval while other workers hold the remaining leases")
+	manifestWait := fs.Duration("manifest-wait", time.Minute, "how long to wait for the coordinator's manifest to appear")
+	faults := fs.String("faults", "", "fault-injection spec, e.g. 'worker-die:occ=3' (see internal/faultinject)")
+	faultSeed := fs.Uint64("fault-seed", 1, "seed for the deterministic fault injector (-faults)")
+	var metrics obsflag.Metrics
+	metrics.Register(fs)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: deepheal worker -dir <campaign-dir> [flags]\n\n"+
+			"Joins a distributed campaign published by `deepheal coordinate -dir <campaign-dir>`.\n"+
+			"Results land in the worker's own CRC'd journal shard; kill the process at any\n"+
+			"point and the coordinator's merge still assembles byte-identical output.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		fs.Usage()
+		return fmt.Errorf("worker: -dir is required")
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("worker: unexpected argument %q (experiments come from the manifest)", fs.Arg(0))
+	}
+	disarm, err := armFaults(*faults, *faultSeed)
+	if err != nil {
+		return err
+	}
+	defer disarm()
+	var reg *obs.Registry
+	if metrics.Enabled() {
+		reg = obs.NewRegistry()
+	}
+	core.EnableMetrics(reg)
+	defer core.EnableMetrics(nil)
+	campaign.EnableMetrics(reg)
+	defer campaign.EnableMetrics(nil)
+	dist.EnableMetrics(reg)
+	defer dist.EnableMetrics(nil)
+	finishMetrics, err := metrics.Start(reg)
+	if err != nil {
+		return err
+	}
+
+	waitCtx, cancel := context.WithTimeout(ctx, *manifestWait)
+	m, err := dist.WaitManifest(waitCtx, *dir, *poll)
+	cancel()
+	if err != nil {
+		return err
+	}
+	tasks, err := experiments.Plans(m.Experiments...)
+	if err != nil {
+		return fmt.Errorf("worker: rebuilding plans from manifest: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "worker: joined %s (%d points, %d experiments)\n", *dir, len(m.Points), len(m.Experiments))
+	stats, runErr := dist.RunWorker(ctx, *dir, m, tasks, dist.WorkerOptions{
+		ID:       *id,
+		LeaseTTL: *leaseTTL,
+		Poll:     *poll,
+	})
+	fmt.Fprintf(os.Stderr, "worker: %d computed, %d cache hits, %d leases stolen, %d failed (%.2fs)\n",
+		stats.Completed, stats.CacheHits, stats.Stolen, stats.Failed, stats.WallSeconds)
+	if errors.Is(runErr, dist.ErrWorkerDied) {
+		// Mimic a real crash as closely as an orderly process can: skip
+		// metrics finish and exit through the dedicated code.
+		fmt.Fprintln(os.Stderr, "worker:", runErr)
+		os.Exit(exitWorkerDied)
+	}
+	if runErr != nil {
+		finishMetrics()
+		return runErr
+	}
+	return finishMetrics()
+}
+
+// runCoordinate drives a distributed campaign end to end: publish the
+// content-hashed work queue into -dir, run -local-workers in-process
+// workers while external `deepheal worker` processes join against the same
+// directory, wait for the queue to drain, merge every shard into the
+// canonical journal, then assemble through the ordinary campaign engine —
+// whose journal-restore path makes the printed and written output
+// byte-identical to a plain serial run.
+func runCoordinate(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("deepheal coordinate", flag.ContinueOnError)
+	dir := fs.String("dir", "", "campaign directory to publish the work queue into (required)")
+	quiet := fs.Bool("q", false, "print only experiment summaries, not full series")
+	outDir := fs.String("o", "", "also write <id>.txt (and <id>_<series>.tsv where available) into this directory")
+	localWorkers := fs.Int("local-workers", 1, "in-process workers to run alongside external ones (0 = pure coordinator, requires external `deepheal worker` processes)")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "point lease lifetime for local workers")
+	poll := fs.Duration("poll", 100*time.Millisecond, "drain/queue poll interval")
+	drainTimeout := fs.Duration("drain-timeout", 0, "give up if the queue has not drained after this long (0 = wait for ctx)")
+	retries := fs.Int("retries", 1, "attempts per point in the final assembly run before quarantine")
+	timing := fs.Bool("timing", false, "after assembly, print the scheduling profile to stderr")
+	faults := fs.String("faults", "", "fault-injection spec for chaos runs (see internal/faultinject)")
+	faultSeed := fs.Uint64("fault-seed", 1, "seed for the deterministic fault injector (-faults)")
+	var metrics obsflag.Metrics
+	metrics.Register(fs)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: deepheal coordinate -dir <campaign-dir> [flags] [all | <experiment>...]\n\n"+
+			"Publishes the experiments' points as a distributed work queue, drains it with\n"+
+			"local and external workers, merges the per-worker journal shards and assembles\n"+
+			"output byte-identical to a serial `deepheal` run.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		fs.Usage()
+		return fmt.Errorf("coordinate: -dir is required")
+	}
+	var ids []string
+	switch {
+	case fs.NArg() == 0:
+		// Like `all`: every registered experiment.
+	case fs.NArg() == 1 && fs.Arg(0) == "all":
+	default:
+		ids = fs.Args()
+	}
+	resolved := ids
+	if len(resolved) == 0 {
+		resolved = experiments.IDs()
+	}
+	tasks, err := experiments.Plans(resolved...)
+	if err != nil {
+		return err
+	}
+	disarm, err := armFaults(*faults, *faultSeed)
+	if err != nil {
+		return err
+	}
+	defer disarm()
+	var reg *obs.Registry
+	if metrics.Enabled() {
+		reg = obs.NewRegistry()
+	}
+	core.EnableMetrics(reg)
+	defer core.EnableMetrics(nil)
+	campaign.EnableMetrics(reg)
+	defer campaign.EnableMetrics(nil)
+	dist.EnableMetrics(reg)
+	defer dist.EnableMetrics(nil)
+	finishMetrics, err := metrics.Start(reg)
+	if err != nil {
+		return err
+	}
+
+	m, err := dist.Publish(*dir, resolved, tasks)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "coordinate: published %d points (%d experiments) to %s\n",
+		len(m.Points), len(m.Experiments), *dir)
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, *localWorkers)
+	for w := 0; w < *localWorkers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats, err := dist.RunWorker(ctx, *dir, m, tasks, dist.WorkerOptions{
+				ID:       fmt.Sprintf("%s-local%d", defaultCoordinatorID(), w),
+				LeaseTTL: *leaseTTL,
+				Poll:     *poll,
+			})
+			workerErrs[w] = err
+			fmt.Fprintf(os.Stderr, "coordinate: local worker %d: %d computed, %d cache hits, %d stolen, %d failed\n",
+				w, stats.Completed, stats.CacheHits, stats.Stolen, stats.Failed)
+		}()
+	}
+
+	drainCtx := ctx
+	if *drainTimeout > 0 {
+		var cancel context.CancelFunc
+		drainCtx, cancel = context.WithTimeout(ctx, *drainTimeout)
+		defer cancel()
+	}
+	drainErr := dist.WaitDrained(drainCtx, *dir, m, *poll, func(st dist.DrainState) {
+		fmt.Fprintf(os.Stderr, "coordinate: %d/%d points done (%d failed)\n",
+			st.Completed+st.Failed, st.Total, st.Failed)
+	})
+	wg.Wait()
+	for w, werr := range workerErrs {
+		if werr != nil && !errors.Is(werr, context.Canceled) && !errors.Is(werr, dist.ErrWorkerDied) {
+			fmt.Fprintf(os.Stderr, "coordinate: local worker %d failed: %v\n", w, werr)
+		}
+	}
+	if drainErr != nil {
+		finishMetrics()
+		return drainErr
+	}
+
+	st, err := dist.MergeShards(*dir)
+	if err != nil {
+		finishMetrics()
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "coordinate: merged %d shard(s): %d absorbed, %d duplicate, %d corrupt, %d torn\n",
+		st.Shards, st.Absorbed, st.Duplicates, st.Corrupted, st.TornTails)
+
+	// Final assembly: an ordinary single-process campaign over the merged
+	// journal. Every shard-completed point restores; anything missing —
+	// failed on a worker, torn in a shard — recomputes here under the
+	// normal retry/quarantine rules.
+	if err := runCampaign(ctx, ids, campaignConfig{
+		Quiet:     *quiet,
+		OutDir:    *outDir,
+		Workers:   1,
+		ResumeDir: *dir,
+		Retries:   *retries,
+		Timing:    *timing,
+	}); err != nil {
+		finishMetrics()
+		return err
+	}
+	return finishMetrics()
+}
+
+// defaultCoordinatorID names the coordinator's local worker shards.
+func defaultCoordinatorID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "coord"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// readOutputs collects an -o artifact directory as name → contents.
+func readOutputs(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make(map[string]string, len(entries))
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[e.Name()] = string(data)
+	}
+	return files
+}
+
+// assertSameOutputs compares two artifact directories byte for byte. Stdout
+// carries wall-clock timings, so the -o files are the byte-identical surface.
+func assertSameOutputs(t *testing.T, serialDir, distDir string) {
+	t.Helper()
+	serial, dist := readOutputs(t, serialDir), readOutputs(t, distDir)
+	if len(serial) == 0 || len(serial) != len(dist) {
+		t.Fatalf("file sets differ: serial %d, distributed %d", len(serial), len(dist))
+	}
+	for name, want := range serial {
+		if got, ok := dist[name]; !ok {
+			t.Errorf("distributed run missing %s", name)
+		} else if got != want {
+			t.Errorf("%s: distributed output differs from serial", name)
+		}
+	}
+}
+
+func TestCoordinateMatchesSerial(t *testing.T) {
+	ids := []string{"table1", "fig4"}
+	serialDir, distDir := t.TempDir(), t.TempDir()
+	campDir := filepath.Join(t.TempDir(), "camp")
+
+	args := append([]string{"-q", "-o", serialDir}, ids...)
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	args = append([]string{"coordinate", "-dir", campDir, "-local-workers", "2", "-q", "-o", distDir}, ids...)
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+
+	assertSameOutputs(t, serialDir, distDir)
+
+	// The campaign dir must hold the distributed artifacts: the manifest,
+	// one shard per local worker, and the merged canonical journal.
+	if _, err := os.Stat(filepath.Join(campDir, "manifest.json")); err != nil {
+		t.Errorf("missing manifest: %v", err)
+	}
+	shards, err := filepath.Glob(filepath.Join(campDir, "shards", "*.jsonl"))
+	if err != nil || len(shards) != 2 {
+		t.Errorf("want 2 worker shards, got %d (err %v)", len(shards), err)
+	}
+	if _, err := os.Stat(filepath.Join(campDir, "journal.jsonl")); err != nil {
+		t.Errorf("missing merged journal: %v", err)
+	}
+}
+
+func TestCoordinateSurvivesWorkerDeath(t *testing.T) {
+	ids := []string{"table1", "fig4"}
+	serialDir, distDir := t.TempDir(), t.TempDir()
+	campDir := filepath.Join(t.TempDir(), "camp")
+
+	args := append([]string{"-q", "-o", serialDir}, ids...)
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	// One of the two local workers dies (injected) after its second computed
+	// point, abandoning an unrecorded result and a live lease. The survivor
+	// steals the lease once the short TTL expires and the merged output must
+	// still be byte-identical.
+	args = append([]string{
+		"coordinate", "-dir", campDir, "-local-workers", "2",
+		"-lease-ttl", "500ms", "-poll", "50ms",
+		"-faults", "worker-die:occ=2", "-fault-seed", "7",
+		"-q", "-o", distDir,
+	}, ids...)
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+
+	assertSameOutputs(t, serialDir, distDir)
+}
+
+func TestCoordinateResumeSkipsCompletedPoints(t *testing.T) {
+	// A second coordinate over the same dir must restore everything from the
+	// merged journal: publish finds the same hashes, workers see every point
+	// already complete, and assembly restores instead of recomputing.
+	campDir := filepath.Join(t.TempDir(), "camp")
+	if err := run(context.Background(), []string{"coordinate", "-dir", campDir, "-q", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(filepath.Join(campDir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"coordinate", "-dir", campDir, "-q", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(filepath.Join(campDir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size() {
+		t.Errorf("re-run grew the canonical journal: %d → %d bytes", before.Size(), after.Size())
+	}
+}
+
+func TestDistVerbValidation(t *testing.T) {
+	if err := run(context.Background(), []string{"coordinate"}); err == nil {
+		t.Error("coordinate without -dir accepted")
+	}
+	if err := run(context.Background(), []string{"worker"}); err == nil {
+		t.Error("worker without -dir accepted")
+	}
+	if err := run(context.Background(), []string{"worker", "-dir", t.TempDir(), "table1"}); err == nil {
+		t.Error("worker with positional experiment accepted")
+	}
+	if err := run(context.Background(), []string{"coordinate", "-dir", filepath.Join(t.TempDir(), "c"), "nope"}); err == nil {
+		t.Error("coordinate with unknown experiment accepted")
+	}
+}

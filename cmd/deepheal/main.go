@@ -11,6 +11,8 @@
 //	deepheal sim [flags]           # run one policy simulation directly
 //	deepheal bench [flags]         # run tracked benchmarks, emit/compare JSON
 //	deepheal serve [flags]         # host the chip-fleet HTTP/JSON service
+//	deepheal coordinate [flags]    # publish a distributed work queue and assemble it
+//	deepheal worker [flags]        # join a distributed campaign as one worker
 //	deepheal all -timing           # print the scheduling profile after the run
 //	deepheal timing points.json    # profile an already-written campaign stats file
 //
@@ -136,8 +138,11 @@ func parseInterspersed(fs *flag.FlagSet, args []string) ([]string, error) {
 		}
 		pos = append(pos, args[0])
 		args = args[1:]
-		if len(pos) == 1 && (pos[0] == "sim" || pos[0] == "bench" || pos[0] == "serve") {
-			return append(pos, args...), nil
+		if len(pos) == 1 {
+			switch pos[0] {
+			case "sim", "bench", "serve", "worker", "coordinate":
+				return append(pos, args...), nil
+			}
 		}
 	}
 }
@@ -159,7 +164,7 @@ func run(ctx context.Context, args []string) error {
 	var prof obsflag.Profile
 	prof.Register(fs)
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: deepheal [-q] [-o dir] [-parallel n] [-resume dir] [-faults spec] list | all | sim | bench | serve | timing <points.json> | <experiment>...\n\nexperiments:\n")
+		fmt.Fprintf(fs.Output(), "usage: deepheal [-q] [-o dir] [-parallel n] [-resume dir] [-faults spec] list | all | sim | bench | serve | coordinate | worker | timing <points.json> | <experiment>...\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
 			fmt.Fprintf(fs.Output(), "  %s\n", id)
 		}
@@ -196,6 +201,10 @@ func run(ctx context.Context, args []string) error {
 		return runBench(pos[1:])
 	case "serve":
 		return runServe(ctx, pos[1:])
+	case "worker":
+		return runWorkerCmd(ctx, pos[1:])
+	case "coordinate":
+		return runCoordinate(ctx, pos[1:])
 	case "list":
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
@@ -230,6 +239,8 @@ func run(ctx context.Context, args []string) error {
 	}
 	core.EnableMetrics(reg)
 	defer core.EnableMetrics(nil)
+	campaign.EnableMetrics(reg)
+	defer campaign.EnableMetrics(nil)
 	finishMetrics, err := metrics.Start(reg)
 	if err != nil {
 		return err

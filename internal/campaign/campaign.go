@@ -83,6 +83,11 @@ type PointStat struct {
 	// Journaled reports whether the result is persisted in the journal
 	// (either restored from it or appended to it by this run).
 	Journaled bool `json:"journaled"`
+	// JournalErr carries the I/O error that prevented the result from being
+	// journaled (full disk, failed fsync). The point still succeeded — it
+	// just re-runs on resume — but the lost durability is surfaced instead
+	// of hiding behind a bare Journaled=false.
+	JournalErr string `json:"journal_err,omitempty"`
 	// Attempts is how many times the point's Run was tried (0 for memo- or
 	// journal-satisfied points).
 	Attempts int `json:"attempts,omitempty"`
@@ -344,7 +349,12 @@ func (r *run) execute(ti, pi int) {
 					stat.Source = "run"
 					stat.Attempts = attempts
 					if err == nil && r.opts.Journal != nil {
-						stat.Journaled = r.opts.Journal.record(p.Key, p.Hash, value, time.Since(start))
+						var jerr error
+						stat.Journaled, jerr = r.opts.Journal.Record(p.Key, p.Hash, value, time.Since(start))
+						if jerr != nil {
+							stat.JournalErr = jerr.Error()
+							metJournalErrors.Inc()
+						}
 					}
 				} else {
 					stat.Source = "memo"

@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"deepheal/internal/campaign"
+)
+
+// DrainState is a point-in-time view of queue progress.
+type DrainState struct {
+	Total     int // distributable points in the manifest
+	Completed int // hashes present in some shard
+	Failed    int // hashes with a failure marker (coordinator recomputes)
+}
+
+// Drained reports whether every manifest point is accounted for.
+func (s DrainState) Drained() bool { return s.Completed+s.Failed >= s.Total }
+
+// Progress inspects dir once and reports how much of the manifest is
+// accounted for. Scanning is from scratch (no incremental state), which is
+// what a freshly attached observer wants.
+func Progress(dir string, m *Manifest) (DrainState, error) {
+	scan := newShardScanner(dir)
+	if err := scan.rescan(); err != nil {
+		return DrainState{}, err
+	}
+	failed, err := failedHashes(dir)
+	if err != nil {
+		return DrainState{}, err
+	}
+	st := DrainState{Total: len(m.Points)}
+	for _, mp := range m.Points {
+		switch {
+		case scan.complete[mp.Hash]:
+			st.Completed++
+		case failed[n16(mp.Hash)]:
+			st.Failed++
+		}
+	}
+	return st, nil
+}
+
+// WaitDrained polls dir until every manifest point is completed in some
+// shard or marked failed, or ctx expires. onProgress, if non-nil, is called
+// whenever the accounted-for count changes.
+func WaitDrained(ctx context.Context, dir string, m *Manifest, poll time.Duration, onProgress func(DrainState)) error {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	scan := newShardScanner(dir)
+	last := -1
+	for {
+		if err := scan.rescan(); err != nil {
+			return fmt.Errorf("dist: drain: %w", err)
+		}
+		failed, err := failedHashes(dir)
+		if err != nil {
+			return fmt.Errorf("dist: drain: %w", err)
+		}
+		st := DrainState{Total: len(m.Points)}
+		for _, mp := range m.Points {
+			switch {
+			case scan.complete[mp.Hash]:
+				st.Completed++
+			case failed[n16(mp.Hash)]:
+				st.Failed++
+			}
+		}
+		if done := st.Completed + st.Failed; done != last {
+			last = done
+			if onProgress != nil {
+				onProgress(st)
+			}
+		}
+		if st.Drained() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("dist: drain: %w", ctx.Err())
+		case <-time.After(poll):
+		}
+	}
+}
+
+// MergeStats summarises a shard merge.
+type MergeStats struct {
+	Shards     int
+	Absorbed   int
+	Duplicates int
+	Corrupted  int
+	TornTails  int
+}
+
+// MergeShards absorbs every worker shard in dir into the campaign's
+// canonical journal (journal.jsonl in the same directory), in sorted shard
+// order so the merge is deterministic. Records already present — the
+// coordinator may have run before, or two workers may have raced a steal —
+// deduplicate by content hash; corrupt records and torn shard tails are
+// skipped with the journal's usual tolerance, leaving those points to the
+// final run. The merged journal is a plain campaign journal: the assembly
+// pass and any later resume read it with no distributed machinery at all.
+func MergeShards(dir string) (MergeStats, error) {
+	j, err := campaign.OpenJournal(dir)
+	if err != nil {
+		return MergeStats{}, fmt.Errorf("dist: merge: %w", err)
+	}
+	defer j.Close()
+	paths, err := shardPaths(dir)
+	if err != nil {
+		return MergeStats{}, fmt.Errorf("dist: merge: %w", err)
+	}
+	var st MergeStats
+	for _, path := range paths {
+		as, err := j.AbsorbFile(path)
+		if err != nil {
+			return st, fmt.Errorf("dist: merge: %w", err)
+		}
+		st.Shards++
+		st.Absorbed += as.Absorbed
+		st.Duplicates += as.Duplicates
+		st.Corrupted += as.Corrupted
+		if as.TornTail {
+			st.TornTails++
+		}
+	}
+	metMergeShards.Add(uint64(st.Shards))
+	metMergeRecords.Add(uint64(st.Absorbed))
+	metMergeCorrupt.Add(uint64(st.Corrupted + st.TornTails))
+	return st, nil
+}

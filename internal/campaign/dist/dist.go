@@ -1,0 +1,292 @@
+// Package dist turns the campaign engine into a distributed executor. The
+// unit of exchange is the campaign's existing point model: content-hashed,
+// journaled, deterministic. A coordinator publishes the work queue as a
+// manifest file in a shared campaign directory; N worker processes lease
+// points (lease files with expiry, stolen when a worker dies), execute them
+// and append results to per-worker CRC'd journal shards (fsynced, so an
+// acknowledged point survives power loss); a merge step absorbs every shard
+// into the campaign's canonical journal; and the final assembly is a plain
+// single-process campaign.Run over the merged journal — which is what makes
+// the distributed output byte-identical to a serial run by construction:
+// every point either restores from the merged journal or is recomputed by
+// the same deterministic Run that a serial campaign would have called.
+//
+// The transport is the filesystem (a shared directory is the v1 queue), but
+// every coordination primitive — publish, lease, complete, fail — is a file
+// with atomic create/rename semantics, so the directory can be on local
+// disk, NFS, or replaced wholesale by a networked queue implementing the
+// same contract.
+//
+// Failure model: a worker that dies mid-point leaves a lease that expires
+// and is taken over by any surviving worker (or the coordinator's local
+// participant); a worker that dies mid-append leaves a torn shard tail that
+// the merge skips, recomputing only that point; a point that fails on a
+// worker is marked failed and handed back to the coordinator's final run,
+// where the ordinary retry/quarantine machinery (PR 5) applies.
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"deepheal/internal/campaign"
+)
+
+// Directory layout inside the shared campaign dir.
+const (
+	manifestName = "manifest.json"
+	leasesDir    = "leases"
+	shardsDir    = "shards"
+	failedDir    = "failed"
+)
+
+// ManifestPoint is one distributable point of the published work queue.
+type ManifestPoint struct {
+	Seq  int    `json:"seq"`
+	Task string `json:"task"`
+	Key  string `json:"key"`
+	Hash string `json:"hash"`
+}
+
+// Manifest is the coordinator-published work queue: the experiment ids the
+// workers must re-plan (points carry no closures, so workers rebuild the
+// identical task set from the registry and match points by content hash)
+// plus every distributable point in declaration order.
+type Manifest struct {
+	Version     int             `json:"version"`
+	Experiments []string        `json:"experiments"`
+	Points      []ManifestPoint `json:"points"`
+}
+
+// manifestVersion guards the manifest wire format.
+const manifestVersion = 1
+
+// Publish writes the work queue for tasks into dir, atomically, so a worker
+// polling for the manifest never observes a half-written file. Points with
+// an empty hash or no New constructor cannot be exchanged through journals
+// and are left to the coordinator's final run; everything else is listed in
+// declaration order.
+func Publish(dir string, experiments []string, tasks []campaign.Task) (*Manifest, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dist: publish: %w", err)
+	}
+	for _, sub := range []string{leasesDir, shardsDir, failedDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("dist: publish: %w", err)
+		}
+	}
+	m := &Manifest{Version: manifestVersion, Experiments: experiments}
+	seq := 0
+	for _, t := range tasks {
+		for _, p := range t.Points {
+			if p.Hash == "" || p.New == nil {
+				continue
+			}
+			m.Points = append(m.Points, ManifestPoint{Seq: seq, Task: t.ID, Key: p.Key, Hash: p.Hash})
+			seq++
+		}
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("dist: publish: %w", err)
+	}
+	if err := writeAtomic(filepath.Join(dir, manifestName), append(data, '\n')); err != nil {
+		return nil, fmt.Errorf("dist: publish: %w", err)
+	}
+	return m, nil
+}
+
+// LoadManifest reads a published manifest from dir.
+func LoadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("dist: manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("dist: manifest version %d, this build speaks %d", m.Version, manifestVersion)
+	}
+	return &m, nil
+}
+
+// WaitManifest polls dir until a manifest appears (a worker may start before
+// its coordinator) or ctx expires.
+func WaitManifest(ctx context.Context, dir string, poll time.Duration) (*Manifest, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		m, err := LoadManifest(dir)
+		switch {
+		case err == nil:
+			return m, nil
+		case !os.IsNotExist(err):
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("dist: waiting for manifest in %s: %w", dir, ctx.Err())
+		case <-time.After(poll):
+		}
+	}
+}
+
+// writeAtomic writes data via temp file + rename so readers never observe a
+// partial file. The temp name carries the pid so concurrent writers of the
+// same path (a lease takeover race) cannot collide on the temp file itself.
+func writeAtomic(path string, data []byte) error {
+	tmp := fmt.Sprintf("%s.%d.tmp", path, os.Getpid())
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// lease is the on-disk claim a worker holds on a point's hash while
+// computing it. Expiry is wall-clock: a worker that dies stops renewing,
+// and after Expires any other worker may take over with an atomic rename.
+// The takeover race is benign — two workers may briefly compute the same
+// point, but points are deterministic and the merge deduplicates by hash.
+type lease struct {
+	Worker  string `json:"worker"`
+	Key     string `json:"key"`
+	Expires int64  `json:"expires_unix_ms"`
+}
+
+// leasePath names the lease file for a point hash. Leases are keyed by hash
+// (not seq) so cross-experiment duplicate points share one claim and are
+// computed once fleet-wide.
+func leasePath(dir, hash string) string {
+	n := len(hash)
+	if n > 16 {
+		n = 16
+	}
+	return filepath.Join(dir, leasesDir, hash[:n]+".lease")
+}
+
+// acquireLease claims hash for worker until now+ttl. It returns whether the
+// claim succeeded and whether it was stolen from an expired holder.
+func acquireLease(dir, hash, key, worker string, ttl time.Duration) (ok, stolen bool, err error) {
+	path := leasePath(dir, hash)
+	data, err := json.Marshal(lease{Worker: worker, Key: key, Expires: time.Now().Add(ttl).UnixMilli()})
+	if err != nil {
+		return false, false, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err == nil {
+		_, werr := f.Write(append(data, '\n'))
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return false, false, werr
+		}
+		return true, false, nil
+	}
+	if !os.IsExist(err) {
+		return false, false, err
+	}
+	cur, rerr := os.ReadFile(path)
+	if rerr != nil {
+		// Holder released it between our create and read: next scan retries.
+		return false, false, nil
+	}
+	var held lease
+	if jerr := json.Unmarshal(cur, &held); jerr == nil && time.Now().UnixMilli() < held.Expires {
+		return false, false, nil // live claim
+	}
+	// Expired (or unreadable) claim: take over atomically.
+	if err := writeAtomic(path, append(data, '\n')); err != nil {
+		return false, false, err
+	}
+	return true, true, nil
+}
+
+// renewLease extends worker's claim on hash. Best-effort: a renewal that
+// loses a takeover race just rewrites the file, and the duplicated compute
+// stays correct by determinism.
+func renewLease(dir, hash, key, worker string, ttl time.Duration) {
+	data, err := json.Marshal(lease{Worker: worker, Key: key, Expires: time.Now().Add(ttl).UnixMilli()})
+	if err != nil {
+		return
+	}
+	_ = writeAtomic(leasePath(dir, hash), append(data, '\n'))
+}
+
+// releaseLease drops the claim on hash. Best-effort — an expired leftover
+// lease only delays a steal, never correctness.
+func releaseLease(dir, hash string) { _ = os.Remove(leasePath(dir, hash)) }
+
+// failure is the marker a worker writes when a point's Run returned an
+// error. The point is handed back to the coordinator's final run, where the
+// ordinary retry/quarantine machinery applies.
+type failure struct {
+	Worker string `json:"worker"`
+	Key    string `json:"key"`
+	Err    string `json:"err"`
+}
+
+// failedPath names the failure marker for a point hash.
+func failedPath(dir, hash string) string {
+	return filepath.Join(dir, failedDir, n16(hash)+".json")
+}
+
+// n16 truncates a hash to the 16-character prefix used for marker names.
+func n16(hash string) string {
+	if len(hash) > 16 {
+		return hash[:16]
+	}
+	return hash
+}
+
+// markFailed records that a point failed on a worker.
+func markFailed(dir, hash, key, worker string, cause error) error {
+	data, err := json.Marshal(failure{Worker: worker, Key: key, Err: cause.Error()})
+	if err != nil {
+		return err
+	}
+	return writeAtomic(failedPath(dir, hash), append(data, '\n'))
+}
+
+// failedHashes lists the 16-char hash prefixes with failure markers.
+func failedHashes(dir string) (map[string]bool, error) {
+	entries, err := os.ReadDir(filepath.Join(dir, failedDir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]bool{}, nil
+		}
+		return nil, err
+	}
+	out := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) == ".json" {
+			out[name[:len(name)-len(".json")]] = true
+		}
+	}
+	return out, nil
+}
+
+// shardFile names a worker's journal shard relative to the campaign dir.
+func shardFile(worker string) string {
+	return filepath.Join(shardsDir, worker+".jsonl")
+}
+
+// shardPaths lists the shard files currently present, sorted for a
+// deterministic merge order.
+func shardPaths(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, shardsDir, "*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

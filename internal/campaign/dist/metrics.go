@@ -1,0 +1,39 @@
+package dist
+
+import "deepheal/internal/obs"
+
+// Package-level instruments. Nil (free no-ops) until EnableMetrics installs
+// live ones, matching the convention of the other instrumented packages.
+var (
+	metLeases       *obs.Counter
+	metLeaseSteals  *obs.Counter
+	metPointsDone   *obs.Counter
+	metPointsFailed *obs.Counter
+	metCacheHits    *obs.Counter
+	metMergeShards  *obs.Counter
+	metMergeRecords *obs.Counter
+	metMergeCorrupt *obs.Counter
+)
+
+// EnableMetrics wires the distributed executor into r: lease traffic
+// (including expiry steals — the worker-loss signal), per-worker completion
+// and failure counts, cross-shard cache hits, and shard-merge volume. Pass
+// nil to disable again.
+func EnableMetrics(r *obs.Registry) {
+	metLeases = r.Counter("deepheal_dist_leases_total",
+		"point leases acquired by workers in this process")
+	metLeaseSteals = r.Counter("deepheal_dist_lease_steals_total",
+		"expired point leases taken over from a lost worker")
+	metPointsDone = r.Counter("deepheal_dist_points_completed_total",
+		"points computed and recorded to a shard by this process")
+	metPointsFailed = r.Counter("deepheal_dist_points_failed_total",
+		"points whose Run failed on a worker and were handed back to the coordinator")
+	metCacheHits = r.Counter("deepheal_dist_cache_hits_total",
+		"points skipped because another worker's shard already held the content hash")
+	metMergeShards = r.Counter("deepheal_dist_merge_shards_total",
+		"worker journal shards absorbed into the canonical journal")
+	metMergeRecords = r.Counter("deepheal_dist_merge_records_total",
+		"shard records absorbed into the canonical journal")
+	metMergeCorrupt = r.Counter("deepheal_dist_merge_skipped_total",
+		"shard records skipped during merge (corrupt or torn); those points recompute")
+}

@@ -1,0 +1,307 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+	"time"
+
+	"deepheal/internal/campaign"
+	"deepheal/internal/faultinject"
+)
+
+// ErrWorkerDied is returned by RunWorker when the SiteWorkerDie fault fires:
+// the worker abandons its lease and its in-flight result exactly as a
+// killed process would, so in-process chaos tests exercise the same takeover
+// path a real crash does. The deepheal worker verb maps it to a non-zero
+// exit.
+var ErrWorkerDied = errors.New("dist: worker died (injected)")
+
+// WorkerOptions tunes one worker process.
+type WorkerOptions struct {
+	// ID names the worker; it becomes the shard file name. Empty derives
+	// host-pid.
+	ID string
+	// LeaseTTL is how long a claim lives between renewals; a worker lost
+	// for longer than this has its point stolen. Default 30s.
+	LeaseTTL time.Duration
+	// Poll is the idle rescan interval while waiting for other workers'
+	// leases to resolve. Default 100ms.
+	Poll time.Duration
+	// NoSync disables per-record fsync on the shard — only for tests that
+	// hammer a tmpfs; real shards must survive power loss.
+	NoSync bool
+}
+
+// WorkerStats summarises one worker's participation.
+type WorkerStats struct {
+	Completed   int // points computed and recorded to this worker's shard
+	CacheHits   int // points skipped because another shard already held the hash
+	Stolen      int // expired leases taken over
+	Failed      int // points whose Run returned an error (marked for the coordinator)
+	WallSeconds float64
+}
+
+// defaultWorkerID derives a unique-enough worker name.
+func defaultWorkerID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+// RunWorker leases and executes manifest points until the queue is drained
+// (every point completed in some shard or marked failed) or ctx is
+// cancelled. tasks must be the plan set the manifest was published from —
+// workers match points to manifest entries by content hash, so a worker
+// built from a different binary revision simply finds no matching hashes
+// and computes nothing (never the wrong thing).
+func RunWorker(ctx context.Context, dir string, m *Manifest, tasks []campaign.Task, opts WorkerOptions) (WorkerStats, error) {
+	start := time.Now()
+	var stats WorkerStats
+	if opts.ID == "" {
+		opts.ID = defaultWorkerID()
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 30 * time.Second
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 100 * time.Millisecond
+	}
+
+	points := make(map[string]campaign.Point, len(m.Points))
+	for _, t := range tasks {
+		for _, p := range t.Points {
+			if p.Hash != "" {
+				points[p.Hash] = p
+			}
+		}
+	}
+
+	shard, err := campaign.OpenJournalWith(dir, campaign.JournalOptions{
+		Name: shardFile(opts.ID),
+		Sync: !opts.NoSync,
+	})
+	if err != nil {
+		return stats, fmt.Errorf("dist: worker %s: %w", opts.ID, err)
+	}
+	defer shard.Close()
+
+	scan := newShardScanner(dir)
+	for {
+		if err := ctx.Err(); err != nil {
+			stats.WallSeconds = time.Since(start).Seconds()
+			return stats, err
+		}
+		if err := scan.rescan(); err != nil {
+			stats.WallSeconds = time.Since(start).Seconds()
+			return stats, fmt.Errorf("dist: worker %s: %w", opts.ID, err)
+		}
+		failed, err := failedHashes(dir)
+		if err != nil {
+			stats.WallSeconds = time.Since(start).Seconds()
+			return stats, fmt.Errorf("dist: worker %s: %w", opts.ID, err)
+		}
+
+		progressed, remaining := false, 0
+		for _, mp := range m.Points {
+			if shard.Has(mp.Hash) {
+				continue // completed by us
+			}
+			if scan.complete[mp.Hash] {
+				metCacheHits.Inc()
+				stats.CacheHits++
+				continue // completed by another worker's shard
+			}
+			if failed[n16(mp.Hash)] {
+				continue // handed back to the coordinator
+			}
+			remaining++
+			ok, stolen, lerr := acquireLease(dir, mp.Hash, mp.Key, opts.ID, opts.LeaseTTL)
+			if lerr != nil {
+				stats.WallSeconds = time.Since(start).Seconds()
+				return stats, fmt.Errorf("dist: worker %s: lease %s: %w", opts.ID, mp.Key, lerr)
+			}
+			if !ok {
+				continue // live claim elsewhere
+			}
+			if stolen {
+				metLeaseSteals.Inc()
+				stats.Stolen++
+			}
+			metLeases.Inc()
+
+			// Re-check under the lease: the previous holder may have
+			// completed the point between our scan and the steal.
+			if err := scan.rescan(); err == nil && scan.complete[mp.Hash] {
+				releaseLease(dir, mp.Hash)
+				metCacheHits.Inc()
+				stats.CacheHits++
+				continue
+			}
+
+			value, runErr := runLeased(ctx, dir, mp, points[mp.Hash], opts)
+			if faultinject.Hit(faultinject.SiteWorkerDie, mp.Key) {
+				// Simulated crash: no record, no release, no failure marker.
+				// The lease expires and a survivor takes over.
+				stats.WallSeconds = time.Since(start).Seconds()
+				return stats, ErrWorkerDied
+			}
+			switch {
+			case runErr == nil:
+				if _, jerr := shard.Record(mp.Key, mp.Hash, value, 0); jerr != nil {
+					stats.WallSeconds = time.Since(start).Seconds()
+					return stats, fmt.Errorf("dist: worker %s: %w", opts.ID, jerr)
+				}
+				metPointsDone.Inc()
+				stats.Completed++
+			case errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded):
+				releaseLease(dir, mp.Hash)
+				stats.WallSeconds = time.Since(start).Seconds()
+				return stats, runErr
+			default:
+				if merr := markFailed(dir, mp.Hash, mp.Key, opts.ID, runErr); merr != nil {
+					stats.WallSeconds = time.Since(start).Seconds()
+					return stats, fmt.Errorf("dist: worker %s: %w", opts.ID, merr)
+				}
+				metPointsFailed.Inc()
+				stats.Failed++
+			}
+			releaseLease(dir, mp.Hash)
+			progressed = true
+		}
+
+		if remaining == 0 {
+			stats.WallSeconds = time.Since(start).Seconds()
+			return stats, nil // drained
+		}
+		if !progressed {
+			// Everything left is leased elsewhere: wait for completions,
+			// failures or expiries.
+			select {
+			case <-ctx.Done():
+				stats.WallSeconds = time.Since(start).Seconds()
+				return stats, ctx.Err()
+			case <-time.After(opts.Poll):
+			}
+		}
+	}
+}
+
+// runLeased executes one leased point, renewing the lease in the background
+// so a long solve is not stolen mid-compute, and converting panics into
+// errors (a panicking point is marked failed, not a dead worker).
+func runLeased(ctx context.Context, dir string, mp ManifestPoint, p campaign.Point, opts WorkerOptions) (value any, err error) {
+	if p.Run == nil {
+		return nil, fmt.Errorf("dist: manifest point %s has no local plan (worker built from a different revision?)", mp.Key)
+	}
+	stopRenew := make(chan struct{})
+	renewDone := make(chan struct{})
+	go func() {
+		defer close(renewDone)
+		t := time.NewTicker(opts.LeaseTTL / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopRenew:
+				return
+			case <-t.C:
+				renewLease(dir, mp.Hash, mp.Key, opts.ID, opts.LeaseTTL)
+			}
+		}
+	}()
+	defer func() {
+		close(stopRenew)
+		<-renewDone
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("dist: point %s panicked: %v\n%s", mp.Key, rec, debug.Stack())
+		}
+	}()
+	return p.Run(ctx)
+}
+
+// shardScanner incrementally tails every shard file in dir, accumulating
+// the set of completed point hashes. Only complete, parseable lines with a
+// hash count — a torn tail or an in-flight append is simply not yet
+// complete. CRC verification is deferred to the merge: a corrupt record
+// optimistically marked complete here is skipped by AbsorbFile and
+// recomputed by the coordinator's final run, so correctness never depends
+// on the scanner's leniency.
+type shardScanner struct {
+	dir      string
+	offsets  map[string]int64 // shard path → bytes consumed (complete lines only)
+	partial  map[string][]byte
+	complete map[string]bool // point hash → completed in some shard
+}
+
+func newShardScanner(dir string) *shardScanner {
+	return &shardScanner{
+		dir:      dir,
+		offsets:  make(map[string]int64),
+		partial:  make(map[string][]byte),
+		complete: make(map[string]bool),
+	}
+}
+
+// rescan reads newly appended bytes from every shard.
+func (s *shardScanner) rescan() error {
+	paths, err := shardPaths(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, path := range paths {
+		if err := s.tail(path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tail consumes new complete lines from one shard file.
+func (s *shardScanner) tail(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	if off := s.offsets[path]; off > 0 {
+		if _, err := f.Seek(off, io.SeekStart); err != nil {
+			return err
+		}
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	buf := append(s.partial[path], data...)
+	consumed := 0
+	for {
+		nl := bytes.IndexByte(buf[consumed:], '\n')
+		if nl < 0 {
+			break
+		}
+		line := buf[consumed : consumed+nl]
+		consumed += nl + 1
+		var env struct {
+			Hash string `json:"hash"`
+		}
+		if json.Unmarshal(line, &env) == nil && env.Hash != "" {
+			s.complete[env.Hash] = true
+		}
+	}
+	s.offsets[path] += int64(len(data))
+	s.partial[path] = append([]byte(nil), buf[consumed:]...)
+	return nil
+}

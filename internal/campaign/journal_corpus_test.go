@@ -1,0 +1,278 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+// forgeCRC returns 4 bytes which, appended to data, make the whole buffer's
+// IEEE CRC-32 equal target. Standard CRC forging: run the table backwards
+// from the target to find the 4 table indices the final updates must use,
+// then forwards from data's checksum to find the bytes selecting them.
+func forgeCRC(data []byte, target uint32) [4]byte {
+	tab := crc32.MakeTable(crc32.IEEE)
+	var rev [256]byte
+	for i := 0; i < 256; i++ {
+		rev[byte(tab[i]>>24)] = byte(i)
+	}
+	want := ^target
+	var idxs [4]byte
+	for i := 3; i >= 0; i-- {
+		idx := rev[byte(want>>24)]
+		idxs[i] = idx
+		want = (want ^ tab[idx]) << 8
+	}
+	reg := ^crc32.ChecksumIEEE(data)
+	var patch [4]byte
+	for i := 0; i < 4; i++ {
+		patch[i] = byte(reg) ^ idxs[i]
+		reg = (reg >> 8) ^ tab[idxs[i]]
+	}
+	return patch
+}
+
+// TestZeroCRCRecordIsStillVerified pins the omitempty regression: a payload
+// whose checksum is legitimately zero must serialise an explicit "crc":0 —
+// under `uint32 ,omitempty` the field vanished and the record was accepted
+// as an unverifiable legacy record, so corruption of exactly these payloads
+// passed resume undetected.
+func TestZeroCRCRecordIsStillVerified(t *testing.T) {
+	// Craft a value whose gob encoding checksums to zero. A []byte's gob
+	// stream ends with the slice's raw bytes, so patching the slice tail
+	// patches the stream tail.
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	var stream bytes.Buffer
+	if err := gob.NewEncoder(&stream).Encode(&data); err != nil {
+		t.Fatal(err)
+	}
+	enc := stream.Bytes()
+	patch := forgeCRC(enc[:len(enc)-4], 0)
+	copy(data[len(data)-4:], patch[:])
+	stream.Reset()
+	if err := gob.NewEncoder(&stream).Encode(&data); err != nil {
+		t.Fatal(err)
+	}
+	if got := crc32.ChecksumIEEE(stream.Bytes()); got != 0 {
+		t.Fatalf("forged payload CRC = %#x, want 0", got)
+	}
+
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := Hash("zero-crc", 0)
+	if ok, err := j.Record("t/p0", hash, &data, 0); !ok || err != nil {
+		t.Fatalf("Record = %v, %v", ok, err)
+	}
+	j.Close()
+
+	path := filepath.Join(dir, journalName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"crc":0`)) {
+		t.Fatalf("zero checksum not serialised explicitly: %s", raw)
+	}
+
+	// Intact zero-CRC record restores…
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Corrupted() != 0 || j2.Restorable() != 1 {
+		t.Fatalf("intact zero-CRC record: corrupted %d restorable %d, want 0/1", j2.Corrupted(), j2.Restorable())
+	}
+	got, ok, err := j2.lookup(hash, func() any { return new([]byte) })
+	if err != nil || !ok {
+		t.Fatalf("lookup = %v, %v", ok, err)
+	}
+	if !bytes.Equal(*got.(*[]byte), data) {
+		t.Error("restored payload differs")
+	}
+	j2.Close()
+
+	// …and a damaged one is caught, not waved through as legacy.
+	var rec map[string]any
+	line := bytes.TrimRight(raw, "\n")
+	if err := json.Unmarshal(line, &rec); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := base64.StdEncoding.DecodeString(rec["gob"].(string))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload[len(payload)/2] ^= 0xff
+	rec["gob"] = base64.StdEncoding.EncodeToString(payload)
+	mutated, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(mutated, []byte(`"crc":0`)) {
+		t.Fatalf("mutated record lost its crc field: %s", mutated)
+	}
+	if err := os.WriteFile(path, append(mutated, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Corrupted() != 1 || j3.Restorable() != 0 {
+		t.Errorf("damaged zero-CRC record: corrupted %d restorable %d, want 1/0", j3.Corrupted(), j3.Restorable())
+	}
+}
+
+// TestResumeSkipsFusedRecords covers two records fused onto one physical
+// line — what an append after a torn tail used to produce. Both payloads on
+// the fused line are lost (it is one unparseable lump), counted as one
+// corrupted record, and both points recompute.
+func TestResumeSkipsFusedRecords(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(context.Background(), threePointTask(&runs), Options{Workers: 1, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Remove the newline between records 0 and 1.
+	path := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitN(data, []byte("\n"), 3)
+	if len(lines) != 3 {
+		t.Fatalf("journal has %d lines, want 3", len(lines))
+	}
+	fused := append(append(append([]byte(nil), lines[0]...), lines[1]...), '\n')
+	if err := os.WriteFile(path, append(fused, lines[2]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Corrupted() != 1 {
+		t.Errorf("Corrupted() = %d, want 1 (the fused line)", j2.Corrupted())
+	}
+	if j2.Restorable() != 1 {
+		t.Errorf("Restorable() = %d, want 1", j2.Restorable())
+	}
+	second, err := Run(context.Background(), threePointTask(&runs), Options{Workers: 1, Journal: j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 5 {
+		t.Errorf("resume recomputed %d points, want the 2 fused ones", runs.Load()-3)
+	}
+	if fmt.Sprint(second[0].Value) != fmt.Sprint(first[0].Value) {
+		t.Errorf("resumed value %v != fresh %v", second[0].Value, first[0].Value)
+	}
+}
+
+// TestTornTailOnlyRecordIsTruncatedAway covers a journal whose sole content
+// is a half-written record: open must treat it as a torn tail (not damage),
+// truncate it, and leave the file safe to append to — the old code left the
+// torn bytes in place and the next append fused onto them.
+func TestTornTailOnlyRecordIsTruncatedAway(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, journalName)
+	if err := os.WriteFile(path, []byte(`{"key":"t/p0","hash":"abc","gob":"trunc`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Corrupted() != 0 || j.Restorable() != 0 {
+		t.Fatalf("torn-only journal: corrupted %d restorable %d, want 0/0", j.Corrupted(), j.Restorable())
+	}
+	v := 1.5
+	if ok, err := j.Record("t/p0", Hash("torn-only", 0), &v, 0); !ok || err != nil {
+		t.Fatalf("Record after torn tail = %v, %v", ok, err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Corrupted() != 0 || j2.Restorable() != 1 {
+		t.Errorf("reopen after append: corrupted %d restorable %d, want 0/1", j2.Corrupted(), j2.Restorable())
+	}
+}
+
+// TestRecordSurfacesWriteErrors pins the bugfix: Record used to report a
+// bare false on any failure, indistinguishable from "result not encodable".
+// I/O failures must come back as errors; unencodable values must not.
+func TestRecordSurfacesWriteErrors(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournalWith(dir, JournalOptions{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := 2.5
+	if ok, err := j.Record("t/p0", Hash("sync", 0), &v, 0); !ok || err != nil {
+		t.Fatalf("synced Record = %v, %v", ok, err)
+	}
+	// Unencodable value: skipped, not an error.
+	if ok, err := j.Record("t/p1", Hash("sync", 1), make(chan int), 0); ok || err != nil {
+		t.Fatalf("unencodable Record = %v, %v; want false, nil", ok, err)
+	}
+	j.Close()
+	if ok, err := j.Record("t/p2", Hash("sync", 2), &v, 0); ok || err == nil {
+		t.Fatalf("Record on closed journal = %v, %v; want false, error", ok, err)
+	}
+}
+
+// TestJournalShardNameCreatesSubdir covers the shard naming used by the
+// distributed executor: a Name with a directory component is created on
+// demand and reopens by the same name.
+func TestJournalShardNameCreatesSubdir(t *testing.T) {
+	dir := t.TempDir()
+	opts := JournalOptions{Name: filepath.Join("shards", "w1.jsonl"), Sync: true}
+	j, err := OpenJournalWith(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := 3.5
+	if ok, err := j.Record("t/p0", Hash("shard", 0), &v, 0); !ok || err != nil {
+		t.Fatalf("Record = %v, %v", ok, err)
+	}
+	j.Close()
+	if _, err := os.Stat(filepath.Join(dir, "shards", "w1.jsonl")); err != nil {
+		t.Fatalf("shard file missing: %v", err)
+	}
+	j2, err := OpenJournalWith(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Restorable() != 1 {
+		t.Errorf("shard reopen Restorable() = %d, want 1", j2.Restorable())
+	}
+}

@@ -17,6 +17,7 @@ var (
 	metPointRetries      *obs.Counter
 	metPointsQuarantined *obs.Gauge
 	metPointsStalled     *obs.Counter
+	metJournalErrors     *obs.Counter
 )
 
 // EnableMetrics wires the campaign engine into r: how points were satisfied
@@ -45,4 +46,6 @@ func EnableMetrics(r *obs.Registry) {
 		"campaign points quarantined (panicked or exhausted retries) by runs in this process")
 	metPointsStalled = r.Counter("deepheal_campaign_points_stalled_total",
 		"campaign points flagged by the stall watchdog")
+	metJournalErrors = r.Counter("deepheal_campaign_journal_errors_total",
+		"journal appends that failed with an I/O error (result kept in memory, recomputes on resume)")
 }

@@ -52,6 +52,10 @@ const (
 	// SiteJournalCorrupt corrupts the payload of a journal record as it is
 	// written, exercising the CRC skip-and-log path on resume.
 	SiteJournalCorrupt Site = "journal-corrupt"
+	// SiteWorkerDie kills a distributed campaign worker after it computed a
+	// point but before the result reaches its shard — the "worker process
+	// crashed mid-run" failure the lease-expiry takeover must survive.
+	SiteWorkerDie Site = "worker-die"
 	// SiteCheckpointTruncate truncates a checkpoint blob mid-gob before it
 	// reaches disk.
 	SiteCheckpointTruncate Site = "checkpoint-truncate"
@@ -62,6 +66,7 @@ func Sites() []Site {
 	all := []Site{
 		SiteWorkerPanic, SitePointError, SitePointStall, SitePointCancel,
 		SiteCGDiverge, SiteEMTridiag, SiteJournalCorrupt, SiteCheckpointTruncate,
+		SiteWorkerDie,
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	return all

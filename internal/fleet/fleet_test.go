@@ -401,9 +401,9 @@ func TestRemainingStepsEstimate(t *testing.T) {
 		guardband, limit float64
 		step, want       int
 	}{
-		{0.12, 0.10, 50, 0},  // budget spent
-		{0.0, 0.10, 50, -1},  // no degradation signal
-		{0.05, 0.10, 0, -1},  // no steps yet
+		{0.12, 0.10, 50, 0}, // budget spent
+		{0.0, 0.10, 50, -1}, // no degradation signal
+		{0.05, 0.10, 0, -1}, // no steps yet
 		{0.05, 0.10, 100, 100},
 		{0.02, 0.10, 100, 400},
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 
 	"deepheal/internal/core"
 	"deepheal/internal/obs"
@@ -54,13 +55,23 @@ func (m *Manager) Handler(reg *obs.Registry) http.Handler {
 	return mux
 }
 
+// maxBodyBytes caps request bodies. The largest legitimate payload is a
+// ChipSpec, a few hundred bytes; 1 MiB leaves room without letting a client
+// buffer arbitrary data server-side.
+const maxBodyBytes = 1 << 20
+
 // writeJSON renders v with a stable layout (indented, trailing newline) so
 // two identical states produce byte-identical responses — the fleet smoke
-// test diffs pre-SIGTERM and post-restore query output literally.
+// test diffs pre-SIGTERM and post-restore query output literally. A marshal
+// failure is a server bug: the detail goes to stderr, the client gets a
+// generic 500 rather than an internal error string.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		fmt.Fprintf(os.Stderr, "fleet: response marshal failed: %v\n", err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		io.WriteString(w, "{\n  \"error\": \"internal error\"\n}\n")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -71,19 +82,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // writeError maps manager errors onto HTTP statuses.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
+	var tooLarge *http.MaxBytesError
 	switch {
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrDuplicate):
 		status = http.StatusConflict
+	case errors.As(err, &tooLarge):
+		status = http.StatusRequestEntityTooLarge
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// decodeBody strictly decodes a JSON request body into v. An empty body is
-// allowed and leaves v untouched, so `POST /v1/step` works without a payload.
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(r.Body)
+// decodeBody strictly decodes a JSON request body into v, rejecting unknown
+// fields and bodies over maxBodyBytes. An empty body is allowed and leaves v
+// untouched, so `POST /v1/step` works without a payload.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	switch err := dec.Decode(v); {
 	case err == nil, errors.Is(err, io.EOF):
@@ -95,7 +110,7 @@ func decodeBody(r *http.Request, v any) error {
 
 func (m *Manager) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var spec ChipSpec
-	if err := decodeBody(r, &spec); err != nil {
+	if err := decodeBody(w, r, &spec); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -130,7 +145,7 @@ func (m *Manager) handleUnregister(w http.ResponseWriter, r *http.Request) {
 
 func (m *Manager) handleStep(w http.ResponseWriter, r *http.Request) {
 	req := stepRequest{Steps: 1}
-	if err := decodeBody(r, &req); err != nil {
+	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -144,7 +159,7 @@ func (m *Manager) handleStep(w http.ResponseWriter, r *http.Request) {
 
 func (m *Manager) handleStepAll(w http.ResponseWriter, r *http.Request) {
 	req := stepRequest{Steps: 1}
-	if err := decodeBody(r, &req); err != nil {
+	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -158,7 +173,7 @@ func (m *Manager) handleStepAll(w http.ResponseWriter, r *http.Request) {
 
 func (m *Manager) handleWorkload(w http.ResponseWriter, r *http.Request) {
 	var spec WorkloadSpec
-	if err := decodeBody(r, &spec); err != nil {
+	if err := decodeBody(w, r, &spec); err != nil {
 		writeError(w, err)
 		return
 	}

@@ -140,6 +140,57 @@ func TestHTTPAPI(t *testing.T) {
 	doJSON(t, c, "GET", srv.URL+"/v1/chips/n1", "", http.StatusNotFound, nil)
 }
 
+// TestHTTPRequestHardening exercises the request-side limits: bodies over
+// the cap are refused with 413 before the manager sees them, and the
+// response stays machine-readable JSON.
+func TestHTTPRequestHardening(t *testing.T) {
+	m := NewManager(Options{Workers: 1})
+	defer m.Close()
+	srv := httptest.NewServer(m.Handler(nil))
+	defer srv.Close()
+	c := srv.Client()
+
+	// 1 MiB + slack of syntactically valid JSON: a giant workload id string.
+	huge := fmt.Sprintf(`{"id": %q, "steps": 40}`, strings.Repeat("x", maxBodyBytes+1024))
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	doJSON(t, c, "POST", srv.URL+"/v1/chips", huge, http.StatusRequestEntityTooLarge, &errResp)
+	if errResp.Error == "" {
+		t.Error("413 response carried no JSON error field")
+	}
+	if got := m.List(); len(got) != 0 {
+		t.Errorf("oversized registration reached the manager: %d chips", len(got))
+	}
+
+	// A body just under the cap still decodes (and fails validation, not
+	// the size check).
+	okSize := fmt.Sprintf(`{"id": "a", "corner": %q}`, strings.Repeat("y", 1024))
+	doJSON(t, c, "POST", srv.URL+"/v1/chips", okSize, http.StatusBadRequest, &errResp)
+	if errResp.Error == "" || strings.Contains(errResp.Error, "request body too large") {
+		t.Errorf("under-cap body hit the size limit: %q", errResp.Error)
+	}
+}
+
+// TestWriteJSONMarshalFailure pins the internal-error path: the client gets
+// a generic 500 JSON body, never the marshaller's error string.
+func TestWriteJSONMarshalFailure(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, map[string]any{"bad": make(chan int)})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &errResp); err != nil {
+		t.Fatalf("500 body is not JSON: %q", rec.Body.String())
+	}
+	if errResp.Error != "internal error" {
+		t.Errorf("500 body leaked detail: %q", errResp.Error)
+	}
+}
+
 // TestConcurrentFleetUse hammers the manager from many goroutines; run
 // under -race this is the concurrency-correctness check for the whole
 // fleet layer.
