@@ -165,7 +165,7 @@ func run(ctx context.Context, args []string) error {
 	prof.Register(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: deepheal [-q] [-o dir] [-parallel n] [-resume dir] [-faults spec] list | all | sim | bench | serve | coordinate | worker | timing <points.json> | <experiment>...\n\nexperiments:\n")
-		for _, id := range experiments.IDs() {
+		for _, id := range experiments.SortedIDs() {
 			fmt.Fprintf(fs.Output(), "  %s\n", id)
 		}
 		fs.PrintDefaults()
@@ -206,7 +206,7 @@ func run(ctx context.Context, args []string) error {
 	case "coordinate":
 		return runCoordinate(ctx, pos[1:])
 	case "list":
-		for _, id := range experiments.IDs() {
+		for _, id := range experiments.SortedIDs() {
 			fmt.Println(id)
 		}
 		return nil

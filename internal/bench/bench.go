@@ -61,6 +61,7 @@ func DefaultPackages() []string {
 		"./internal/thermal",
 		"./internal/core",
 		"./internal/fleet",
+		"./internal/scenario",
 	}
 }
 

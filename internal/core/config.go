@@ -19,7 +19,6 @@ import (
 	"deepheal/internal/pdn"
 	"deepheal/internal/sensor"
 	"deepheal/internal/thermal"
-	"deepheal/internal/units"
 	"deepheal/internal/workload"
 )
 
@@ -65,45 +64,16 @@ type Config struct {
 }
 
 // DefaultConfig returns a 4×4-core system over a 2000-step (hour) horizon
-// with the calibrated substrate models.
+// with the calibrated substrate models — DefaultFloorplan materialised.
 func DefaultConfig() Config {
-	rows, cols := 4, 4
-	return Config{
-		Rows:        rows,
-		Cols:        cols,
-		StepSeconds: 3600,
-		Steps:       2000,
-
-		ActiveGateV:  1.0,
-		RecoveryV:    -0.3,
-		ActivePowerW: 4.0,
-		IdlePowerW:   0.2,
-		LoadCurrentA: 0.004,
-
-		BTI:     bti.DefaultParams().Coarse(),
-		EM:      SystemEMParams(),
-		PDN:     systemPDNConfig(rows, cols),
-		Thermal: thermal.DefaultConfig(),
-		Sensor:  sensor.DefaultROConfig(),
-
-		DelayVdd:   1.0,
-		DelayVth0:  0.30,
-		DelayAlpha: 1.5,
-
-		SwitchOverheadFrac: 0.02,
-
-		Seed: 1,
-	}
+	return DefaultFloorplan().Config()
 }
 
 // ConfigForGrid returns DefaultConfig rescaled to a rows×cols die: the PDN
 // mesh follows the core grid, everything else keeps the calibrated values.
 // Core count becomes a cheap knob for scaling studies.
 func ConfigForGrid(rows, cols int) Config {
-	cfg := DefaultConfig()
-	cfg.Rows, cfg.Cols = rows, cols
-	cfg.PDN = systemPDNConfig(rows, cols)
-	return cfg
+	return DefaultFloorplan().ConfigForGrid(rows, cols)
 }
 
 // SystemEMParams rescales the wire-calibrated reduced EM model to on-die
@@ -113,24 +83,7 @@ func ConfigForGrid(rows, cols int) Config {
 // unprotected grid segment fails within the evaluated lifetime (which is
 // exactly the situation guardbands are budgeted for).
 func SystemEMParams() em.ReducedParams {
-	p := em.DefaultReducedParams()
-	p.TRef = units.Celsius(65)
-	p.JRef = units.MAPerCm2(3.2)
-	p.TNucRefS = 500 * 3600 // ≈500 steps to nucleate at JRef/TRef
-	p.EquilTauS = 1800 * 3600
-	p.GrowthRefMPerS = p.LvBreakM / (700 * 3600) // ≈700 steps growth to break
-	return p
-}
-
-func systemPDNConfig(rows, cols int) pdn.Config {
-	cfg := pdn.DefaultConfig()
-	cfg.Rows, cfg.Cols = rows, cols
-	cfg.SegOhm = 0.8
-	// Local-rail cross-section sized so a fully loaded centre segment runs
-	// close to the EM reference density.
-	cfg.WireWidthM = 0.5e-6
-	cfg.WireThickM = 0.25e-6
-	return cfg
+	return DefaultFloorplan().EMParams()
 }
 
 // Validate reports whether the configuration is usable.

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"deepheal/internal/bti"
+	"deepheal/internal/units"
+	"deepheal/internal/workload"
+)
+
+// TestFloorplanPinsSeedConstants pins the materialised config to the exact
+// pre-extraction constants. Campaign content hashes cover the whole Config
+// value, so any drift here would silently invalidate every journaled and
+// golden experiment output — the test makes the floorplan refactor provably
+// byte-identical.
+func TestFloorplanPinsSeedConstants(t *testing.T) {
+	cfg := DefaultConfig()
+	pins := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"StepSeconds", cfg.StepSeconds, 3600},
+		{"ActiveGateV", cfg.ActiveGateV, 1.0},
+		{"RecoveryV", cfg.RecoveryV, -0.3},
+		{"ActivePowerW", cfg.ActivePowerW, 4.0},
+		{"IdlePowerW", cfg.IdlePowerW, 0.2},
+		{"LoadCurrentA", cfg.LoadCurrentA, 0.004},
+		{"DelayVdd", cfg.DelayVdd, 1.0},
+		{"DelayVth0", cfg.DelayVth0, 0.30},
+		{"DelayAlpha", cfg.DelayAlpha, 1.5},
+		{"SwitchOverheadFrac", cfg.SwitchOverheadFrac, 0.02},
+		{"EM.TRef", cfg.EM.TRef.K(), units.Celsius(65).K()},
+		{"EM.JRef", cfg.EM.JRef.SI(), units.MAPerCm2(3.2).SI()},
+		{"EM.TNucRefS", cfg.EM.TNucRefS, 500 * 3600},
+		{"EM.EquilTauS", cfg.EM.EquilTauS, 1800 * 3600},
+		{"EM.GrowthRefMPerS", cfg.EM.GrowthRefMPerS, cfg.EM.LvBreakM / (700 * 3600)},
+		{"PDN.SegOhm", cfg.PDN.SegOhm, 0.8},
+		{"PDN.WireWidthM", cfg.PDN.WireWidthM, 0.5e-6},
+		{"PDN.WireThickM", cfg.PDN.WireThickM, 0.25e-6},
+	}
+	for _, p := range pins {
+		if p.got != p.want {
+			t.Errorf("%s = %v, want %v", p.name, p.got, p.want)
+		}
+	}
+	if cfg.Rows != 4 || cfg.Cols != 4 || cfg.Steps != 2000 || cfg.Seed != 1 {
+		t.Errorf("grid/horizon/seed drifted: %dx%d steps=%d seed=%d",
+			cfg.Rows, cfg.Cols, cfg.Steps, cfg.Seed)
+	}
+	if !reflect.DeepEqual(cfg.BTI, bti.DefaultParams().Coarse()) {
+		t.Errorf("BTI params drifted from DefaultParams().Coarse()")
+	}
+}
+
+// TestConfigForGridMatchesFloorplan checks the rescaled path reuses the
+// plan's values with only the meshes following the grid.
+func TestConfigForGridMatchesFloorplan(t *testing.T) {
+	cfg := ConfigForGrid(6, 5)
+	if cfg.Rows != 6 || cfg.Cols != 5 {
+		t.Fatalf("grid = %dx%d, want 6x5", cfg.Rows, cfg.Cols)
+	}
+	if cfg.PDN.Rows != 6 || cfg.PDN.Cols != 5 {
+		t.Fatalf("PDN mesh = %dx%d, want 6x5", cfg.PDN.Rows, cfg.PDN.Cols)
+	}
+	want := DefaultConfig()
+	want.Rows, want.Cols = 6, 5
+	want.PDN = DefaultFloorplan().PDN(6, 5)
+	if !reflect.DeepEqual(cfg, want) {
+		t.Errorf("ConfigForGrid(6,5) diverged from rescaled DefaultConfig")
+	}
+}
+
+// TestModelDefaultWorkloadFromFloorplan checks NewModel's fallback profile
+// is the floorplan's declared default, not a stray literal.
+func TestModelDefaultWorkloadFromFloorplan(t *testing.T) {
+	m, err := NewModel(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.profiles[0]
+	want := workload.Constant{Util: 0.7}
+	if got != want {
+		t.Errorf("default workload = %#v, want %#v", got, want)
+	}
+	if got.At(0) != 0.7 {
+		t.Errorf("default workload At(0) = %v, want 0.7", got.At(0))
+	}
+}

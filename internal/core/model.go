@@ -37,12 +37,13 @@ func NewModel(cfg Config) (*Model, error) {
 		return nil, err
 	}
 	n := cfg.NumCores()
+	fallback := DefaultFloorplan().DefaultWorkload()
 	profiles := make([]workload.Profile, n)
 	for i := range profiles {
 		if len(cfg.Workloads) == n && cfg.Workloads[i] != nil {
 			profiles[i] = cfg.Workloads[i]
 		} else {
-			profiles[i] = workload.Constant{Util: 0.7}
+			profiles[i] = fallback
 		}
 	}
 	return &Model{cfg: cfg, profiles: profiles}, nil

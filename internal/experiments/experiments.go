@@ -13,6 +13,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"deepheal/internal/campaign"
@@ -75,6 +76,9 @@ var registry = []Entry{
 	{"ablation-rebalance", PlanAblationRebalance},
 	{"ablation-sizing", PlanSizingStudy},
 	{"variation", PlanVariation},
+	{"decoder", PlanZooDecoder},
+	{"dnnmem", PlanZooDNNMem},
+	{"multiplier", PlanZooMultiplier},
 }
 
 // Registry returns the experiment table, in presentation order.
@@ -97,18 +101,27 @@ func Run(ctx context.Context, id string) (Result, error) {
 	e, ok := Lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (available: %s)",
-			id, strings.Join(IDs(), ", "))
+			id, strings.Join(SortedIDs(), ", "))
 	}
 	return e.Run(ctx)
 }
 
-// IDs lists the registered experiment identifiers.
+// IDs lists the registered experiment identifiers in presentation order.
 func IDs() []string {
 	out := make([]string, len(registry))
 	for i, e := range registry {
 		out[i] = e.ID
 	}
 	return out
+}
+
+// SortedIDs lists the registered experiment identifiers in lexical order —
+// the stable form for error messages and help output, which must not
+// reshuffle as the registry grows.
+func SortedIDs() []string {
+	ids := IDs()
+	sort.Strings(ids)
+	return ids
 }
 
 // Plans expands experiment ids (all of them when none are given) into
@@ -122,7 +135,7 @@ func Plans(ids ...string) ([]campaign.Task, error) {
 		e, ok := Lookup(id)
 		if !ok {
 			return nil, fmt.Errorf("experiments: unknown experiment %q (available: %s)",
-				id, strings.Join(IDs(), ", "))
+				id, strings.Join(SortedIDs(), ", "))
 		}
 		tasks = append(tasks, e.Plan())
 	}

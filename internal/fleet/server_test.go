@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -169,6 +170,58 @@ func TestHTTPRequestHardening(t *testing.T) {
 	doJSON(t, c, "POST", srv.URL+"/v1/chips", okSize, http.StatusBadRequest, &errResp)
 	if errResp.Error == "" || strings.Contains(errResp.Error, "request body too large") {
 		t.Errorf("under-cap body hit the size limit: %q", errResp.Error)
+	}
+}
+
+// TestRegisterFieldValidation pins the register-time spec validation: a bad
+// field value comes back as a 400 whose error message names the JSON field,
+// instead of surviving registration and failing much later (a NaN util used
+// to poison the status JSON and surface as a generic 500).
+func TestRegisterFieldValidation(t *testing.T) {
+	m := NewManager(Options{Workers: 1})
+	defer m.Close()
+	srv := httptest.NewServer(m.Handler(nil))
+	defer srv.Close()
+	c := srv.Client()
+
+	cases := []struct {
+		name, body, field string
+	}{
+		{"non-finite util", `{"id": "v", "workload": {"kind": "constant", "util": 1e999}}`, "util"},
+		{"util out of range", `{"id": "v", "workload": {"kind": "constant", "util": 1.5}}`, "util"},
+		{"util without kind", `{"id": "v", "workload": {"util": 0.5}}`, "util"},
+		{"periodic shape without kind", `{"id": "v", "workload": {"busy_steps": 4}}`, "busy_steps"},
+		{"iot shape on periodic kind", `{"id": "v", "workload": {"kind": "periodic", "busy_steps": 4, "wake_every": 8}}`, "wake_every"},
+		{"negative shape field", `{"id": "v", "workload": {"kind": "periodic", "busy_steps": 4, "offset": -1}}`, "offset"},
+		{"grid too large", `{"id": "v", "rows": 100, "cols": 100}`, "rows"},
+		{"negative steps", `{"id": "v", "steps": -5}`, "steps"},
+		{"steps over cap", `{"id": "v", "steps": 99000000}`, "steps"},
+		{"negative step seconds", `{"id": "v", "step_seconds": -1}`, "step_seconds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var errResp struct {
+				Error string `json:"error"`
+			}
+			doJSON(t, c, "POST", srv.URL+"/v1/chips", tc.body, http.StatusBadRequest, &errResp)
+			if !strings.Contains(errResp.Error, tc.field) {
+				t.Errorf("error %q does not name field %q", errResp.Error, tc.field)
+			}
+		})
+	}
+	if got := m.List(); len(got) != 0 {
+		t.Errorf("invalid registrations leaked into the fleet: %d chips", len(got))
+	}
+
+	// NaN cannot travel through JSON, but a direct caller (checkpoint
+	// restore, embedding) can pass one; validate must name the field too.
+	_, err := m.Register(ChipSpec{ID: "v", Workload: WorkloadSpec{Kind: "constant", Util: math.NaN()}})
+	if err == nil || !strings.Contains(err.Error(), "util") {
+		t.Errorf("NaN util register error %v does not name the field", err)
+	}
+	_, err = m.Register(ChipSpec{ID: "v", StepSeconds: math.Inf(1)})
+	if err == nil || !strings.Contains(err.Error(), "step_seconds") {
+		t.Errorf("Inf step_seconds register error %v does not name the field", err)
 	}
 }
 

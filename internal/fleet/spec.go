@@ -7,6 +7,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"deepheal/internal/bti"
@@ -33,9 +34,62 @@ type WorkloadSpec struct {
 	Active    int `json:"active,omitempty"`
 }
 
+// validate rejects field values at register time with a message naming the
+// offending JSON field. Everything here used to surface much later: a NaN
+// util survived registration, poisoned the status JSON and came back as a
+// generic 500 from the marshaller; shape fields without a matching kind were
+// silently ignored. Both now fail the registration with a 400.
+func (w WorkloadSpec) validate() error {
+	if math.IsNaN(w.Util) || math.IsInf(w.Util, 0) {
+		return fmt.Errorf("fleet: workload field \"util\" must be finite, got %v", w.Util)
+	}
+	if w.Util < 0 || w.Util > 1 {
+		return fmt.Errorf("fleet: workload field \"util\" = %g outside [0, 1]", w.Util)
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"busy_steps", w.BusySteps}, {"idle_steps", w.IdleSteps},
+		{"offset", w.Offset}, {"wake_every", w.WakeEvery}, {"active", w.Active},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("fleet: workload field %q must be >= 0, got %d", f.name, f.v)
+		}
+	}
+	// Shape fields the selected kind ignores are a silent misconfiguration:
+	// the caller thought they set a schedule, the chip runs something else.
+	periodicShape := w.BusySteps != 0 || w.IdleSteps != 0 || w.Offset != 0
+	iotShape := w.WakeEvery != 0 || w.Active != 0
+	switch w.Kind {
+	case "", "constant":
+		if periodicShape {
+			return fmt.Errorf("fleet: workload fields \"busy_steps\"/\"idle_steps\"/\"offset\" require \"kind\": \"periodic\"")
+		}
+		if iotShape {
+			return fmt.Errorf("fleet: workload fields \"wake_every\"/\"active\" require \"kind\": \"iot\"")
+		}
+		if w.Kind == "" && w.Util != 0 {
+			return fmt.Errorf("fleet: workload field \"util\" requires a \"kind\" (constant, periodic, iot)")
+		}
+	case "periodic":
+		if iotShape {
+			return fmt.Errorf("fleet: workload fields \"wake_every\"/\"active\" require \"kind\": \"iot\"")
+		}
+	case "iot":
+		if periodicShape {
+			return fmt.Errorf("fleet: workload fields \"busy_steps\"/\"idle_steps\"/\"offset\" require \"kind\": \"periodic\"")
+		}
+	}
+	return nil
+}
+
 // profile resolves the spec into a workload.Profile, or nil for the
 // core-model default.
 func (w WorkloadSpec) profile() (workload.Profile, error) {
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
 	switch w.Kind {
 	case "":
 		return nil, nil
@@ -141,6 +195,10 @@ func (s *ChipSpec) normalize() error {
 	if s.Rows < 3 || s.Cols < 3 {
 		return fmt.Errorf("fleet: chip grid %dx%d too small (min 3x3)", s.Rows, s.Cols)
 	}
+	if s.Rows > maxGridDim || s.Cols > maxGridDim {
+		return fmt.Errorf("fleet: chip fields \"rows\"/\"cols\" cap at %d, got %dx%d",
+			maxGridDim, s.Rows, s.Cols)
+	}
 	if s.Policy == "" {
 		s.Policy = "deep-healing"
 	}
@@ -156,14 +214,31 @@ func (s *ChipSpec) normalize() error {
 	if s.Seed == 0 {
 		s.Seed = hashSeed(s.ID)
 	}
-	if s.StepSeconds < 0 || s.Steps < 0 {
-		return fmt.Errorf("fleet: negative horizon")
+	if math.IsNaN(s.StepSeconds) || math.IsInf(s.StepSeconds, 0) {
+		return fmt.Errorf("fleet: chip field \"step_seconds\" must be finite, got %v", s.StepSeconds)
+	}
+	if s.StepSeconds < 0 {
+		return fmt.Errorf("fleet: chip field \"step_seconds\" must be >= 0, got %g", s.StepSeconds)
+	}
+	if s.Steps < 0 {
+		return fmt.Errorf("fleet: chip field \"steps\" must be >= 0, got %d", s.Steps)
+	}
+	if s.Steps > maxSteps {
+		return fmt.Errorf("fleet: chip field \"steps\" caps at %d, got %d", maxSteps, s.Steps)
 	}
 	if _, err := s.Workload.profile(); err != nil {
 		return err
 	}
 	return nil
 }
+
+// Register-time sanity caps: a grid past maxGridDim or a horizon past
+// maxSteps is a fat-fingered request, not a simulation anyone waits for —
+// refuse it with a named field instead of allocating for hours.
+const (
+	maxGridDim = 64
+	maxSteps   = 10_000_000
+)
 
 // hashSeed derives a stable non-zero seed from a chip ID (FNV-1a).
 func hashSeed(id string) int64 {

@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"fmt"
+
+	"deepheal/internal/bti"
+	"deepheal/internal/units"
+	"deepheal/internal/workload"
+)
+
+// SRAM address decoder under asymmetric BTI (PAPERS.md: "On BTI Aging
+// Rejuvenation in Memory Address Decoders"). Address bits are anything but
+// uniform: hot rows (stack frames, hot cache sets) are selected orders of
+// magnitude more often than cold ones. A row's wordline driver is stressed
+// while the row is selected; the complement/precharge device of the same
+// row is stressed while the decoder is active but the row is NOT selected.
+// The result is complementary aging — the drivers of hot rows and the
+// complements of cold rows degrade fastest — and because a decode traverses
+// both, every row's path degrades, with the worst path set by the skew of
+// the access distribution. Scheduled negative-bias healing during refresh
+// windows attacks exactly this, because neither half ever gets natural
+// recovery time under load.
+func init() {
+	Register(newDecoder())
+}
+
+const (
+	decoderRows = 16
+	// decoderAccessUtil is the fraction of each step the decoder is
+	// decoding at all (the memory's overall access duty).
+	decoderAccessUtil = 0.85
+)
+
+// decoderRowFreq is the Zipf-distributed row-selection probability: row i
+// is selected proportional to 1/(i+1), the classic skew of address streams.
+func decoderRowFreq(i int) float64 {
+	h := 0.0
+	for k := 1; k <= decoderRows; k++ {
+		h += 1 / float64(k)
+	}
+	return (1 / float64(i+1)) / h
+}
+
+func newDecoder() *Description {
+	group := Group{
+		Name:   "addr",
+		Params: bti.DefaultParams().Coarse(),
+		Stress: bti.Condition{GateVoltage: 1.0, Temp: units.Celsius(85)},
+		Idle:   bti.Condition{GateVoltage: 0, Temp: units.Celsius(45)},
+		// Deep healing during refresh-style maintenance windows: negative
+		// bias with the array still at operating temperature.
+		Heal: bti.Condition{GateVoltage: -0.3, Temp: units.Celsius(85)},
+	}
+	d := &Description{
+		Name:        "decoder",
+		Title:       "SRAM address decoder — asymmetric BTI from skewed row-select statistics",
+		StepSeconds: 3600,
+		Groups:      []Group{group},
+		Sites: []Site{
+			{Name: "array-edge", TempOffsetC: 0},
+			{Name: "array-centre", TempOffsetC: 6},
+		},
+	}
+	// Devices 0..15 are the wordline drivers, 16..31 the complement/
+	// precharge devices of the same rows. Rows in the middle of the array
+	// sit at the hotter centre site.
+	site := func(i int) int {
+		if i >= decoderRows/4 && i < 3*decoderRows/4 {
+			return 1
+		}
+		return 0
+	}
+	for i := 0; i < decoderRows; i++ {
+		f := decoderRowFreq(i)
+		d.Devices = append(d.Devices, DeviceSpec{
+			Name:   fmt.Sprintf("wl%02d", i),
+			Group:  0,
+			Site:   site(i),
+			Duty:   workload.Constant{Util: decoderAccessUtil * f},
+			Weight: 3, // predecode + driver chain depth
+		})
+	}
+	paths := make([][]int, decoderRows)
+	for i := 0; i < decoderRows; i++ {
+		f := decoderRowFreq(i)
+		d.Devices = append(d.Devices, DeviceSpec{
+			Name:   fmt.Sprintf("cm%02d", i),
+			Group:  0,
+			Site:   site(i),
+			Duty:   workload.Constant{Util: decoderAccessUtil * (1 - f)},
+			Weight: 2, // complement NAND stack
+		})
+		// A decode of row i traverses its complement logic and its
+		// wordline driver.
+		paths[i] = []int{decoderRows + i, i}
+	}
+	d.Readout = CriticalPath{Vdd: 1.0, Vth0: 0.30, Alpha: 1.5, Paths: paths}
+	return d
+}

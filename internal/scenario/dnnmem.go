@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"fmt"
+
+	"deepheal/internal/bti"
+	"deepheal/internal/units"
+	"deepheal/internal/workload"
+)
+
+// On-chip DNN weight memory under trace-driven duty cycles (PAPERS.md:
+// "DNN-Life"). The weights of a deployed network are effectively static, so
+// each bank's cell transistors see a bias pattern that never flips — the
+// worst case for BTI, which thrives on unidirectional stress — and the bank
+// is exercised on the cadence of the inference pipeline: banks holding
+// early-layer weights are read every inference, late-layer banks idle
+// between bursts. The failure criterion is the read/bit-flip margin of the
+// worst cell, which shrinking threshold headroom erodes until a stored
+// weight flips. Healing windows power-gate the array and apply the recovery
+// bias between inference batches.
+func init() {
+	Register(newDNNMem())
+}
+
+const dnnBanks = 8
+
+// dnnLayers is the inference schedule over the banked weight memory: a
+// small conv stack feeding two dense layers, pipelined back-to-back. One
+// full inference spans 18 steps.
+var dnnLayers = []workload.DNNLayer{
+	{Name: "conv1", FirstBank: 0, LastBank: 1, Steps: 5, Util: 0.95},
+	{Name: "conv2", FirstBank: 1, LastBank: 3, Steps: 7, Util: 0.90},
+	{Name: "fc1", FirstBank: 3, LastBank: 6, Steps: 4, Util: 0.85},
+	{Name: "fc2", FirstBank: 6, LastBank: 7, Steps: 2, Util: 0.80},
+}
+
+func newDNNMem() *Description {
+	traces, err := workload.DNNWeightTraces("dnn", dnnLayers, dnnBanks, 0.05)
+	if err != nil {
+		// The schedule above is a compile-time constant; failing to expand
+		// it is a programming error caught at init.
+		panic(err)
+	}
+	cells := Group{
+		Name:   "cell",
+		Params: bti.DefaultParams().Coarse(),
+		// Cell transistors see the stored-weight bias whenever the bank is
+		// powered: a lower gate stress than logic, but relentless.
+		Stress: bti.Condition{GateVoltage: 0.9, Temp: units.Celsius(80)},
+		Idle:   bti.Condition{GateVoltage: 0, Temp: units.Celsius(45)},
+		Heal:   bti.Condition{GateVoltage: -0.3, Temp: units.Celsius(80)},
+	}
+	sense := Group{
+		Name:   "sense",
+		Params: bti.DefaultParams().Coarse(),
+		Stress: bti.Condition{GateVoltage: 1.0, Temp: units.Celsius(80)},
+		Idle:   bti.Condition{GateVoltage: 0, Temp: units.Celsius(45)},
+		Heal:   bti.Condition{GateVoltage: -0.3, Temp: units.Celsius(80)},
+	}
+	d := &Description{
+		Name:        "dnnmem",
+		Title:       "DNN weight memory — per-bank inference-trace duty, bit-flip margin readout",
+		StepSeconds: 3600,
+		Groups:      []Group{cells, sense},
+		Sites: []Site{
+			{Name: "near-mac", TempOffsetC: 8}, // banks beside the MAC array
+			{Name: "periphery", TempOffsetC: 0},
+		},
+	}
+	for b := 0; b < dnnBanks; b++ {
+		site := 1
+		if b < dnnBanks/2 {
+			site = 0
+		}
+		d.Devices = append(d.Devices, DeviceSpec{
+			Name:   fmt.Sprintf("cell%d", b),
+			Group:  0,
+			Site:   site,
+			Duty:   traces[b],
+			Weight: 1,
+		})
+		// The bank's sense amplifier toggles on roughly half the reads;
+		// zero weight keeps it out of the margin readout (it is support
+		// circuitry, not a storage node) while it still ages.
+		d.Devices = append(d.Devices, DeviceSpec{
+			Name:   fmt.Sprintf("sa%d", b),
+			Group:  1,
+			Site:   site,
+			Duty:   workload.Scaled{P: traces[b], Factor: 0.5},
+			Weight: 0,
+		})
+	}
+	// 170 mV fresh read margin, eroded 1:1 by cell threshold shift.
+	d.Readout = MinMargin{MarginV: 0.170, PerVolt: 1.0}
+	return d
+}

@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"fmt"
+
+	"deepheal/internal/bti"
+	"deepheal/internal/core"
+	"deepheal/internal/units"
+)
+
+// The many-core chip, re-expressed as a registered scenario. The topology,
+// electrical constants and default duty all come from core.DefaultFloorplan
+// — the same single source the full chip simulator (internal/core)
+// materialises its Config from — so the zoo's view of the chip cannot drift
+// from the chip itself (scenario_test cross-checks the pinned values). The
+// full simulator remains the authority for chip experiments (it models the
+// thermal grid, PDN and EM dynamically where this description uses the
+// floorplan's static site offsets); registering the chip here is what makes
+// the scenario layer a refactor rather than a fork: one structure zoo,
+// of which the original victim is member zero.
+func init() {
+	Register(newManyCore())
+}
+
+// manyCoreSiteOffsets is the static thermal mapping of the die: the centre
+// tiles run at the floorplan's busy-tile reference temperature; edge and
+// corner tiles shed heat to the package boundary and run cooler.
+const (
+	manyCoreEdgeOffsetC   = -4
+	manyCoreCornerOffsetC = -8
+)
+
+func newManyCore() *Description {
+	fp := core.DefaultFloorplan()
+	n := fp.Rows * fp.Cols
+	// The busy-tile reference temperature the floorplan anchors its EM
+	// model to doubles as the stress-condition junction temperature here.
+	hot := fp.EMTRef
+	group := Group{
+		Name:   "core",
+		Params: fp.BTI,
+		Stress: bti.Condition{GateVoltage: fp.ActiveGateV, Temp: hot},
+		Idle:   bti.Condition{GateVoltage: 0, Temp: units.Celsius(45)},
+		// BTI active recovery as the chip scheduler runs it: the core is
+		// taken off the workload under negative bias, kept warm by its
+		// still-computing neighbours.
+		Heal: bti.Condition{GateVoltage: fp.RecoveryV, Temp: hot},
+	}
+	d := &Description{
+		Name:        "manycore",
+		Title:       "Many-core die (floorplan re-expression) — per-core critical paths under the default workload",
+		StepSeconds: fp.StepSeconds,
+		Groups:      []Group{group},
+		Sites: []Site{
+			{Name: "centre", TempOffsetC: 0},
+			{Name: "edge", TempOffsetC: manyCoreEdgeOffsetC},
+			{Name: "corner", TempOffsetC: manyCoreCornerOffsetC},
+		},
+	}
+	paths := make([][]int, 0, n)
+	for r := 0; r < fp.Rows; r++ {
+		for c := 0; c < fp.Cols; c++ {
+			i := r*fp.Cols + c
+			onRowEdge := r == 0 || r == fp.Rows-1
+			onColEdge := c == 0 || c == fp.Cols-1
+			site := 0 // centre
+			switch {
+			case onRowEdge && onColEdge:
+				site = 2 // corner
+			case onRowEdge || onColEdge:
+				site = 1 // edge
+			}
+			d.Devices = append(d.Devices, DeviceSpec{
+				Name:   fmt.Sprintf("core%02d", i),
+				Group:  0,
+				Site:   site,
+				Duty:   fp.DefaultWorkload(),
+				Weight: 1,
+			})
+			// Each core is its own candidate critical path: the slowest
+			// core sets the chip guardband.
+			paths = append(paths, []int{i})
+		}
+	}
+	d.Readout = CriticalPath{Vdd: fp.DelayVdd, Vth0: fp.DelayVth0, Alpha: fp.DelayAlpha, Paths: paths}
+	return d
+}

@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"fmt"
+
+	"deepheal/internal/bti"
+	"deepheal/internal/units"
+	"deepheal/internal/workload"
+)
+
+// Arithmetic multiplier under NBTI + process variation (PAPERS.md:
+// "Building Reliable Arithmetic Multipliers"). A 16-bit array multiplier's
+// critical paths run partial-product generation → compression tree → final
+// carry-propagate adder; the tree sits in the thermally dense centre of the
+// array and switches hardest. Per-device parameter variation is the point
+// of this scenario: the guardband covers the worst (slow-recovery,
+// high-trap-density) device of the worst manufactured sample, so the
+// interesting statistics are Monte Carlo over instance seeds — which is
+// exactly how the experiment layer runs it, one campaign point per sample.
+func init() {
+	Register(newMultiplier())
+}
+
+const (
+	multPPDevs  = 8 // partial-product/booth stages
+	multCmpDevs = 8 // compression-tree 4:2 stages
+	multCPADevs = 4 // final adder segments
+)
+
+// MultiplierVariation is the process-variation model the multiplier's
+// Monte Carlo sweep draws from: a wider spread than the default population
+// study, reflecting minimum-size arithmetic cells.
+var MultiplierVariation = bti.Variation{MaxShift: 0.12, EmissionMu: 0.5, GenRate: 0.25}
+
+func newMultiplier() *Description {
+	group := Group{
+		Name:   "mult",
+		Params: bti.DefaultParams().Coarse(),
+		Stress: bti.Condition{GateVoltage: 1.0, Temp: units.Celsius(90)},
+		Idle:   bti.Condition{GateVoltage: 0, Temp: units.Celsius(50)},
+		Heal:   bti.Condition{GateVoltage: -0.3, Temp: units.Celsius(90)},
+	}
+	d := &Description{
+		Name:        "multiplier",
+		Title:       "16-bit multiplier — NBTI under process variation, Monte Carlo over samples",
+		StepSeconds: 3600,
+		Groups:      []Group{group},
+		Sites: []Site{
+			{Name: "periphery", TempOffsetC: 0},
+			{Name: "tree-centre", TempOffsetC: 10},
+		},
+		Variation: MultiplierVariation,
+	}
+	// Stage duty falls along the pipeline: operand bits toggle the
+	// partial-product stages almost every cycle, the tree sees the
+	// logical AND of its inputs' activity, the adder only fires when a
+	// carry chain does.
+	for i := 0; i < multPPDevs; i++ {
+		d.Devices = append(d.Devices, DeviceSpec{
+			Name:   fmt.Sprintf("pp%d", i),
+			Group:  0,
+			Site:   0,
+			Duty:   workload.Constant{Util: 0.80},
+			Weight: 1,
+		})
+	}
+	for i := 0; i < multCmpDevs; i++ {
+		d.Devices = append(d.Devices, DeviceSpec{
+			Name:   fmt.Sprintf("cmp%d", i),
+			Group:  0,
+			Site:   1,
+			Duty:   workload.Constant{Util: 0.60},
+			Weight: 2,
+		})
+	}
+	for i := 0; i < multCPADevs; i++ {
+		d.Devices = append(d.Devices, DeviceSpec{
+			Name:   fmt.Sprintf("cpa%d", i),
+			Group:  0,
+			Site:   0,
+			Duty:   workload.Constant{Util: 0.45},
+			Weight: 3,
+		})
+	}
+	// Candidate critical paths: pp_i → cmp_i → cpa_{i/2}.
+	paths := make([][]int, multPPDevs)
+	for i := 0; i < multPPDevs; i++ {
+		paths[i] = []int{i, multPPDevs + i, multPPDevs + multCmpDevs + i/2}
+	}
+	d.Readout = CriticalPath{Vdd: 1.0, Vth0: 0.30, Alpha: 1.5, Paths: paths}
+	return d
+}

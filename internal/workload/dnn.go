@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"fmt"
+
+	"deepheal/internal/mathx"
+)
+
+// Segment is one constant-utilisation span of a looping Segments profile.
+type Segment struct {
+	// Steps is the span length; Util the utilisation across it.
+	Steps int
+	Util  float64
+}
+
+// Segments is a piecewise-constant profile that loops its segment sequence
+// forever — the natural shape of an inference pipeline replaying the same
+// layer schedule per input.
+type Segments struct {
+	label string
+	segs  []Segment
+	total int
+}
+
+var _ Profile = (*Segments)(nil)
+
+// NewSegments builds a looping piecewise-constant profile.
+func NewSegments(label string, segs []Segment) (*Segments, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("workload: segments profile %q is empty", label)
+	}
+	total := 0
+	for i, s := range segs {
+		if s.Steps <= 0 {
+			return nil, fmt.Errorf("workload: segment %d of %q has non-positive length %d", i, label, s.Steps)
+		}
+		if s.Util < 0 || s.Util > 1 {
+			return nil, fmt.Errorf("workload: segment %d of %q has util %g outside [0,1]", i, label, s.Util)
+		}
+		total += s.Steps
+	}
+	return &Segments{label: label, segs: append([]Segment(nil), segs...), total: total}, nil
+}
+
+// At implements Profile; the sequence loops.
+func (p *Segments) At(step int) float64 {
+	phase := ((step % p.total) + p.total) % p.total
+	for _, s := range p.segs {
+		if phase < s.Steps {
+			return s.Util
+		}
+		phase -= s.Steps
+	}
+	return 0 // unreachable: phase < total by construction
+}
+
+// Name implements Profile.
+func (p *Segments) Name() string {
+	return fmt.Sprintf("segments(%s,%d)", p.label, p.total)
+}
+
+// Scaled multiplies another profile's utilisation by a constant factor —
+// e.g. a sense amplifier that toggles on half the accesses its bank sees.
+type Scaled struct {
+	P      Profile
+	Factor float64
+}
+
+var _ Profile = Scaled{}
+
+// At implements Profile.
+func (s Scaled) At(step int) float64 {
+	return mathx.Clamp(s.P.At(step)*s.Factor, 0, 1)
+}
+
+// Name implements Profile.
+func (s Scaled) Name() string {
+	return fmt.Sprintf("scaled(%.2fx %s)", s.Factor, s.P.Name())
+}
+
+// DNNLayer is one layer of an inference schedule over a banked weight
+// memory: while the layer executes, the banks holding its weights are read
+// at Util; every other bank idles at the standby level.
+type DNNLayer struct {
+	// Name identifies the layer in profile names.
+	Name string
+	// FirstBank..LastBank (inclusive) hold this layer's weights.
+	FirstBank, LastBank int
+	// Steps is how long the layer occupies the pipeline per inference.
+	Steps int
+	// Util is the read utilisation of the layer's banks while it runs.
+	Util float64
+}
+
+// DNNWeightTraces expands a layer execution schedule into one looping
+// utilisation trace per weight-memory bank: the access pattern of a DNN
+// accelerator running back-to-back inferences. standby is the utilisation
+// of banks whose layer is not executing (retention/power-gating leakage
+// activity); it must not exceed any layer utilisation. The expansion is a
+// pure function of its arguments, so equal schedules always produce equal
+// traces — campaign hashes sample the result directly.
+func DNNWeightTraces(label string, layers []DNNLayer, banks int, standby float64) ([]Profile, error) {
+	if banks <= 0 {
+		return nil, fmt.Errorf("workload: dnn trace %q needs banks > 0, got %d", label, banks)
+	}
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("workload: dnn trace %q has no layers", label)
+	}
+	if standby < 0 || standby > 1 {
+		return nil, fmt.Errorf("workload: dnn trace %q standby %g outside [0,1]", label, standby)
+	}
+	for i, l := range layers {
+		if l.FirstBank < 0 || l.LastBank >= banks || l.FirstBank > l.LastBank {
+			return nil, fmt.Errorf("workload: dnn layer %d (%s) banks %d..%d outside 0..%d",
+				i, l.Name, l.FirstBank, l.LastBank, banks-1)
+		}
+		if l.Steps <= 0 {
+			return nil, fmt.Errorf("workload: dnn layer %d (%s) has non-positive length %d", i, l.Name, l.Steps)
+		}
+		if l.Util < standby || l.Util > 1 {
+			return nil, fmt.Errorf("workload: dnn layer %d (%s) util %g outside [standby=%g, 1]",
+				i, l.Name, l.Util, standby)
+		}
+	}
+	out := make([]Profile, banks)
+	for b := 0; b < banks; b++ {
+		segs := make([]Segment, 0, len(layers))
+		for _, l := range layers {
+			util := standby
+			if b >= l.FirstBank && b <= l.LastBank {
+				util = l.Util
+			}
+			// Merge equal-util neighbours so profile names stay short and
+			// At scans fewer segments.
+			if n := len(segs); n > 0 && segs[n-1].Util == util {
+				segs[n-1].Steps += l.Steps
+				continue
+			}
+			segs = append(segs, Segment{Steps: l.Steps, Util: util})
+		}
+		p, err := NewSegments(fmt.Sprintf("%s/bank%d", label, b), segs)
+		if err != nil {
+			return nil, err
+		}
+		out[b] = p
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestSegmentsLoops(t *testing.T) {
+	p, err := NewSegments("x", []Segment{{Steps: 2, Util: 0.5}, {Steps: 3, Util: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 0.5, 0.1, 0.1, 0.1}
+	for i := 0; i < 20; i++ {
+		if got := p.At(i); got != want[i%5] {
+			t.Fatalf("At(%d) = %v, want %v", i, got, want[i%5])
+		}
+	}
+	if p.At(-1) != 0.1 { // negative steps wrap like the other profiles
+		t.Errorf("At(-1) = %v, want 0.1", p.At(-1))
+	}
+}
+
+func TestSegmentsValidation(t *testing.T) {
+	if _, err := NewSegments("x", nil); err == nil {
+		t.Error("empty segment list accepted")
+	}
+	if _, err := NewSegments("x", []Segment{{Steps: 0, Util: 0.5}}); err == nil {
+		t.Error("zero-length segment accepted")
+	}
+	if _, err := NewSegments("x", []Segment{{Steps: 1, Util: 1.5}}); err == nil {
+		t.Error("util > 1 accepted")
+	}
+}
+
+func TestScaledClamps(t *testing.T) {
+	s := Scaled{P: Constant{Util: 0.8}, Factor: 0.5}
+	if got := s.At(0); got != 0.4 {
+		t.Errorf("At = %v, want 0.4", got)
+	}
+	over := Scaled{P: Constant{Util: 0.8}, Factor: 2}
+	if got := over.At(0); got != 1 {
+		t.Errorf("over-unity scale not clamped: %v", got)
+	}
+}
+
+func TestDNNWeightTracesMapping(t *testing.T) {
+	layers := []DNNLayer{
+		{Name: "conv1", FirstBank: 0, LastBank: 1, Steps: 2, Util: 0.9},
+		{Name: "fc", FirstBank: 1, LastBank: 2, Steps: 3, Util: 0.6},
+	}
+	traces, err := DNNWeightTraces("net", layers, 3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("got %d traces, want 3", len(traces))
+	}
+	// bank 0: conv1 only; bank 1: both; bank 2: fc only. Period is 5.
+	cases := []struct {
+		bank int
+		step int
+		want float64
+	}{
+		{0, 0, 0.9}, {0, 2, 0.05}, {0, 5, 0.9},
+		{1, 0, 0.9}, {1, 2, 0.6}, {1, 4, 0.6},
+		{2, 1, 0.05}, {2, 3, 0.6},
+	}
+	for _, c := range cases {
+		if got := traces[c.bank].At(c.step); got != c.want {
+			t.Errorf("bank %d At(%d) = %v, want %v", c.bank, c.step, got, c.want)
+		}
+	}
+	// Deterministic: a second expansion produces the same samples.
+	again, err := DNNWeightTraces("net", layers, 3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range traces {
+		for s := 0; s < 10; s++ {
+			if traces[b].At(s) != again[b].At(s) {
+				t.Fatalf("trace expansion not deterministic at bank %d step %d", b, s)
+			}
+		}
+	}
+}
+
+func TestDNNWeightTracesValidation(t *testing.T) {
+	ok := []DNNLayer{{Name: "l", FirstBank: 0, LastBank: 0, Steps: 1, Util: 0.5}}
+	if _, err := DNNWeightTraces("x", ok, 0, 0); err == nil {
+		t.Error("zero banks accepted")
+	}
+	if _, err := DNNWeightTraces("x", nil, 2, 0); err == nil {
+		t.Error("empty schedule accepted")
+	}
+	bad := []DNNLayer{{Name: "l", FirstBank: 0, LastBank: 5, Steps: 1, Util: 0.5}}
+	if _, err := DNNWeightTraces("x", bad, 2, 0); err == nil {
+		t.Error("out-of-range bank accepted")
+	}
+	dim := []DNNLayer{{Name: "l", FirstBank: 0, LastBank: 0, Steps: 1, Util: 0.1}}
+	if _, err := DNNWeightTraces("x", dim, 2, 0.2); err == nil {
+		t.Error("layer util below standby accepted")
+	}
+}
