@@ -50,6 +50,7 @@ func runWorkerCmd(ctx context.Context, args []string) error {
 	dir := fs.String("dir", "", "campaign directory shared with the coordinator (required)")
 	id := fs.String("id", "", "worker id, the shard file name (default <host>-<pid>)")
 	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "point lease lifetime; a worker silent this long has its point stolen")
+	maxAttempts := fs.Int("max-attempts", 3, "fleet-wide crash budget per point before it is quarantined as poison (<0 disables)")
 	poll := fs.Duration("poll", 100*time.Millisecond, "idle rescan interval while other workers hold the remaining leases")
 	manifestWait := fs.Duration("manifest-wait", time.Minute, "how long to wait for the coordinator's manifest to appear")
 	faults := fs.String("faults", "", "fault-injection spec, e.g. 'worker-die:occ=3' (see internal/faultinject)")
@@ -105,12 +106,13 @@ func runWorkerCmd(ctx context.Context, args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "worker: joined %s (%d points, %d experiments)\n", *dir, len(m.Points), len(m.Experiments))
 	stats, runErr := dist.RunWorker(ctx, *dir, m, tasks, dist.WorkerOptions{
-		ID:       *id,
-		LeaseTTL: *leaseTTL,
-		Poll:     *poll,
+		ID:          *id,
+		LeaseTTL:    *leaseTTL,
+		Poll:        *poll,
+		MaxAttempts: *maxAttempts,
 	})
-	fmt.Fprintf(os.Stderr, "worker: %d computed, %d cache hits, %d leases stolen, %d failed (%.2fs)\n",
-		stats.Completed, stats.CacheHits, stats.Stolen, stats.Failed, stats.WallSeconds)
+	fmt.Fprintf(os.Stderr, "worker: %d computed, %d cache hits, %d leases stolen, %d failed, %d quarantined (%.2fs)\n",
+		stats.Completed, stats.CacheHits, stats.Stolen, stats.Failed, stats.Quarantined, stats.WallSeconds)
 	if errors.Is(runErr, dist.ErrWorkerDied) {
 		// Mimic a real crash as closely as an orderly process can: skip
 		// metrics finish and exit through the dedicated code.
@@ -139,7 +141,11 @@ func runCoordinate(ctx context.Context, args []string) error {
 	localWorkers := fs.Int("local-workers", 1, "in-process workers to run alongside external ones (0 = pure coordinator, requires external `deepheal worker` processes)")
 	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "point lease lifetime for local workers")
 	poll := fs.Duration("poll", 100*time.Millisecond, "drain/queue poll interval")
-	drainTimeout := fs.Duration("drain-timeout", 0, "give up if the queue has not drained after this long (0 = wait for ctx)")
+	drainTimeout := fs.Duration("drain-timeout", 0, "hard ceiling on the whole drain (0 = none; stall detection via -stall-window is the liveness guard)")
+	resume := fs.Bool("resume", false, "reattach to a campaign directory whose coordinator crashed: reload its manifest, keep every banked shard record, drain only the remainder")
+	stallWindow := fs.Duration("stall-window", time.Minute, "declare the drain stalled after this long with no completions and no live worker heartbeat (<0 disables)")
+	maxAttempts := fs.Int("max-attempts", 3, "fleet-wide crash budget per point before it is quarantined as poison (<0 disables)")
+	respawnLocal := fs.Bool("respawn-local", false, "restart a local worker killed by an injected fault (chaos runs: lets one process exercise repeated crash/steal cycles)")
 	retries := fs.Int("retries", 1, "attempts per point in the final assembly run before quarantine")
 	timing := fs.Bool("timing", false, "after assembly, print the scheduling profile to stderr")
 	faults := fs.String("faults", "", "fault-injection spec for chaos runs (see internal/faultinject)")
@@ -196,13 +202,33 @@ func runCoordinate(ctx context.Context, args []string) error {
 		return err
 	}
 
-	m, err := dist.Publish(*dir, resolved, tasks)
-	if err != nil {
-		return err
+	var m *dist.Manifest
+	if *resume {
+		var st dist.DrainState
+		m, st, err = dist.Resume(*dir, resolved, tasks)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Fprintf(os.Stderr, "coordinate: -resume set but %s has no manifest; publishing fresh\n", *dir)
+			m = nil
+		case err != nil:
+			return err
+		default:
+			fmt.Fprintf(os.Stderr, "coordinate: resumed %s: %d/%d points already banked (%d failed, %d quarantined)\n",
+				*dir, st.Completed, st.Total, st.Failed, st.Quarantined)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "coordinate: published %d points (%d experiments) to %s\n",
-		len(m.Points), len(m.Experiments), *dir)
+	if m == nil {
+		if m, err = dist.Publish(*dir, resolved, tasks); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "coordinate: published %d points (%d experiments) to %s\n",
+			len(m.Points), len(m.Experiments), *dir)
+	}
 
+	// Local workers get their own cancellation so a dead or stalled drain
+	// can stop them without tearing down the outer context.
+	workerCtx, stopWorkers := context.WithCancel(ctx)
+	defer stopWorkers()
 	var wg sync.WaitGroup
 	workerErrs := make([]error, *localWorkers)
 	for w := 0; w < *localWorkers; w++ {
@@ -210,14 +236,27 @@ func runCoordinate(ctx context.Context, args []string) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			stats, err := dist.RunWorker(ctx, *dir, m, tasks, dist.WorkerOptions{
-				ID:       fmt.Sprintf("%s-local%d", defaultCoordinatorID(), w),
-				LeaseTTL: *leaseTTL,
-				Poll:     *poll,
-			})
-			workerErrs[w] = err
-			fmt.Fprintf(os.Stderr, "coordinate: local worker %d: %d computed, %d cache hits, %d stolen, %d failed\n",
-				w, stats.Completed, stats.CacheHits, stats.Stolen, stats.Failed)
+			base := fmt.Sprintf("%s-local%d", defaultCoordinatorID(), w)
+			for gen := 0; ; gen++ {
+				id := base
+				if gen > 0 {
+					id = fmt.Sprintf("%s-r%d", base, gen)
+				}
+				stats, err := dist.RunWorker(workerCtx, *dir, m, tasks, dist.WorkerOptions{
+					ID:          id,
+					LeaseTTL:    *leaseTTL,
+					Poll:        *poll,
+					MaxAttempts: *maxAttempts,
+				})
+				fmt.Fprintf(os.Stderr, "coordinate: local worker %s: %d computed, %d cache hits, %d stolen, %d failed, %d quarantined\n",
+					id, stats.Completed, stats.CacheHits, stats.Stolen, stats.Failed, stats.Quarantined)
+				if *respawnLocal && errors.Is(err, dist.ErrWorkerDied) && workerCtx.Err() == nil {
+					fmt.Fprintf(os.Stderr, "coordinate: local worker %s died (injected); respawning\n", id)
+					continue
+				}
+				workerErrs[w] = err
+				return
+			}
 		}()
 	}
 
@@ -227,15 +266,31 @@ func runCoordinate(ctx context.Context, args []string) error {
 		drainCtx, cancel = context.WithTimeout(ctx, *drainTimeout)
 		defer cancel()
 	}
-	drainErr := dist.WaitDrained(drainCtx, *dir, m, *poll, func(st dist.DrainState) {
-		fmt.Fprintf(os.Stderr, "coordinate: %d/%d points done (%d failed)\n",
-			st.Completed+st.Failed, st.Total, st.Failed)
+	drainErr := dist.WaitDrained(drainCtx, *dir, m, dist.DrainOptions{
+		Poll:        *poll,
+		StallWindow: *stallWindow,
+		MaxAttempts: *maxAttempts,
+		OnProgress: func(st dist.DrainState) {
+			fmt.Fprintf(os.Stderr, "coordinate: %d/%d points done (%d failed, %d quarantined; workers %d live/%d suspect/%d dead; %.1f pts/s)\n",
+				st.Completed+st.Failed+st.Quarantined, st.Total, st.Failed, st.Quarantined,
+				st.Live, st.Suspect, len(st.Dead), st.RateHz)
+		},
 	})
+	if drainErr != nil {
+		stopWorkers()
+	}
 	wg.Wait()
 	for w, werr := range workerErrs {
 		if werr != nil && !errors.Is(werr, context.Canceled) && !errors.Is(werr, dist.ErrWorkerDied) {
 			fmt.Fprintf(os.Stderr, "coordinate: local worker %d failed: %v\n", w, werr)
 		}
+	}
+	if errors.Is(drainErr, dist.ErrCoordinatorDied) {
+		// Crash mimicry: no merge, no assembly, no metrics flush. Everything
+		// already banked — manifest, shards, markers, heartbeats — stays on
+		// disk for `coordinate -resume`.
+		fmt.Fprintf(os.Stderr, "coordinate: %v; rerun with -resume -dir %s to continue without re-running completed points\n", drainErr, *dir)
+		return drainErr
 	}
 	if drainErr != nil {
 		finishMetrics()
@@ -249,18 +304,28 @@ func runCoordinate(ctx context.Context, args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "coordinate: merged %d shard(s): %d absorbed, %d duplicate, %d corrupt, %d torn\n",
 		st.Shards, st.Absorbed, st.Duplicates, st.Corrupted, st.TornTails)
+	poisoned, err := dist.QuarantinedFailures(*dir, m)
+	if err != nil {
+		finishMetrics()
+		return err
+	}
+	if len(poisoned) > 0 {
+		fmt.Fprintf(os.Stderr, "coordinate: %d poison point(s) quarantined by the fleet; the final run records them without executing\n", len(poisoned))
+	}
 
 	// Final assembly: an ordinary single-process campaign over the merged
 	// journal. Every shard-completed point restores; anything missing —
 	// failed on a worker, torn in a shard — recomputes here under the
-	// normal retry/quarantine rules.
+	// normal retry/quarantine rules, except fleet-quarantined poison points,
+	// which are recorded as quarantined outcomes without ever executing.
 	if err := runCampaign(ctx, ids, campaignConfig{
-		Quiet:     *quiet,
-		OutDir:    *outDir,
-		Workers:   1,
-		ResumeDir: *dir,
-		Retries:   *retries,
-		Timing:    *timing,
+		Quiet:       *quiet,
+		OutDir:      *outDir,
+		Workers:     1,
+		ResumeDir:   *dir,
+		Retries:     *retries,
+		Timing:      *timing,
+		Quarantined: poisoned,
 	}); err != nil {
 		finishMetrics()
 		return err

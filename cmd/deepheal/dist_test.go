@@ -2,9 +2,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"deepheal/internal/campaign"
+	"deepheal/internal/campaign/dist"
+	"deepheal/internal/obs"
 )
 
 // readOutputs collects an -o artifact directory as name → contents.
@@ -134,5 +140,128 @@ func TestDistVerbValidation(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"coordinate", "-dir", filepath.Join(t.TempDir(), "c"), "nope"}); err == nil {
 		t.Error("coordinate with unknown experiment accepted")
+	}
+}
+
+// TestCoordinateKillAndResume kills the coordinator mid-drain with the
+// injected fault, asserts the dedicated exit classification, then resumes
+// the same directory: the second coordinator must restore every banked
+// point (resume metric), execute only the remainder, and emit output
+// byte-identical to a serial run.
+func TestCoordinateKillAndResume(t *testing.T) {
+	ids := []string{"table1", "fig4"}
+	serialDir, distDir := t.TempDir(), t.TempDir()
+	campDir := filepath.Join(t.TempDir(), "camp")
+	args := append([]string{"-q", "-o", serialDir}, ids...)
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+
+	// First life: the coordinator dies on the second drain progress change —
+	// after at least one point is banked in a shard, before the merge.
+	args = append([]string{
+		"coordinate", "-dir", campDir, "-local-workers", "2", "-poll", "20ms",
+		"-faults", "coordinator-die:occ=2", "-q", "-o", t.TempDir(),
+	}, ids...)
+	err := run(context.Background(), args)
+	if !errors.Is(err, dist.ErrCoordinatorDied) {
+		t.Fatalf("killed coordinate returned %v, want ErrCoordinatorDied", err)
+	}
+	if got := exitCode(err); got != exitCoordinatorDied {
+		t.Fatalf("exit code %d, want %d", got, exitCoordinatorDied)
+	}
+	if _, err := os.Stat(filepath.Join(campDir, "journal.jsonl")); !os.IsNotExist(err) {
+		t.Fatalf("crashed coordinator must not have merged: journal stat err=%v", err)
+	}
+	shards, err := filepath.Glob(filepath.Join(campDir, "shards", "*.jsonl"))
+	if err != nil || len(shards) == 0 {
+		t.Fatalf("no shards banked before the crash (err %v)", err)
+	}
+
+	// Second life: -resume reloads the manifest and finishes the job.
+	metricsOut := filepath.Join(t.TempDir(), "metrics.json")
+	args = append([]string{
+		"coordinate", "-dir", campDir, "-resume", "-local-workers", "2",
+		"-poll", "20ms", "-metrics-out", metricsOut, "-q", "-o", distDir,
+	}, ids...)
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutputs(t, serialDir, distDir)
+
+	m, err := dist.LoadManifest(campDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := obs.ReadSnapshotFile(metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := snap.Counters["deepheal_dist_resume_restored_total"]
+	computed := snap.Counters["deepheal_dist_points_completed_total"]
+	if restored == 0 {
+		t.Error("resume restored no points; the crash-resume path never engaged")
+	}
+	if computed >= uint64(len(m.Points)) {
+		t.Errorf("resumed run computed %d of %d points — banked work was re-executed", computed, len(m.Points))
+	}
+	if restored+computed < uint64(len(m.Points)) {
+		t.Errorf("restored %d + computed %d < %d manifest points", restored, computed, len(m.Points))
+	}
+}
+
+// TestCoordinatePoisonPointQuarantine targets one point with a worker-die
+// fault: every worker that leases table1/no3 dies. With -respawn-local the
+// single local worker keeps coming back, burns the 2-attempt budget, and
+// the third incarnation quarantines the point. The run must end with the
+// quarantine exit semantics, name the point on stderr (checked via the
+// error), and still produce byte-identical output for the healthy
+// experiment.
+func TestCoordinatePoisonPointQuarantine(t *testing.T) {
+	ids := []string{"table1", "fig4"}
+	serialDir, distDir := t.TempDir(), t.TempDir()
+	campDir := filepath.Join(t.TempDir(), "camp")
+	args := append([]string{"-q", "-o", serialDir}, ids...)
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+
+	args = append([]string{
+		"coordinate", "-dir", campDir, "-local-workers", "1", "-respawn-local",
+		"-max-attempts", "2", "-lease-ttl", "200ms", "-poll", "20ms",
+		"-faults", "worker-die:key=table1/no3",
+		"-q", "-o", distDir,
+	}, ids...)
+	err := run(context.Background(), args)
+	if !errors.Is(err, campaign.ErrQuarantined) {
+		t.Fatalf("poisoned coordinate returned %v, want ErrQuarantined", err)
+	}
+	if got := exitCode(err); got != exitQuarantine {
+		t.Fatalf("exit code %d, want %d", got, exitQuarantine)
+	}
+
+	// The fleet recorded the quarantine with its attempt history.
+	m, err := dist.LoadManifest(campDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned, err := dist.QuarantinedFailures(campDir, m)
+	if err != nil || len(poisoned) != 1 {
+		t.Fatalf("QuarantinedFailures = %v (err %v), want exactly one", poisoned, err)
+	}
+
+	// The healthy experiment's artifacts are byte-identical to serial; the
+	// poisoned experiment wrote nothing (its task failed assembly).
+	serial, dst := readOutputs(t, serialDir), readOutputs(t, distDir)
+	for name, want := range serial {
+		if strings.HasPrefix(name, "table1") {
+			if _, ok := dst[name]; ok {
+				t.Errorf("poisoned experiment still wrote %s", name)
+			}
+			continue
+		}
+		if got, ok := dst[name]; !ok || got != want {
+			t.Errorf("healthy artifact %s missing or differs (present=%v)", name, ok)
+		}
 	}
 }

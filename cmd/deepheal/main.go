@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"deepheal/internal/campaign"
+	"deepheal/internal/campaign/dist"
 	"deepheal/internal/core"
 	"deepheal/internal/experiments"
 	"deepheal/internal/faultinject"
@@ -58,12 +59,16 @@ import (
 )
 
 // Exit codes: 0 success, 1 generic failure, 3 campaign completed but
-// quarantined points, 130 forced exit on a second interrupt.
+// quarantined points, 8 coordinator killed by an injected fault (the
+// campaign directory stays resumable), 130 forced exit on a second
+// interrupt. The worker verb additionally exits 7 on an injected worker
+// death (see dist.go).
 const (
-	exitOK         = 0
-	exitErr        = 1
-	exitQuarantine = 3
-	exitInterrupt  = 130
+	exitOK              = 0
+	exitErr             = 1
+	exitQuarantine      = 3
+	exitCoordinatorDied = 8
+	exitInterrupt       = 130
 )
 
 func main() {
@@ -83,6 +88,8 @@ func exitCode(err error) int {
 		return exitOK
 	case errors.Is(err, campaign.ErrQuarantined):
 		return exitQuarantine
+	case errors.Is(err, dist.ErrCoordinatorDied):
+		return exitCoordinatorDied
 	default:
 		return exitErr
 	}
@@ -271,6 +278,9 @@ type campaignConfig struct {
 	PointTimeout time.Duration
 	StallTimeout time.Duration
 	Timing       bool
+	// Quarantined pre-quarantines points by content hash (message per
+	// hash); the coordinator feeds it with the fleet's poison-point markers.
+	Quarantined map[string]string
 }
 
 // runCampaign executes the selected experiments on the campaign engine,
@@ -294,6 +304,7 @@ func runCampaign(ctx context.Context, ids []string, cfg campaignConfig) error {
 		Workers:      cfg.Workers,
 		PointTimeout: cfg.PointTimeout,
 		StallTimeout: cfg.StallTimeout,
+		Quarantined:  cfg.Quarantined,
 		Retry: campaign.RetryPolicy{
 			MaxAttempts: cfg.Retries,
 			BaseDelay:   100 * time.Millisecond,
@@ -355,6 +366,12 @@ func runCampaign(ctx context.Context, ids []string, cfg campaignConfig) error {
 	}
 	if quarantined := campaign.QuarantinedPoints(outcomes); len(quarantined) > 0 {
 		for _, p := range quarantined {
+			if p.Source == "quarantined" {
+				// Pre-quarantined by the distributed fleet, never executed
+				// here: the marker's cause is the whole story.
+				fmt.Fprintf(os.Stderr, "campaign: quarantined %s: %s\n", p.Key, p.Err)
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "campaign: quarantined %s after %d attempt(s)\n", p.Key, p.Attempts)
 		}
 		return fmt.Errorf("%d point(s) %w", len(quarantined), campaign.ErrQuarantined)

@@ -60,8 +60,25 @@ func runServe(ctx context.Context, args []string) error {
 		return fmt.Errorf("serve: %w", err)
 	}
 
+	// Listen before restoring: the socket (and -addr-file) appear
+	// immediately, and /readyz answers 503 "restoring checkpoint" until the
+	// fleet is whole — so a supervisor sees the process up right away while
+	// scripts that diff state know to wait for readiness.
 	m := fleet.NewManager(fleet.Options{Workers: *workers, MaxResident: *maxResident})
 	defer m.Close()
+	m.SetNotReady("restoring checkpoint")
+	srv, err := obs.StartHTTPServer(*addr, m.Handler(reg))
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "fleet API on http://%s (policies and corners: GET /v1/meta)\n", srv.Addr())
+	if *addrFile != "" {
+		if err := writeFileAtomic(*addrFile, []byte(srv.Addr()+"\n")); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
+
 	if *checkpoint != "" {
 		data, err := os.ReadFile(*checkpoint)
 		switch {
@@ -76,20 +93,10 @@ func runServe(ctx context.Context, args []string) error {
 			return err
 		}
 	}
-
-	srv, err := obs.StartHTTPServer(*addr, m.Handler(reg))
-	if err != nil {
-		return fmt.Errorf("serve: %w", err)
-	}
-	defer srv.Close()
-	fmt.Fprintf(os.Stderr, "fleet API on http://%s (policies and corners: GET /v1/meta)\n", srv.Addr())
-	if *addrFile != "" {
-		if err := writeFileAtomic(*addrFile, []byte(srv.Addr()+"\n")); err != nil {
-			return fmt.Errorf("serve: %w", err)
-		}
-	}
+	m.SetReady()
 
 	<-ctx.Done()
+	m.SetNotReady("draining for shutdown")
 	fmt.Fprintln(os.Stderr, "serve: draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	if err := srv.Shutdown(drainCtx); err != nil {

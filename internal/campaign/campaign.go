@@ -76,8 +76,9 @@ type PointStat struct {
 	Key  string `json:"key"`
 	Hash string `json:"hash,omitempty"`
 	// Source is how the result was obtained: "run" (computed here),
-	// "memo" (deduplicated against an identical point this run) or
-	// "journal" (restored from a previous run's journal).
+	// "memo" (deduplicated against an identical point this run),
+	// "journal" (restored from a previous run's journal) or "quarantined"
+	// (pre-quarantined via Options.Quarantined; never executed).
 	Source string  `json:"source"`
 	WallMS float64 `json:"wall_ms"`
 	// Journaled reports whether the result is persisted in the journal
@@ -132,6 +133,14 @@ type Options struct {
 	// still running after this long, via the stall metric and OnStall;
 	// 0 disables it.
 	StallTimeout time.Duration
+	// Quarantined pre-quarantines points by content hash: instead of
+	// executing a listed point, the engine records it as a quarantined
+	// failure carrying the mapped message. A distributed coordinator feeds
+	// this with the poison-point markers its fleet accumulated, so the
+	// final assembly never re-runs a point that crashed every worker that
+	// leased it. A journal record for the hash wins over the listing — a
+	// completed value is better evidence than a crash history.
+	Quarantined map[string]string
 	// OnStall, if non-nil, is called once per flagged point from the
 	// watchdog goroutine.
 	OnStall func(task, key string, running time.Duration)
@@ -334,7 +343,10 @@ func (r *run) execute(ti, pi int) {
 			}
 		}
 		if !restored {
-			if p.Hash != "" {
+			if msg, poisoned := r.opts.Quarantined[p.Hash]; poisoned && p.Hash != "" {
+				err = &quarantineError{cause: errors.New(msg)}
+				stat.Source = "quarantined"
+			} else if p.Hash != "" {
 				var fresh bool
 				attempts := 0
 				// Panic recovery and retries happen inside runPoint, inside

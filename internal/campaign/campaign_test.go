@@ -352,3 +352,77 @@ func BenchmarkEngineOverhead(b *testing.B) {
 		}
 	}
 }
+
+func TestPreQuarantinedPointsAreRecordedNotRun(t *testing.T) {
+	var runs atomic.Int64
+	task := Task{ID: "q"}
+	mkPoint := func(i int) Point {
+		return NewPoint(fmt.Sprintf("q/p%d", i), Hash("preq", i),
+			func(context.Context) (*float64, error) {
+				runs.Add(1)
+				v := float64(i)
+				return &v, nil
+			})
+	}
+	for i := 0; i < 3; i++ {
+		task.Points = append(task.Points, mkPoint(i))
+	}
+	task.Assemble = func(results []any) (any, error) { return len(results), nil }
+	poisoned := map[string]string{task.Points[1].Hash: "killed 3 workers"}
+
+	outcomes, err := Run(context.Background(), []Task{task}, Options{
+		Workers: 1, Quarantined: poisoned,
+	})
+	if err == nil || !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("run error = %v, want ErrQuarantined", err)
+	}
+	if runs.Load() != 2 {
+		t.Errorf("executed %d points, want 2 (the listed one must never run)", runs.Load())
+	}
+	qs := QuarantinedPoints(outcomes)
+	if len(qs) != 1 || qs[0].Key != "q/p1" || qs[0].Source != "quarantined" {
+		t.Fatalf("quarantined = %+v, want q/p1 with source \"quarantined\"", qs)
+	}
+	if !strings.Contains(qs[0].Err, "killed 3 workers") {
+		t.Errorf("quarantined stat error %q lost the marker's cause", qs[0].Err)
+	}
+}
+
+func TestJournalRecordWinsOverPreQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+	task := Task{ID: "q"}
+	task.Points = append(task.Points, NewPoint("q/p0", Hash("jq", 0),
+		func(context.Context) (*float64, error) {
+			runs.Add(1)
+			v := 42.0
+			return &v, nil
+		}))
+	task.Assemble = func(results []any) (any, error) { return len(results), nil }
+	// First run journals the value.
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), []Task{task}, Options{Workers: 1, Journal: j}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Second run pre-quarantines the same hash: the journaled value is
+	// better evidence than the crash history and must win.
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	outcomes, err := Run(context.Background(), []Task{task}, Options{
+		Workers: 1, Journal: j2,
+		Quarantined: map[string]string{task.Points[0].Hash: "stale marker"},
+	})
+	if err != nil {
+		t.Fatalf("journaled point still quarantined: %v", err)
+	}
+	if runs.Load() != 1 || outcomes[0].Points[0].Source != "journal" {
+		t.Errorf("runs=%d source=%q, want 1 run total and journal restore", runs.Load(), outcomes[0].Points[0].Source)
+	}
+}

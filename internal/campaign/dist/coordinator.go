@@ -2,87 +2,306 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"deepheal/internal/campaign"
+	"deepheal/internal/faultinject"
 )
 
-// DrainState is a point-in-time view of queue progress.
+// ErrCoordinatorDied is returned by WaitDrained when the SiteCoordinatorDie
+// fault fires: the coordinator abandons the drain mid-flight — no merge, no
+// assembly — exactly as a killed process would, so crash-resume tests
+// exercise the same recovery path a real coordinator loss does. The
+// deepheal coordinate verb maps it to a dedicated exit code.
+var ErrCoordinatorDied = errors.New("dist: coordinator died (injected)")
+
+// ErrDrainStalled is wrapped by the error WaitDrained returns when the
+// fleet has made no progress AND shown no live heartbeat for the stall
+// window: every remaining point is waiting on workers that are gone.
+var ErrDrainStalled = errors.New("dist: drain stalled")
+
+// DrainState is a point-in-time view of queue progress and fleet health.
 type DrainState struct {
-	Total     int // distributable points in the manifest
-	Completed int // hashes present in some shard
-	Failed    int // hashes with a failure marker (coordinator recomputes)
+	Total       int // distributable points in the manifest
+	Completed   int // hashes present in some shard
+	Failed      int // ordinary failure markers (coordinator recomputes)
+	Quarantined int // poison-point markers (terminal; never re-executed)
+
+	// Worker census from the heartbeat files, at scan time. Dead carries
+	// the silent workers' names for the stall error and the progress line.
+	Live    int
+	Suspect int
+	Dead    []string
+
+	// RateHz is the completion rate observed since the drain (or the
+	// Progress observer) attached — points per second.
+	RateHz float64
 }
 
 // Drained reports whether every manifest point is accounted for.
-func (s DrainState) Drained() bool { return s.Completed+s.Failed >= s.Total }
+func (s DrainState) Drained() bool {
+	return s.Completed+s.Failed+s.Quarantined >= s.Total
+}
 
-// Progress inspects dir once and reports how much of the manifest is
-// accounted for. Scanning is from scratch (no incremental state), which is
-// what a freshly attached observer wants.
-func Progress(dir string, m *Manifest) (DrainState, error) {
-	scan := newShardScanner(dir)
+// observe scans dir once (using scan for incremental shard tails) and fills
+// a DrainState against manifest m.
+func observe(dir string, m *Manifest, scan *shardScanner) (DrainState, error) {
 	if err := scan.rescan(); err != nil {
 		return DrainState{}, err
 	}
-	failed, err := failedHashes(dir)
+	fails, err := readFailures(dir)
 	if err != nil {
 		return DrainState{}, err
 	}
 	st := DrainState{Total: len(m.Points)}
 	for _, mp := range m.Points {
-		switch {
+		switch f, failed := fails[n16(mp.Hash)]; {
 		case scan.complete[mp.Hash]:
 			st.Completed++
-		case failed[n16(mp.Hash)]:
+		case failed && f.Quarantined:
+			st.Quarantined++
+		case failed:
 			st.Failed++
 		}
 	}
+	hbs, err := readHeartbeats(dir)
+	if err != nil {
+		return DrainState{}, err
+	}
+	st.Live, st.Suspect, st.Dead = censusWorkers(hbs, time.Now().UnixMilli())
+	metWorkersLive.Set(float64(st.Live))
+	metWorkersSuspect.Set(float64(st.Suspect))
+	metWorkersDead.Set(float64(len(st.Dead)))
 	return st, nil
 }
 
+// Progress inspects dir once and reports how much of the manifest is
+// accounted for plus the current worker census. Scanning is from scratch
+// (no incremental state), which is what a freshly attached observer wants.
+func Progress(dir string, m *Manifest) (DrainState, error) {
+	return observe(dir, m, newShardScanner(dir))
+}
+
+// DrainOptions tunes WaitDrained.
+type DrainOptions struct {
+	// Poll is the rescan interval. Default 100ms.
+	Poll time.Duration
+	// StallWindow is how long the drain tolerates zero completions AND zero
+	// live heartbeats before giving up with ErrDrainStalled. This replaces
+	// a fixed whole-drain timeout: a slow fleet that is demonstrably alive
+	// can take as long as it needs, while a dead one is reported within one
+	// window. Default 1m; negative disables stall detection.
+	StallWindow time.Duration
+	// MaxAttempts is the fleet-wide crash budget per point, applied by the
+	// coordinator's own quarantine sweep so poison points are caught even
+	// when no worker survives to steal them. Default 3; negative disables.
+	MaxAttempts int
+	// OnProgress, if non-nil, is called whenever the accounted-for count
+	// changes.
+	OnProgress func(DrainState)
+}
+
 // WaitDrained polls dir until every manifest point is completed in some
-// shard or marked failed, or ctx expires. onProgress, if non-nil, is called
-// whenever the accounted-for count changes.
-func WaitDrained(ctx context.Context, dir string, m *Manifest, poll time.Duration, onProgress func(DrainState)) error {
-	if poll <= 0 {
-		poll = 100 * time.Millisecond
+// shard or marked failed/quarantined, the fleet stalls, or ctx expires.
+//
+// Liveness is judged from two signals: completions (the accounted-for count
+// moved) and heartbeats (some worker's beacon is unexpired). Either one
+// resets the stall clock, so a fleet grinding through a slow point is never
+// declared dead while it demonstrably breathes; only silence on both fronts
+// for a full StallWindow stalls the drain, with the error naming the
+// workers whose beacons went dark.
+func WaitDrained(ctx context.Context, dir string, m *Manifest, opts DrainOptions) error {
+	if opts.Poll <= 0 {
+		opts.Poll = 100 * time.Millisecond
+	}
+	if opts.StallWindow == 0 {
+		opts.StallWindow = time.Minute
+	}
+	if opts.MaxAttempts == 0 {
+		opts.MaxAttempts = 3
 	}
 	scan := newShardScanner(dir)
+	start := time.Now()
+	var startDone int
 	last := -1
+	lastActivity := start
 	for {
-		if err := scan.rescan(); err != nil {
-			return fmt.Errorf("dist: drain: %w", err)
-		}
-		failed, err := failedHashes(dir)
+		st, err := observe(dir, m, scan)
 		if err != nil {
 			return fmt.Errorf("dist: drain: %w", err)
 		}
-		st := DrainState{Total: len(m.Points)}
-		for _, mp := range m.Points {
-			switch {
-			case scan.complete[mp.Hash]:
-				st.Completed++
-			case failed[n16(mp.Hash)]:
-				st.Failed++
-			}
+		now := time.Now()
+		done := st.Completed + st.Failed + st.Quarantined
+		if last < 0 {
+			startDone = done
 		}
-		if done := st.Completed + st.Failed; done != last {
+		if elapsed := now.Sub(start).Seconds(); elapsed > 0 {
+			st.RateHz = float64(done-startDone) / elapsed
+		}
+		if done != last {
 			last = done
-			if onProgress != nil {
-				onProgress(st)
+			lastActivity = now
+			if opts.OnProgress != nil {
+				opts.OnProgress(st)
+			}
+			if faultinject.Hit(faultinject.SiteCoordinatorDie, fmt.Sprintf("drain:%d", done)) {
+				// Simulated crash: no merge, no assembly. The published
+				// manifest, shards and markers stay behind for -resume.
+				return ErrCoordinatorDied
 			}
 		}
 		if st.Drained() {
 			return nil
 		}
+		if st.Live > 0 {
+			lastActivity = now
+		}
+		if swept, serr := sweepPoison(dir, m, scan, opts.MaxAttempts); serr != nil {
+			return fmt.Errorf("dist: drain: %w", serr)
+		} else if swept > 0 {
+			continue // recount immediately; the sweep accounted for points
+		}
+		if opts.StallWindow > 0 && now.Sub(lastActivity) > opts.StallWindow {
+			return stallError(st, opts.StallWindow)
+		}
 		select {
 		case <-ctx.Done():
 			return fmt.Errorf("dist: drain: %w", ctx.Err())
-		case <-time.After(poll):
+		case <-time.After(opts.Poll):
 		}
 	}
+}
+
+// stallError builds the actionable stall report: what is stuck, for how
+// long, and which workers went silent.
+func stallError(st DrainState, window time.Duration) error {
+	remaining := st.Total - st.Completed - st.Failed - st.Quarantined
+	who := "no worker heartbeats on record"
+	if len(st.Dead) > 0 {
+		who = "dead workers: " + strings.Join(st.Dead, ", ")
+	} else if st.Suspect > 0 {
+		who = fmt.Sprintf("%d worker(s) suspect (heartbeat expired)", st.Suspect)
+	}
+	return fmt.Errorf("%w: %d/%d points unaccounted after %v without completions or live heartbeats (%s)",
+		ErrDrainStalled, remaining, st.Total, window, who)
+}
+
+// sweepPoison is the coordinator-side half of poison-point detection: for
+// every unaccounted point whose lease expired with the attempt budget
+// exhausted, write the quarantine marker. Workers do the same when they try
+// to steal such a lease, but the sweep is what catches a poison point after
+// it has killed the *entire* fleet — with no worker left to steal, only the
+// coordinator can account for it and let the drain finish.
+func sweepPoison(dir string, m *Manifest, scan *shardScanner, maxAttempts int) (int, error) {
+	if maxAttempts <= 0 {
+		return 0, nil
+	}
+	fails, err := readFailures(dir)
+	if err != nil {
+		return 0, err
+	}
+	swept := 0
+	nowMs := time.Now().UnixMilli()
+	for _, mp := range m.Points {
+		if scan.complete[mp.Hash] {
+			continue
+		}
+		if _, failed := fails[n16(mp.Hash)]; failed {
+			continue
+		}
+		held, valid, _, rerr := readLease(leasePath(dir, mp.Hash))
+		if rerr != nil || !valid || nowMs < held.Expires || held.Attempts < maxAttempts {
+			continue
+		}
+		cause := fmt.Sprintf("point killed its worker %d time(s); last held by %s", held.Attempts, held.Worker)
+		if merr := markQuarantined(dir, mp.Hash, mp.Key, held.Attempts, cause); merr != nil {
+			return swept, merr
+		}
+		swept++
+	}
+	return swept, nil
+}
+
+// planPoints lists the distributable points of tasks in declaration order —
+// the exchange set Publish writes and Resume verifies against.
+func planPoints(tasks []campaign.Task) []ManifestPoint {
+	var pts []ManifestPoint
+	seq := 0
+	for _, t := range tasks {
+		for _, p := range t.Points {
+			if p.Hash == "" || p.New == nil {
+				continue
+			}
+			pts = append(pts, ManifestPoint{Seq: seq, Task: t.ID, Key: p.Key, Hash: p.Hash})
+			seq++
+		}
+	}
+	return pts
+}
+
+// Resume reattaches a coordinator to a campaign directory whose manifest was
+// published by an earlier (crashed) coordinator. The manifest is reloaded —
+// not republished — and verified point-for-point against the freshly
+// planned tasks, so a binary revision that would compute different points
+// is rejected instead of silently mixing two plans in one directory. The
+// returned state is the progress already banked on disk: those points will
+// be absorbed from shards, never re-executed, and their count feeds the
+// deepheal_dist_resume_restored_total counter that crash-resume tests use
+// to assert zero re-execution.
+func Resume(dir string, experiments []string, tasks []campaign.Task) (*Manifest, DrainState, error) {
+	m, err := LoadManifest(dir)
+	if err != nil {
+		return nil, DrainState{}, fmt.Errorf("dist: resume: %w", err)
+	}
+	if len(m.Experiments) != len(experiments) {
+		return nil, DrainState{}, fmt.Errorf("dist: resume: manifest covers %d experiment(s), this invocation plans %d — resume must rerun the original selection", len(m.Experiments), len(experiments))
+	}
+	for i, id := range experiments {
+		if m.Experiments[i] != id {
+			return nil, DrainState{}, fmt.Errorf("dist: resume: manifest experiment %q != planned %q — resume must rerun the original selection", m.Experiments[i], id)
+		}
+	}
+	fresh := planPoints(tasks)
+	if len(fresh) != len(m.Points) {
+		return nil, DrainState{}, fmt.Errorf("dist: resume: manifest lists %d points, this build plans %d — different revision?", len(m.Points), len(fresh))
+	}
+	for i, mp := range m.Points {
+		if fresh[i].Hash != mp.Hash || fresh[i].Key != mp.Key {
+			return nil, DrainState{}, fmt.Errorf("dist: resume: manifest point %d is %s (%s), this build plans %s (%s) — different revision?",
+				i, mp.Key, n16(mp.Hash), fresh[i].Key, n16(fresh[i].Hash))
+		}
+	}
+	if err := ensureLayout(dir); err != nil {
+		return nil, DrainState{}, fmt.Errorf("dist: resume: %w", err)
+	}
+	st, err := Progress(dir, m)
+	if err != nil {
+		return nil, DrainState{}, fmt.Errorf("dist: resume: %w", err)
+	}
+	metResumeRestored.Add(uint64(st.Completed))
+	return m, st, nil
+}
+
+// QuarantinedFailures extracts the poison-point markers in dir as a map
+// from full point hash (expanded through the manifest) to the recorded
+// cause — the shape campaign.Options.Quarantined consumes, so the final
+// assembly records these points as quarantined outcomes instead of
+// executing them again.
+func QuarantinedFailures(dir string, m *Manifest) (map[string]string, error) {
+	fails, err := readFailures(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	for _, mp := range m.Points {
+		if f, ok := fails[n16(mp.Hash)]; ok && f.Quarantined {
+			out[mp.Hash] = f.Err
+		}
+	}
+	return out, nil
 }
 
 // MergeStats summarises a shard merge.

@@ -39,10 +39,11 @@ import (
 
 // Directory layout inside the shared campaign dir.
 const (
-	manifestName = "manifest.json"
-	leasesDir    = "leases"
-	shardsDir    = "shards"
-	failedDir    = "failed"
+	manifestName  = "manifest.json"
+	leasesDir     = "leases"
+	shardsDir     = "shards"
+	failedDir     = "failed"
+	heartbeatsDir = "heartbeats"
 )
 
 // ManifestPoint is one distributable point of the published work queue.
@@ -75,22 +76,10 @@ func Publish(dir string, experiments []string, tasks []campaign.Task) (*Manifest
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("dist: publish: %w", err)
 	}
-	for _, sub := range []string{leasesDir, shardsDir, failedDir} {
-		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
-			return nil, fmt.Errorf("dist: publish: %w", err)
-		}
+	if err := ensureLayout(dir); err != nil {
+		return nil, fmt.Errorf("dist: publish: %w", err)
 	}
-	m := &Manifest{Version: manifestVersion, Experiments: experiments}
-	seq := 0
-	for _, t := range tasks {
-		for _, p := range t.Points {
-			if p.Hash == "" || p.New == nil {
-				continue
-			}
-			m.Points = append(m.Points, ManifestPoint{Seq: seq, Task: t.ID, Key: p.Key, Hash: p.Hash})
-			seq++
-		}
-	}
+	m := &Manifest{Version: manifestVersion, Experiments: experiments, Points: planPoints(tasks)}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("dist: publish: %w", err)
@@ -99,6 +88,18 @@ func Publish(dir string, experiments []string, tasks []campaign.Task) (*Manifest
 		return nil, fmt.Errorf("dist: publish: %w", err)
 	}
 	return m, nil
+}
+
+// ensureLayout creates the coordination subdirectories of a campaign dir.
+// It runs on publish and on resume, so a manifest published before a layout
+// change still gains the newer subdirectories.
+func ensureLayout(dir string) error {
+	for _, sub := range []string{leasesDir, shardsDir, failedDir, heartbeatsDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // LoadManifest reads a published manifest from dir.
@@ -155,10 +156,19 @@ func writeAtomic(path string, data []byte) error {
 // and after Expires any other worker may take over with an atomic rename.
 // The takeover race is benign — two workers may briefly compute the same
 // point, but points are deterministic and the merge deduplicates by hash.
+//
+// Attempts counts how many workers have claimed the point without ever
+// completing or failure-marking it: it starts at 1, increments on every
+// expiry steal, and is the poison-point detector — a point whose lease
+// keeps expiring is killing the workers that touch it, and once Attempts
+// reaches the configured maximum it is quarantined instead of stolen
+// again. A clean completion or an ordinary Run failure removes the lease,
+// so the counter only ever accumulates crashes.
 type lease struct {
-	Worker  string `json:"worker"`
-	Key     string `json:"key"`
-	Expires int64  `json:"expires_unix_ms"`
+	Worker   string `json:"worker"`
+	Key      string `json:"key"`
+	Expires  int64  `json:"expires_unix_ms"`
+	Attempts int    `json:"attempts"`
 }
 
 // leasePath names the lease file for a point hash. Leases are keyed by hash
@@ -172,13 +182,49 @@ func leasePath(dir, hash string) string {
 	return filepath.Join(dir, leasesDir, hash[:n]+".lease")
 }
 
-// acquireLease claims hash for worker until now+ttl. It returns whether the
-// claim succeeded and whether it was stolen from an expired holder.
-func acquireLease(dir, hash, key, worker string, ttl time.Duration) (ok, stolen bool, err error) {
+// readLease parses the lease file at path. absent reports the file does not
+// exist (the claim was released). A lease that exists but cannot be parsed
+// — a torn write from a worker that crashed mid-create, an empty file,
+// trailing garbage — is reported as (zero lease, valid=false, absent=false,
+// nil error): to every caller a corrupt claim is indistinguishable from an
+// expired one with no attempt history, i.e. immediately stealable, never a
+// parse failure that takes down Progress or the drain.
+func readLease(path string) (held lease, valid, absent bool, err error) {
+	cur, rerr := os.ReadFile(path)
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			return lease{}, false, true, nil
+		}
+		return lease{}, false, false, rerr
+	}
+	if jerr := json.Unmarshal(cur, &held); jerr != nil {
+		return lease{}, false, false, nil // torn or corrupt: expired-and-stealable
+	}
+	return held, true, false, nil
+}
+
+// leaseClaim is the result of one acquisition attempt.
+type leaseClaim struct {
+	ok       bool // the claim succeeded; compute under it
+	stolen   bool // the claim was taken over from an expired holder
+	attempts int  // total workers that have held the point, this claim included
+	poisoned bool // not claimed: the expired holder had exhausted maxAttempts
+	last     lease
+}
+
+// acquireLease claims hash for worker until now+ttl. A fresh claim starts
+// the attempt counter at 1; stealing an expired (or corrupt) claim carries
+// the counter forward. When the expired holder's attempt count has already
+// reached maxAttempts (>0), the point is NOT re-stolen: the claim reports
+// poisoned=true and the caller quarantines it — this is the brake that
+// stops a point which crashes every worker that leases it from looping
+// through lease-steal forever.
+func acquireLease(dir, hash, key, worker string, ttl time.Duration, maxAttempts int) (leaseClaim, error) {
 	path := leasePath(dir, hash)
-	data, err := json.Marshal(lease{Worker: worker, Key: key, Expires: time.Now().Add(ttl).UnixMilli()})
+	mine := lease{Worker: worker, Key: key, Expires: time.Now().Add(ttl).UnixMilli(), Attempts: 1}
+	data, err := json.Marshal(mine)
 	if err != nil {
-		return false, false, err
+		return leaseClaim{}, err
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err == nil {
@@ -187,34 +233,42 @@ func acquireLease(dir, hash, key, worker string, ttl time.Duration) (ok, stolen 
 			werr = cerr
 		}
 		if werr != nil {
-			return false, false, werr
+			return leaseClaim{}, werr
 		}
-		return true, false, nil
+		return leaseClaim{ok: true, attempts: 1}, nil
 	}
 	if !os.IsExist(err) {
-		return false, false, err
+		return leaseClaim{}, err
 	}
-	cur, rerr := os.ReadFile(path)
-	if rerr != nil {
-		// Holder released it between our create and read: next scan retries.
-		return false, false, nil
+	held, valid, absent, rerr := readLease(path)
+	if rerr != nil || absent {
+		// Transient read problem, or the holder released the claim between
+		// our create and read: next scan retries.
+		return leaseClaim{}, nil
 	}
-	var held lease
-	if jerr := json.Unmarshal(cur, &held); jerr == nil && time.Now().UnixMilli() < held.Expires {
-		return false, false, nil // live claim
+	if valid && time.Now().UnixMilli() < held.Expires {
+		return leaseClaim{}, nil // live claim
 	}
-	// Expired (or unreadable) claim: take over atomically.
+	if valid && maxAttempts > 0 && held.Attempts >= maxAttempts {
+		return leaseClaim{poisoned: true, attempts: held.Attempts, last: held}, nil
+	}
+	// Expired (or corrupt) claim: take over atomically, carrying the attempt
+	// history forward. A corrupt lease has no history; the counter restarts.
+	mine.Attempts = held.Attempts + 1
+	if data, err = json.Marshal(mine); err != nil {
+		return leaseClaim{}, err
+	}
 	if err := writeAtomic(path, append(data, '\n')); err != nil {
-		return false, false, err
+		return leaseClaim{}, err
 	}
-	return true, true, nil
+	return leaseClaim{ok: true, stolen: true, attempts: mine.Attempts}, nil
 }
 
-// renewLease extends worker's claim on hash. Best-effort: a renewal that
-// loses a takeover race just rewrites the file, and the duplicated compute
-// stays correct by determinism.
-func renewLease(dir, hash, key, worker string, ttl time.Duration) {
-	data, err := json.Marshal(lease{Worker: worker, Key: key, Expires: time.Now().Add(ttl).UnixMilli()})
+// renewLease extends worker's claim on hash, preserving the attempt count.
+// Best-effort: a renewal that loses a takeover race just rewrites the file,
+// and the duplicated compute stays correct by determinism.
+func renewLease(dir, hash, key, worker string, ttl time.Duration, attempts int) {
+	data, err := json.Marshal(lease{Worker: worker, Key: key, Expires: time.Now().Add(ttl).UnixMilli(), Attempts: attempts})
 	if err != nil {
 		return
 	}
@@ -225,13 +279,21 @@ func renewLease(dir, hash, key, worker string, ttl time.Duration) {
 // lease only delays a steal, never correctness.
 func releaseLease(dir, hash string) { _ = os.Remove(leasePath(dir, hash)) }
 
-// failure is the marker a worker writes when a point's Run returned an
-// error. The point is handed back to the coordinator's final run, where the
-// ordinary retry/quarantine machinery applies.
+// failure is the marker written when a point cannot be completed on the
+// fleet. Two flavours share the format: an ordinary Run error (Quarantined
+// false) hands the point back to the coordinator's final run, where the
+// usual retry/quarantine machinery applies; a poison-point quarantine
+// (Quarantined true, written when the point's lease died Attempts times
+// across any workers) is terminal — the final run records it as a
+// quarantined outcome with this marker's error instead of executing it
+// again, preserving PR 5's exit-code-3 semantics without re-running code
+// that kills whoever touches it.
 type failure struct {
-	Worker string `json:"worker"`
-	Key    string `json:"key"`
-	Err    string `json:"err"`
+	Worker      string `json:"worker"`
+	Key         string `json:"key"`
+	Err         string `json:"err"`
+	Attempts    int    `json:"attempts,omitempty"`
+	Quarantined bool   `json:"quarantined,omitempty"`
 }
 
 // failedPath names the failure marker for a point hash.
@@ -247,9 +309,34 @@ func n16(hash string) string {
 	return hash
 }
 
-// markFailed records that a point failed on a worker.
-func markFailed(dir, hash, key, worker string, cause error) error {
-	data, err := json.Marshal(failure{Worker: worker, Key: key, Err: cause.Error()})
+// markFailed records that a point failed on a worker with an ordinary Run
+// error, after the given number of fleet-wide attempts.
+func markFailed(dir, hash, key, worker string, attempts int, cause error) error {
+	return writeFailure(dir, hash, failure{Worker: worker, Key: key, Err: cause.Error(), Attempts: attempts})
+}
+
+// markQuarantined records that a point is poisoned: its lease died attempts
+// times across the fleet and it must never be leased — or executed by the
+// final assembly — again. The lease file is removed afterwards so scans
+// stop reporting an exhausted claim.
+func markQuarantined(dir, hash, key string, attempts int, cause string) error {
+	err := writeFailure(dir, hash, failure{
+		Worker:      "quarantine",
+		Key:         key,
+		Err:         cause,
+		Attempts:    attempts,
+		Quarantined: true,
+	})
+	if err != nil {
+		return err
+	}
+	metQuarantines.Inc()
+	releaseLease(dir, hash)
+	return nil
+}
+
+func writeFailure(dir, hash string, f failure) error {
+	data, err := json.Marshal(f)
 	if err != nil {
 		return err
 	}
@@ -271,6 +358,35 @@ func failedHashes(dir string) (map[string]bool, error) {
 		if filepath.Ext(name) == ".json" {
 			out[name[:len(name)-len(".json")]] = true
 		}
+	}
+	return out, nil
+}
+
+// readFailures loads every failure marker in dir, keyed by 16-char hash
+// prefix. Markers that cannot be parsed (a torn write from a crashing
+// worker) are reported as zero-value failures under their file's hash
+// prefix: the point still counts as failed — the coordinator's final run
+// recomputes it — rather than wedging the drain on a parse error.
+func readFailures(dir string) (map[string]failure, error) {
+	entries, err := os.ReadDir(filepath.Join(dir, failedDir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]failure{}, nil
+		}
+		return nil, err
+	}
+	out := make(map[string]failure, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) != ".json" {
+			continue
+		}
+		h16 := name[:len(name)-len(".json")]
+		var f failure
+		if data, rerr := os.ReadFile(filepath.Join(dir, failedDir, name)); rerr == nil {
+			_ = json.Unmarshal(data, &f) // corrupt marker: zero value, still failed
+		}
+		out[h16] = f
 	}
 	return out, nil
 }

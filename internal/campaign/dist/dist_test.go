@@ -2,6 +2,7 @@ package dist
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -97,7 +98,7 @@ func runDistributed(t *testing.T, dir string, tasks []campaign.Task, nWorkers in
 	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := WaitDrained(drainCtx, dir, m, 5*time.Millisecond, nil); err != nil {
+	if err := WaitDrained(drainCtx, dir, m, DrainOptions{Poll: 5 * time.Millisecond}); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
@@ -363,23 +364,94 @@ func TestLeaseExpiryIsStolen(t *testing.T) {
 		}
 	}
 	hash := campaign.Hash("lease-test")
-	ok, stolen, err := acquireLease(dir, hash, "k", "w0", 50*time.Millisecond)
-	if err != nil || !ok || stolen {
-		t.Fatalf("fresh acquire: ok=%v stolen=%v err=%v", ok, stolen, err)
+	c, err := acquireLease(dir, hash, "k", "w0", 50*time.Millisecond, 0)
+	if err != nil || !c.ok || c.stolen || c.attempts != 1 {
+		t.Fatalf("fresh acquire: %+v err=%v", c, err)
 	}
 	// A live lease is respected.
-	ok, _, err = acquireLease(dir, hash, "k", "w1", 50*time.Millisecond)
-	if err != nil || ok {
-		t.Fatalf("live lease stolen: ok=%v err=%v", ok, err)
+	c, err = acquireLease(dir, hash, "k", "w1", 50*time.Millisecond, 0)
+	if err != nil || c.ok {
+		t.Fatalf("live lease stolen: %+v err=%v", c, err)
 	}
 	time.Sleep(70 * time.Millisecond)
-	ok, stolen, err = acquireLease(dir, hash, "k", "w1", time.Second)
-	if err != nil || !ok || !stolen {
-		t.Fatalf("expired lease not stolen: ok=%v stolen=%v err=%v", ok, stolen, err)
+	c, err = acquireLease(dir, hash, "k", "w1", time.Second, 0)
+	if err != nil || !c.ok || !c.stolen || c.attempts != 2 {
+		t.Fatalf("expired lease not stolen with attempt carried: %+v err=%v", c, err)
 	}
 	releaseLease(dir, hash)
-	ok, stolen, err = acquireLease(dir, hash, "k", "w2", time.Second)
-	if err != nil || !ok || stolen {
-		t.Fatalf("released lease not reacquirable fresh: ok=%v stolen=%v err=%v", ok, stolen, err)
+	c, err = acquireLease(dir, hash, "k", "w2", time.Second, 0)
+	if err != nil || !c.ok || c.stolen || c.attempts != 1 {
+		t.Fatalf("released lease not reacquirable fresh: %+v err=%v", c, err)
+	}
+}
+
+func TestLeaseAttemptBudgetPoisons(t *testing.T) {
+	dir := t.TempDir()
+	if err := ensureLayout(dir); err != nil {
+		t.Fatal(err)
+	}
+	hash := campaign.Hash("poison-lease-test")
+	// Two crashes: acquire then let expire, steal then let expire.
+	if c, err := acquireLease(dir, hash, "k", "w0", 10*time.Millisecond, 2); err != nil || !c.ok {
+		t.Fatalf("fresh acquire: %+v err=%v", c, err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if c, err := acquireLease(dir, hash, "k", "w1", 10*time.Millisecond, 2); err != nil || !c.ok || c.attempts != 2 {
+		t.Fatalf("first steal: %+v err=%v", c, err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	// Attempt budget exhausted: the third worker must see poison, not steal.
+	c, err := acquireLease(dir, hash, "k", "w2", time.Second, 2)
+	if err != nil || c.ok || !c.poisoned {
+		t.Fatalf("exhausted lease not reported poisoned: %+v err=%v", c, err)
+	}
+	if c.attempts != 2 || c.last.Worker != "w1" {
+		t.Errorf("poison claim lost history: %+v", c)
+	}
+	// With no budget (<=0) the same lease is still stealable forever.
+	if c, err := acquireLease(dir, hash, "k", "w3", time.Second, 0); err != nil || !c.ok || !c.stolen || c.attempts != 3 {
+		t.Fatalf("unbudgeted steal of exhausted lease: %+v err=%v", c, err)
+	}
+}
+
+func TestCorruptLeaseIsStealable(t *testing.T) {
+	dir := t.TempDir()
+	if err := ensureLayout(dir); err != nil {
+		t.Fatal(err)
+	}
+	old, _ := json.Marshal(lease{Worker: "ancient", Key: "k", Expires: 12, Attempts: 1})
+	for name, contents := range map[string][]byte{
+		"empty file":     {},
+		"truncated JSON": []byte(`{"worker":"w0","key":"k","expi`),
+		"binary garbage": {0xde, 0xad, 0xbe, 0xef, '\n'},
+		"ancient valid":  append(old, '\n'),
+	} {
+		t.Run(name, func(t *testing.T) {
+			hash := campaign.Hash("corrupt-lease", name)
+			if err := os.WriteFile(leasePath(dir, hash), contents, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			// Progress/drain must not choke on the lease either: readLease is
+			// the only parser, and it must hand back "stealable", not an error.
+			held, valid, absent, err := readLease(leasePath(dir, hash))
+			if err != nil || absent {
+				t.Fatalf("readLease: held=%+v valid=%v absent=%v err=%v", held, valid, absent, err)
+			}
+			if name == "ancient valid" && !valid {
+				t.Fatal("ancient valid lease parsed as corrupt")
+			}
+			c, err := acquireLease(dir, hash, "k", "thief", time.Second, 3)
+			if err != nil || !c.ok || !c.stolen {
+				t.Fatalf("%s not stolen: %+v err=%v", name, c, err)
+			}
+			// A corrupt lease has no attempt history; a valid expired one does.
+			want := 2
+			if name != "ancient valid" {
+				want = 1
+			}
+			if c.attempts != want {
+				t.Errorf("%s: attempts = %d, want %d", name, c.attempts, want)
+			}
+		})
 	}
 }

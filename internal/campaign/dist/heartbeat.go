@@ -1,0 +1,132 @@
+package dist
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// heartbeat is one worker's liveness beacon: an atomically renamed file
+// under heartbeats/ carrying progress counters, renewed from the same loop
+// that renews leases. Its purpose is to let a coordinator distinguish a
+// slow fleet (live heartbeats, no completions yet) from a dead one (no
+// heartbeats, no completions) — the distinction PR 8's fixed drain timeout
+// could not make. Heartbeat files are never deleted: a worker's final
+// heartbeat is its telemetry record (points completed, cache hits, last
+// in-flight key), and a crashed worker's last beacon is the evidence the
+// stall error names.
+type heartbeat struct {
+	Worker      string `json:"worker"`
+	Completed   int    `json:"completed"`
+	CacheHits   int    `json:"cache_hits,omitempty"`
+	Failed      int    `json:"failed,omitempty"`
+	Stolen      int    `json:"stolen,omitempty"`
+	Quarantined int    `json:"quarantined,omitempty"`
+	// Inflight is the key of the point currently computing, empty between
+	// points and after the worker's final beacon.
+	Inflight string `json:"inflight,omitempty"`
+	// Done marks the worker's final beacon: it drained the queue (or was
+	// cancelled) and exited cleanly, so its silence from now on is not a
+	// death.
+	Done    bool  `json:"done,omitempty"`
+	Written int64 `json:"written_unix_ms"`
+	Expires int64 `json:"expires_unix_ms"`
+}
+
+// Worker liveness classification, derived from a heartbeat's own expiry
+// window so observers need no out-of-band TTL configuration.
+const (
+	workerLive    = "live"    // now <= Expires
+	workerSuspect = "suspect" // expired less than 2 TTLs ago
+	workerDead    = "dead"    // silent longer than that, and not Done
+)
+
+// classify buckets a heartbeat at time now. Done workers are out of the
+// census entirely — an exited worker is neither alive nor a casualty.
+func (hb heartbeat) classify(now int64) string {
+	if now <= hb.Expires {
+		return workerLive
+	}
+	ttl := hb.Expires - hb.Written
+	if ttl <= 0 {
+		ttl = int64(30 * time.Second / time.Millisecond)
+	}
+	if now <= hb.Expires+2*ttl {
+		return workerSuspect
+	}
+	return workerDead
+}
+
+// heartbeatPath names worker's beacon file.
+func heartbeatPath(dir, worker string) string {
+	return filepath.Join(dir, heartbeatsDir, worker+".json")
+}
+
+// writeHeartbeat publishes hb atomically. Best-effort, like lease renewal:
+// a beacon that fails to land costs detection latency, never correctness.
+func writeHeartbeat(dir string, hb heartbeat) {
+	data, err := json.Marshal(hb)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(filepath.Join(dir, heartbeatsDir), 0o755); err != nil {
+		return
+	}
+	if writeAtomic(heartbeatPath(dir, hb.Worker), append(data, '\n')) == nil {
+		metHeartbeatsWritten.Inc()
+	}
+}
+
+// readHeartbeats loads every parseable beacon in dir, sorted by worker name
+// for deterministic reporting. Corrupt or torn beacons are skipped — a
+// heartbeat is advisory, and a worker whose beacon tore mid-write will
+// rewrite it within a TTL anyway.
+func readHeartbeats(dir string) ([]heartbeat, error) {
+	entries, err := os.ReadDir(filepath.Join(dir, heartbeatsDir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var hbs []heartbeat
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		data, rerr := os.ReadFile(filepath.Join(dir, heartbeatsDir, e.Name()))
+		if rerr != nil {
+			continue
+		}
+		var hb heartbeat
+		if json.Unmarshal(data, &hb) != nil || hb.Worker == "" {
+			continue
+		}
+		hbs = append(hbs, hb)
+		metHeartbeatsObserved.Inc()
+	}
+	sort.Slice(hbs, func(i, j int) bool { return hbs[i].Worker < hbs[j].Worker })
+	return hbs, nil
+}
+
+// censusWorkers tallies a heartbeat set at time now into live / suspect /
+// dead counts plus the dead workers' names — the summary DrainState carries
+// and the stall error prints. Done workers are excluded.
+func censusWorkers(hbs []heartbeat, now int64) (live, suspect int, dead []string) {
+	for _, hb := range hbs {
+		if hb.Done {
+			continue
+		}
+		switch hb.classify(now) {
+		case workerLive:
+			live++
+		case workerSuspect:
+			suspect++
+		default:
+			dead = append(dead, hb.Worker)
+		}
+	}
+	return live, suspect, dead
+}

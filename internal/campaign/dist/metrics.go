@@ -5,20 +5,28 @@ import "deepheal/internal/obs"
 // Package-level instruments. Nil (free no-ops) until EnableMetrics installs
 // live ones, matching the convention of the other instrumented packages.
 var (
-	metLeases       *obs.Counter
-	metLeaseSteals  *obs.Counter
-	metPointsDone   *obs.Counter
-	metPointsFailed *obs.Counter
-	metCacheHits    *obs.Counter
-	metMergeShards  *obs.Counter
-	metMergeRecords *obs.Counter
-	metMergeCorrupt *obs.Counter
+	metLeases             *obs.Counter
+	metLeaseSteals        *obs.Counter
+	metPointsDone         *obs.Counter
+	metPointsFailed       *obs.Counter
+	metCacheHits          *obs.Counter
+	metMergeShards        *obs.Counter
+	metMergeRecords       *obs.Counter
+	metMergeCorrupt       *obs.Counter
+	metHeartbeatsWritten  *obs.Counter
+	metHeartbeatsObserved *obs.Counter
+	metQuarantines        *obs.Counter
+	metResumeRestored     *obs.Counter
+	metWorkersLive        *obs.Gauge
+	metWorkersSuspect     *obs.Gauge
+	metWorkersDead        *obs.Gauge
 )
 
 // EnableMetrics wires the distributed executor into r: lease traffic
 // (including expiry steals — the worker-loss signal), per-worker completion
-// and failure counts, cross-shard cache hits, and shard-merge volume. Pass
-// nil to disable again.
+// and failure counts, cross-shard cache hits, shard-merge volume, heartbeat
+// traffic with the live/suspect/dead worker census, poison-point
+// quarantines and resume restores. Pass nil to disable again.
 func EnableMetrics(r *obs.Registry) {
 	metLeases = r.Counter("deepheal_dist_leases_total",
 		"point leases acquired by workers in this process")
@@ -36,4 +44,18 @@ func EnableMetrics(r *obs.Registry) {
 		"shard records absorbed into the canonical journal")
 	metMergeCorrupt = r.Counter("deepheal_dist_merge_skipped_total",
 		"shard records skipped during merge (corrupt or torn); those points recompute")
+	metHeartbeatsWritten = r.Counter("deepheal_dist_heartbeats_written_total",
+		"worker liveness beacons published by this process")
+	metHeartbeatsObserved = r.Counter("deepheal_dist_heartbeats_observed_total",
+		"worker liveness beacons read while scanning a campaign directory")
+	metQuarantines = r.Counter("deepheal_dist_quarantines_total",
+		"poison points quarantined after exhausting their fleet-wide attempt budget")
+	metResumeRestored = r.Counter("deepheal_dist_resume_restored_total",
+		"manifest points already complete when a coordinator resumed a published campaign")
+	metWorkersLive = r.Gauge("deepheal_dist_workers_live",
+		"workers with an unexpired heartbeat at the last drain scan")
+	metWorkersSuspect = r.Gauge("deepheal_dist_workers_suspect",
+		"workers whose heartbeat expired less than two TTLs ago at the last drain scan")
+	metWorkersDead = r.Gauge("deepheal_dist_workers_dead",
+		"workers silent for more than two heartbeat TTLs at the last drain scan")
 }

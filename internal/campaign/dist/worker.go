@@ -30,9 +30,17 @@ type WorkerOptions struct {
 	// LeaseTTL is how long a claim lives between renewals; a worker lost
 	// for longer than this has its point stolen. Default 30s.
 	LeaseTTL time.Duration
+	// HeartbeatTTL is how long a liveness beacon stays fresh; a worker is
+	// suspect after one TTL of silence and dead after three. Defaults to
+	// LeaseTTL, so the two liveness signals age together.
+	HeartbeatTTL time.Duration
 	// Poll is the idle rescan interval while waiting for other workers'
 	// leases to resolve. Default 100ms.
 	Poll time.Duration
+	// MaxAttempts is the fleet-wide crash budget per point: a point whose
+	// lease has died this many times (across any workers) is quarantined
+	// instead of stolen again. Default 3; negative disables quarantine.
+	MaxAttempts int
 	// NoSync disables per-record fsync on the shard — only for tests that
 	// hammer a tmpfs; real shards must survive power loss.
 	NoSync bool
@@ -44,6 +52,7 @@ type WorkerStats struct {
 	CacheHits   int // points skipped because another shard already held the hash
 	Stolen      int // expired leases taken over
 	Failed      int // points whose Run returned an error (marked for the coordinator)
+	Quarantined int // poison points this worker quarantined on acquisition
 	WallSeconds float64
 }
 
@@ -56,24 +65,76 @@ func defaultWorkerID() string {
 	return fmt.Sprintf("%s-%d", host, os.Getpid())
 }
 
+// workerBeacon rate-limits a worker's liveness publishing to a third of the
+// heartbeat TTL, so the beacon piggybacks on the scan loop without turning
+// every poll into a write.
+type workerBeacon struct {
+	dir  string
+	ttl  time.Duration
+	last time.Time
+}
+
+func (b *workerBeacon) publish(hb heartbeat, force bool) {
+	now := time.Now()
+	if !force && now.Sub(b.last) < b.ttl/3 {
+		return
+	}
+	b.last = now
+	hb.Written = now.UnixMilli()
+	hb.Expires = now.Add(b.ttl).UnixMilli()
+	writeHeartbeat(b.dir, hb)
+}
+
 // RunWorker leases and executes manifest points until the queue is drained
 // (every point completed in some shard or marked failed) or ctx is
 // cancelled. tasks must be the plan set the manifest was published from —
 // workers match points to manifest entries by content hash, so a worker
 // built from a different binary revision simply finds no matching hashes
 // and computes nothing (never the wrong thing).
-func RunWorker(ctx context.Context, dir string, m *Manifest, tasks []campaign.Task, opts WorkerOptions) (WorkerStats, error) {
+//
+// Alongside the work itself the worker maintains a liveness beacon in
+// heartbeats/: refreshed from the scan loop and from the lease-renewal
+// ticker of a long-running point, finalised with Done=true on every clean
+// exit. An injected death (ErrWorkerDied) deliberately writes no goodbye —
+// the stale beacon is exactly what a real crash leaves behind.
+func RunWorker(ctx context.Context, dir string, m *Manifest, tasks []campaign.Task, opts WorkerOptions) (stats WorkerStats, err error) {
 	start := time.Now()
-	var stats WorkerStats
 	if opts.ID == "" {
 		opts.ID = defaultWorkerID()
 	}
 	if opts.LeaseTTL <= 0 {
 		opts.LeaseTTL = 30 * time.Second
 	}
+	if opts.HeartbeatTTL <= 0 {
+		opts.HeartbeatTTL = opts.LeaseTTL
+	}
 	if opts.Poll <= 0 {
 		opts.Poll = 100 * time.Millisecond
 	}
+	if opts.MaxAttempts == 0 {
+		opts.MaxAttempts = 3
+	}
+
+	snap := func(inflight string, done bool) heartbeat {
+		return heartbeat{
+			Worker:      opts.ID,
+			Completed:   stats.Completed,
+			CacheHits:   stats.CacheHits,
+			Failed:      stats.Failed,
+			Stolen:      stats.Stolen,
+			Quarantined: stats.Quarantined,
+			Inflight:    inflight,
+			Done:        done,
+		}
+	}
+	beacon := &workerBeacon{dir: dir, ttl: opts.HeartbeatTTL}
+	defer func() {
+		stats.WallSeconds = time.Since(start).Seconds()
+		if errors.Is(err, ErrWorkerDied) {
+			return // a crash writes no goodbye; the beacon goes stale instead
+		}
+		beacon.publish(snap("", true), true)
+	}()
 
 	points := make(map[string]campaign.Point, len(m.Points))
 	for _, t := range tasks {
@@ -96,16 +157,14 @@ func RunWorker(ctx context.Context, dir string, m *Manifest, tasks []campaign.Ta
 	scan := newShardScanner(dir)
 	for {
 		if err := ctx.Err(); err != nil {
-			stats.WallSeconds = time.Since(start).Seconds()
 			return stats, err
 		}
+		beacon.publish(snap("", false), false)
 		if err := scan.rescan(); err != nil {
-			stats.WallSeconds = time.Since(start).Seconds()
 			return stats, fmt.Errorf("dist: worker %s: %w", opts.ID, err)
 		}
 		failed, err := failedHashes(dir)
 		if err != nil {
-			stats.WallSeconds = time.Since(start).Seconds()
 			return stats, fmt.Errorf("dist: worker %s: %w", opts.ID, err)
 		}
 
@@ -123,15 +182,23 @@ func RunWorker(ctx context.Context, dir string, m *Manifest, tasks []campaign.Ta
 				continue // handed back to the coordinator
 			}
 			remaining++
-			ok, stolen, lerr := acquireLease(dir, mp.Hash, mp.Key, opts.ID, opts.LeaseTTL)
+			claim, lerr := acquireLease(dir, mp.Hash, mp.Key, opts.ID, opts.LeaseTTL, opts.MaxAttempts)
 			if lerr != nil {
-				stats.WallSeconds = time.Since(start).Seconds()
 				return stats, fmt.Errorf("dist: worker %s: lease %s: %w", opts.ID, mp.Key, lerr)
 			}
-			if !ok {
-				continue // live claim elsewhere
+			if claim.poisoned {
+				cause := fmt.Sprintf("point killed its worker %d time(s); last held by %s", claim.attempts, claim.last.Worker)
+				if merr := markQuarantined(dir, mp.Hash, mp.Key, claim.attempts, cause); merr != nil {
+					return stats, fmt.Errorf("dist: worker %s: quarantine %s: %w", opts.ID, mp.Key, merr)
+				}
+				stats.Quarantined++
+				progressed = true
+				continue
 			}
-			if stolen {
+			if !claim.ok {
+				continue // live claim elsewhere, or a transient lease race
+			}
+			if claim.stolen {
 				metLeaseSteals.Inc()
 				stats.Stolen++
 			}
@@ -146,28 +213,25 @@ func RunWorker(ctx context.Context, dir string, m *Manifest, tasks []campaign.Ta
 				continue
 			}
 
-			value, runErr := runLeased(ctx, dir, mp, points[mp.Hash], opts)
+			beacon.publish(snap(mp.Key, false), false)
+			value, runErr := runLeased(ctx, dir, mp, points[mp.Hash], opts, claim.attempts, snap(mp.Key, false))
 			if faultinject.Hit(faultinject.SiteWorkerDie, mp.Key) {
 				// Simulated crash: no record, no release, no failure marker.
 				// The lease expires and a survivor takes over.
-				stats.WallSeconds = time.Since(start).Seconds()
 				return stats, ErrWorkerDied
 			}
 			switch {
 			case runErr == nil:
 				if _, jerr := shard.Record(mp.Key, mp.Hash, value, 0); jerr != nil {
-					stats.WallSeconds = time.Since(start).Seconds()
 					return stats, fmt.Errorf("dist: worker %s: %w", opts.ID, jerr)
 				}
 				metPointsDone.Inc()
 				stats.Completed++
 			case errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded):
 				releaseLease(dir, mp.Hash)
-				stats.WallSeconds = time.Since(start).Seconds()
 				return stats, runErr
 			default:
-				if merr := markFailed(dir, mp.Hash, mp.Key, opts.ID, runErr); merr != nil {
-					stats.WallSeconds = time.Since(start).Seconds()
+				if merr := markFailed(dir, mp.Hash, mp.Key, opts.ID, claim.attempts, runErr); merr != nil {
 					return stats, fmt.Errorf("dist: worker %s: %w", opts.ID, merr)
 				}
 				metPointsFailed.Inc()
@@ -175,10 +239,10 @@ func RunWorker(ctx context.Context, dir string, m *Manifest, tasks []campaign.Ta
 			}
 			releaseLease(dir, mp.Hash)
 			progressed = true
+			beacon.publish(snap("", false), false)
 		}
 
 		if remaining == 0 {
-			stats.WallSeconds = time.Since(start).Seconds()
 			return stats, nil // drained
 		}
 		if !progressed {
@@ -186,7 +250,6 @@ func RunWorker(ctx context.Context, dir string, m *Manifest, tasks []campaign.Ta
 			// failures or expiries.
 			select {
 			case <-ctx.Done():
-				stats.WallSeconds = time.Since(start).Seconds()
 				return stats, ctx.Err()
 			case <-time.After(opts.Poll):
 			}
@@ -194,25 +257,34 @@ func RunWorker(ctx context.Context, dir string, m *Manifest, tasks []campaign.Ta
 	}
 }
 
-// runLeased executes one leased point, renewing the lease in the background
-// so a long solve is not stolen mid-compute, and converting panics into
-// errors (a panicking point is marked failed, not a dead worker).
-func runLeased(ctx context.Context, dir string, mp ManifestPoint, p campaign.Point, opts WorkerOptions) (value any, err error) {
+// runLeased executes one leased point, renewing the lease (and the worker's
+// heartbeat, with the point marked in-flight) in the background so a long
+// solve is neither stolen mid-compute nor mistaken for a dead worker, and
+// converting panics into errors (a panicking point is marked failed, not a
+// dead worker).
+func runLeased(ctx context.Context, dir string, mp ManifestPoint, p campaign.Point, opts WorkerOptions, attempts int, hb heartbeat) (value any, err error) {
 	if p.Run == nil {
 		return nil, fmt.Errorf("dist: manifest point %s has no local plan (worker built from a different revision?)", mp.Key)
+	}
+	period := opts.LeaseTTL
+	if opts.HeartbeatTTL < period {
+		period = opts.HeartbeatTTL
 	}
 	stopRenew := make(chan struct{})
 	renewDone := make(chan struct{})
 	go func() {
 		defer close(renewDone)
-		t := time.NewTicker(opts.LeaseTTL / 3)
+		t := time.NewTicker(period / 3)
 		defer t.Stop()
 		for {
 			select {
 			case <-stopRenew:
 				return
-			case <-t.C:
-				renewLease(dir, mp.Hash, mp.Key, opts.ID, opts.LeaseTTL)
+			case now := <-t.C:
+				renewLease(dir, mp.Hash, mp.Key, opts.ID, opts.LeaseTTL, attempts)
+				hb.Written = now.UnixMilli()
+				hb.Expires = now.Add(opts.HeartbeatTTL).UnixMilli()
+				writeHeartbeat(dir, hb)
 			}
 		}
 	}()

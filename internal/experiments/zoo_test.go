@@ -116,7 +116,7 @@ func TestMultiplierDistributedMatchesSerial(t *testing.T) {
 	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
-	if err := dist.WaitDrained(drainCtx, dir, m, 5*time.Millisecond, nil); err != nil {
+	if err := dist.WaitDrained(drainCtx, dir, m, dist.DrainOptions{Poll: 5 * time.Millisecond}); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()

@@ -56,6 +56,10 @@ const (
 	// point but before the result reaches its shard — the "worker process
 	// crashed mid-run" failure the lease-expiry takeover must survive.
 	SiteWorkerDie Site = "worker-die"
+	// SiteCoordinatorDie kills a distributed campaign coordinator mid-drain
+	// — before merge and assembly — the failure `coordinate -resume` must
+	// recover from without re-running any completed point.
+	SiteCoordinatorDie Site = "coordinator-die"
 	// SiteCheckpointTruncate truncates a checkpoint blob mid-gob before it
 	// reaches disk.
 	SiteCheckpointTruncate Site = "checkpoint-truncate"
@@ -66,7 +70,7 @@ func Sites() []Site {
 	all := []Site{
 		SiteWorkerPanic, SitePointError, SitePointStall, SitePointCancel,
 		SiteCGDiverge, SiteEMTridiag, SiteJournalCorrupt, SiteCheckpointTruncate,
-		SiteWorkerDie,
+		SiteWorkerDie, SiteCoordinatorDie,
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	return all
@@ -85,12 +89,17 @@ func knownSite(s Site) bool {
 // fires when its 1-based per-site occurrence index is listed OR the keyed
 // probability draw succeeds. MaxFires caps the total fires at the site
 // (0 = unlimited). Delay is the stall duration for SitePointStall-style
-// sites.
+// sites. Key, when non-empty, restricts the schedule to probes whose key
+// contains it as a substring — probes for other keys neither fire nor count
+// toward Occurrences, which is how a chaos spec poisons one specific
+// campaign point (`worker-die:key=fig4/aged`) no matter which worker, or
+// how many workers, lease it.
 type Schedule struct {
 	Prob        float64
 	Occurrences []uint64
 	MaxFires    uint64
 	Delay       time.Duration
+	Key         string
 }
 
 type siteState struct {
@@ -194,6 +203,9 @@ func (inj *Injector) hit(site Site, key string) bool {
 	if s == nil {
 		return false
 	}
+	if s.sched.Key != "" && !strings.Contains(key, s.sched.Key) {
+		return false
+	}
 	n := s.hits.Add(1)
 	fire := false
 	for _, o := range s.sched.Occurrences {
@@ -273,8 +285,11 @@ func (f *Fault) Error() string {
 //	occ=1+4+9    1-based occurrence indices that always fire
 //	max=3        cap on total fires at the site
 //	delay=200ms  stall duration (stall sites)
+//	key=fig4/a   only probes whose key contains this substring are eligible
 //
-// A bare `site` clause with no options fires on every hit (p=1).
+// A bare `site` clause with no options fires on every hit (p=1), as does a
+// clause that sets no trigger (no p= and no occ=) — `worker-die:key=X`
+// fires on every probe for X.
 func ParseSpec(spec string) (map[Site]Schedule, error) {
 	plan := make(map[Site]Schedule)
 	for _, clause := range strings.Split(spec, ";") {
@@ -322,12 +337,22 @@ func ParseSpec(spec string) (map[Site]Schedule, error) {
 				sched.MaxFires, err = strconv.ParseUint(v, 10, 64)
 			case "delay":
 				sched.Delay, err = time.ParseDuration(v)
+			case "key":
+				if v == "" {
+					err = fmt.Errorf("key filter must be non-empty")
+				}
+				sched.Key = v
 			default:
 				err = fmt.Errorf("unknown option %q", k)
 			}
 			if err != nil {
 				return nil, fmt.Errorf("faultinject: site %q: %v", site, err)
 			}
+		}
+		if sched.Prob == 0 && len(sched.Occurrences) == 0 {
+			// No trigger given (e.g. only key= or delay=): fire on every
+			// eligible hit, matching the bare-clause behaviour.
+			sched.Prob = 1
 		}
 		plan[site] = sched
 	}

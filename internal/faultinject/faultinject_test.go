@@ -192,3 +192,66 @@ func BenchmarkHitEnabledMiss(b *testing.B) {
 		}
 	}
 }
+
+func TestKeyFilterTargetsOnePoint(t *testing.T) {
+	inj, err := New(1, map[Site]Schedule{
+		SiteWorkerDie: {Prob: 1, Key: "fig4/aged"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Enable(inj)
+	defer Disable()
+	for _, key := range []string{"table1/fresh", "fig4/base", "fig5/aged-ish"} {
+		if Hit(SiteWorkerDie, key) {
+			t.Errorf("key filter fired for unrelated key %q", key)
+		}
+	}
+	if !Hit(SiteWorkerDie, "fig4/aged") {
+		t.Error("key filter did not fire for the targeted key")
+	}
+	if !Hit(SiteWorkerDie, "prefix fig4/aged suffix") {
+		t.Error("key filter is a substring match; embedded key must fire")
+	}
+}
+
+func TestKeyFilterDoesNotConsumeOccurrences(t *testing.T) {
+	// Non-matching probes must not advance the occurrence counter: occ=2
+	// means the second probe *for the targeted key*, regardless of how many
+	// other points are probed in between.
+	inj, err := New(1, map[Site]Schedule{
+		SiteWorkerDie: {Occurrences: []uint64{2}, Key: "poison"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Enable(inj)
+	defer Disable()
+	for i := 0; i < 10; i++ {
+		if Hit(SiteWorkerDie, "healthy/point") {
+			t.Fatal("non-matching probe fired")
+		}
+	}
+	if Hit(SiteWorkerDie, "poison/point") {
+		t.Error("first matching probe fired; occ=2 wants the second")
+	}
+	if !Hit(SiteWorkerDie, "poison/point") {
+		t.Error("second matching probe did not fire")
+	}
+}
+
+func TestParseSpecKeyOption(t *testing.T) {
+	plan, err := ParseSpec("worker-die:key=fig4/aged;coordinator-die:occ=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := plan[SiteWorkerDie]; s.Key != "fig4/aged" || s.Prob != 1 {
+		t.Errorf("key-only clause %+v, want key filter with implied p=1", s)
+	}
+	if s := plan[SiteCoordinatorDie]; len(s.Occurrences) != 1 || s.Occurrences[0] != 2 || s.Prob != 0 {
+		t.Errorf("coordinator-die schedule %+v", s)
+	}
+	if _, err := ParseSpec("worker-die:key="); err == nil {
+		t.Error("empty key filter accepted")
+	}
+}

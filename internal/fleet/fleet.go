@@ -21,6 +21,11 @@ var (
 	ErrNotFound = errors.New("fleet: no such chip")
 	// ErrDuplicate means the ID is already registered.
 	ErrDuplicate = errors.New("fleet: chip already registered")
+	// ErrBusy means a fleet-wide step is already running. StepAll rejects
+	// overlap instead of queueing on a mutex: a batch saturates the shared
+	// pool, so stacked batches would only build an unbounded convoy of
+	// blocked handlers. The HTTP layer maps this to 429 with Retry-After.
+	ErrBusy = errors.New("fleet: a fleet-wide step is already in progress")
 )
 
 // Options configures a Manager. The zero value is usable: a GOMAXPROCS
@@ -62,14 +67,47 @@ type chip struct {
 
 // Manager owns a fleet of chips. All methods are safe for concurrent use.
 type Manager struct {
-	opts  Options
-	pool  *engine.Pool
-	touch atomic.Uint64
+	opts     Options
+	pool     *engine.Pool
+	touch    atomic.Uint64
+	stepping atomic.Bool // a StepAll batch holds the shared pool
+
+	readyMu  sync.Mutex
+	notReady string // non-empty while not serving; the reason, for /readyz
 
 	mu     sync.RWMutex
 	chips  map[string]*chip
 	order  []string // registration order, for stable listings and batches
 	models map[modelKey]*core.Model
+}
+
+// SetNotReady marks the manager temporarily unable to serve — restoring a
+// checkpoint, draining for shutdown — with a reason /readyz reports. The
+// manager still answers every endpoint (a restore-in-progress fleet is
+// partially queryable and that is useful for debugging); readiness is
+// advisory, for load balancers and scripts that must not observe a
+// half-restored fleet.
+func (m *Manager) SetNotReady(reason string) {
+	if reason == "" {
+		reason = "not ready"
+	}
+	m.readyMu.Lock()
+	m.notReady = reason
+	m.readyMu.Unlock()
+}
+
+// SetReady marks the manager as serving.
+func (m *Manager) SetReady() {
+	m.readyMu.Lock()
+	m.notReady = ""
+	m.readyMu.Unlock()
+}
+
+// Ready reports whether the manager is serving, with the reason when not.
+func (m *Manager) Ready() (bool, string) {
+	m.readyMu.Lock()
+	defer m.readyMu.Unlock()
+	return m.notReady == "", m.notReady
 }
 
 // NewManager builds an empty fleet.
@@ -252,7 +290,14 @@ func (m *Manager) Step(ctx context.Context, id string, n int) (ChipStatus, error
 // worker pool and returns the new statuses in registration order. Chips
 // removed mid-batch report their last status. The first error (in
 // registration order) wins, matching the pool's error-first Map semantics.
+// Only one batch runs at a time: a call that overlaps an in-flight batch
+// returns ErrBusy immediately rather than queueing (single-chip Step calls
+// are unaffected and interleave freely).
 func (m *Manager) StepAll(ctx context.Context, n int) ([]ChipStatus, error) {
+	if !m.stepping.CompareAndSwap(false, true) {
+		return nil, ErrBusy
+	}
+	defer m.stepping.Store(false)
 	m.mu.RLock()
 	chips := make([]*chip, 0, len(m.order))
 	for _, id := range m.order {

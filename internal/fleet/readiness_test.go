@@ -1,0 +1,92 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestStepAllRejectsOverlap(t *testing.T) {
+	m := NewManager(Options{})
+	defer m.Close()
+	// Hold the batch gate as an in-flight StepAll would.
+	if !m.stepping.CompareAndSwap(false, true) {
+		t.Fatal("fresh manager already stepping")
+	}
+	if _, err := m.StepAll(context.Background(), 1); !errors.Is(err, ErrBusy) {
+		t.Fatalf("overlapping StepAll: %v, want ErrBusy", err)
+	}
+	m.stepping.Store(false)
+	if _, err := m.StepAll(context.Background(), 1); err != nil {
+		t.Fatalf("StepAll after the batch released: %v", err)
+	}
+}
+
+func TestReadyzAndBusyOverHTTP(t *testing.T) {
+	m := NewManager(Options{})
+	defer m.Close()
+	srv := httptest.NewServer(m.Handler(nil))
+	defer srv.Close()
+	c := srv.Client()
+
+	get := func(path string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := c.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	// A fresh manager is ready; /healthz and /readyz agree.
+	if code, body, _ := get("/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("ready manager: /readyz = %d %q", code, body)
+	}
+
+	// Not ready (restore/drain in progress): 503 with the reason, while
+	// /healthz keeps answering 200 — the process is up, just not reliable.
+	m.SetNotReady("restoring checkpoint")
+	if code, body, _ := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "restoring checkpoint") {
+		t.Errorf("restoring manager: /readyz = %d %q, want 503 with reason", code, body)
+	}
+	if code, _, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz failed while not ready: %d", code)
+	}
+	m.SetReady()
+	if code, _, _ := get("/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz after SetReady = %d", code)
+	}
+
+	// A held batch gate turns POST /v1/step into 429 + Retry-After instead
+	// of queueing the handler on a lock.
+	if !m.stepping.CompareAndSwap(false, true) {
+		t.Fatal("manager already stepping")
+	}
+	resp, err := c.Post(srv.URL+"/v1/step", "application/json", strings.NewReader(`{"steps":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("busy step = %d (%s), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	m.stepping.Store(false)
+	resp, err = c.Post(srv.URL+"/v1/step", "application/json", strings.NewReader(`{"steps":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("step after release = %d, want 200", resp.StatusCode)
+	}
+}

@@ -29,10 +29,18 @@ type stepRequest struct {
 //	GET    /v1/chips/{id}/schedule recovery schedule recommendation
 //	GET    /v1/meta                known policies and corners
 //	GET    /healthz                liveness
+//	GET    /readyz                 readiness (503 while restoring/draining)
 //	GET    /metrics                registry exposition (when reg != nil)
 //
 // Errors come back as {"error": "..."} with 404 for unknown chips, 409 for
-// duplicate registrations and 400 for everything malformed.
+// duplicate registrations, 429 (plus Retry-After) when a fleet-wide step is
+// already running, and 400 for everything malformed.
+//
+// /healthz answers "is the process up" and never fails while the server
+// listens; /readyz answers "may you rely on responses yet" and returns 503
+// with the reason while the serve verb is still restoring a checkpoint or
+// draining for shutdown — scripts poll it before querying state they intend
+// to diff.
 func (m *Manager) Handler(reg *obs.Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/chips", m.handleRegister)
@@ -47,6 +55,15 @@ func (m *Manager) Handler(reg *obs.Registry) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ok, reason := m.Ready(); !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, reason)
+			return
+		}
+		fmt.Fprintln(w, "ready")
 	})
 	if reg != nil {
 		mux.Handle("GET /metrics", reg.Handler())
@@ -88,6 +105,12 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, ErrDuplicate):
 		status = http.StatusConflict
+	case errors.Is(err, ErrBusy):
+		// A batch holds the whole pool; one batch of any size finishes in
+		// well under a second at fleet scale, so a fixed small hint beats
+		// letting clients hammer the endpoint.
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusTooManyRequests
 	case errors.As(err, &tooLarge):
 		status = http.StatusRequestEntityTooLarge
 	}
